@@ -1,0 +1,80 @@
+// Experiments T1-ECC / T1-RADIUS rows: all eccentricities and the radius,
+// exact in Theta(n) (Lemmas 2, 4) vs (x,1+eps) in O(n/D + D) (Theorem 4,
+// Corollary 4), plus the O(D) (x,2) bound of Remark 1.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/apsp_applications.h"
+#include "core/ecc_approx.h"
+#include "graph/generators.h"
+#include "seq/properties.h"
+
+using namespace dapsp;
+
+namespace {
+
+void ecc_error_profile() {
+  const Graph g = gen::path_of_cliques(16, 32);  // n=512, D=46
+  const auto truth = seq::eccentricities(g);
+  bench::Table t(
+      "Eccentricity estimates, path_of_cliques(16,32): error distribution");
+  t.header({"eps", "k", "max_err", "avg_err", "rounds", "exact_rounds"});
+  const auto exact = core::distributed_eccentricities(g);
+  for (const double eps : {2.0, 1.0, 0.5, 0.25}) {
+    const auto r = core::run_ecc_approx(g, {.epsilon = eps});
+    std::uint32_t max_err = 0;
+    double sum_err = 0;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      const std::uint32_t err = r.ecc_estimate[v] - truth[v];
+      max_err = std::max(max_err, err);
+      sum_err += err;
+    }
+    t.cell(eps);
+    t.cell(std::uint64_t{r.k});
+    t.cell(std::uint64_t{max_err});
+    t.cell(sum_err / g.num_nodes());
+    t.cell(r.stats.rounds);
+    t.cell(exact.stats.rounds);
+    t.end_row();
+  }
+  bench::note("errors never exceed k = floor(eps*D0/8) (Theorem 4).");
+}
+
+void radius_table() {
+  bench::Table t("Radius: exact (Lemma 4) vs estimates");
+  t.header({"family", "radius", "exact_rnds", "apx_rad", "apx_rnds",
+            "2apx(D0/2)"});
+  struct Case {
+    const char* name;
+    Graph g;
+  };
+  const Case cases[] = {
+      {"path400", gen::path(400)},
+      {"grid20x20", gen::grid(20, 20)},
+      {"lollipop", gen::lollipop(60, 340)},
+      {"rand400", gen::random_connected(400, 800, 11)},
+  };
+  for (const Case& c : cases) {
+    const auto exact = core::distributed_radius(c.g);
+    const auto approx = core::run_ecc_approx(c.g, {.epsilon = 0.5});
+    const auto two = core::distributed_diameter_2approx(c.g);
+    t.cell(std::string(c.name));
+    t.cell(std::uint64_t{exact.value});
+    t.cell(exact.stats.rounds);
+    t.cell(std::uint64_t{approx.radius_estimate});
+    t.cell(approx.stats.rounds);
+    t.cell(std::uint64_t{two.value / 2});
+    t.end_row();
+  }
+  bench::note("Remark 1: ecc(leader) = D0/2 is a (x,2) radius estimate in "
+              "Theta(D) rounds.");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# bench_eccentricity — Table 1, eccentricity & radius rows\n");
+  ecc_error_profile();
+  radius_table();
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Wall-clock performance of the CONGEST engine itself (google-benchmark):
+// simulation throughput is what bounds the instance sizes every other bench
+// can afford. Not a paper experiment — an engineering gauge.
+#include <benchmark/benchmark.h>
+
+#include "core/pebble_apsp.h"
+#include "core/ssp.h"
+#include "core/tree_check.h"
+#include "graph/generators.h"
+
+using namespace dapsp;
+
+namespace {
+
+void BM_TreeBuild(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const Graph g = gen::random_connected(n, 2 * n, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::run_tree_check(g));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TreeBuild)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_PebbleApsp(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const Graph g = gen::random_connected(n, 2 * n, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::run_pebble_apsp(g));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);  // distances computed
+}
+BENCHMARK(BM_PebbleApsp)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_Ssp16(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const Graph g = gen::random_connected(n, 2 * n, 42);
+  std::vector<NodeId> sources;
+  for (NodeId v = 0; v < 16; ++v) sources.push_back(v * (n / 16));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::run_ssp(g, sources));
+  }
+  state.SetItemsProcessed(state.iterations() * n * 16);
+}
+BENCHMARK(BM_Ssp16)->Arg(256)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

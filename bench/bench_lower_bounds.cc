@@ -1,0 +1,144 @@
+// Experiments T1-DIAM-(+1), T1-APSP-3/2, Theorems 2/6/8 (lower bounds).
+//
+// Lower bounds cannot be "run"; what we reproduce is:
+//   (a) the instance families, oracle-verified (see tests);
+//   (b) the information audit: the two-party input is k^2 bits, the cut has
+//       2k+1 edges, so ANY protocol deciding diameter 2-vs-3 needs at least
+//       ceil(k^2 / ((2k+1) B)) = Omega(n/B) rounds — we print this certified
+//       floor next to the rounds our exact algorithm actually takes;
+//   (c) the paper's headline contrast: distinguishing 2-vs-3 takes Omega(n)
+//       while 2-vs-4 takes O(sqrt(n log n)) (Theorem 7) — measured side by
+//       side on the same instance sizes.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/apsp_applications.h"
+#include "core/neighborhood_census.h"
+#include "core/two_vs_four.h"
+#include "graph/generators.h"
+#include "graph/hard_instances.h"
+
+using namespace dapsp;
+
+namespace {
+
+void audit_2v3() {
+  bench::Table t(
+      "Theorem 6 family: exact diameter on 2-vs-3 gadgets vs certified floor");
+  t.header({"k", "n", "cut", "floor(B=1)", "floor(B)", "exact_rounds",
+            "D_found"});
+  std::vector<double> xs, ys;
+  for (const std::uint32_t k : {4u, 8u, 16u, 32u, 64u, 128u}) {
+    const hard::TwoPartyGadget gadget = hard::diameter_2_vs_3(k, true, 5);
+    const auto r = core::distributed_diameter(gadget.graph);
+    // The information floor is Theta(k^2 / (cut * B)) = Theta(n / B): shown
+    // both bit-normalized (B = 1) and for the engine's actual B.
+    t.cell(std::uint64_t{k});
+    t.cell(std::uint64_t{gadget.graph.num_nodes()});
+    t.cell(std::uint64_t{gadget.cut_edge_count});
+    t.cell(gadget.certified_min_rounds(1));
+    t.cell(gadget.certified_min_rounds(r.stats.bandwidth_bits));
+    t.cell(r.stats.rounds);
+    t.cell(std::uint64_t{r.value});
+    t.end_row();
+    xs.push_back(static_cast<double>(gadget.graph.num_nodes()));
+    ys.push_back(static_cast<double>(r.stats.rounds));
+  }
+  bench::note("exact algorithm grows linearly in n (fitted exponent " +
+              std::to_string(bench::fit_exponent(xs, ys)) +
+              "), matching the Omega(n/B) information floor's shape "
+              "(floor(B=1) ~ k/2 ~ n/8).");
+}
+
+void gap2_family() {
+  bench::Table t(
+      "Theorem 2 family: d vs d+2 instances (exact diameter cost, (+1)-apx "
+      "hardness)");
+  t.header({"k", "L", "n", "D(near)", "D(far)", "rounds(near)",
+            "rounds(far)"});
+  for (const std::uint32_t k : {4u, 8u, 16u}) {
+    const std::uint32_t len = 4;
+    const auto near = hard::diameter_wide_gap(k, len, false, 7);
+    const auto far = hard::diameter_wide_gap(k, len, true, 7);
+    const auto rn = core::distributed_diameter(near.graph);
+    const auto rf = core::distributed_diameter(far.graph);
+    t.cell(std::uint64_t{k});
+    t.cell(std::uint64_t{len});
+    t.cell(std::uint64_t{near.graph.num_nodes()});
+    t.cell(std::uint64_t{rn.value});
+    t.cell(std::uint64_t{rf.value});
+    t.cell(rn.stats.rounds);
+    t.cell(rf.stats.rounds);
+    t.end_row();
+  }
+  bench::note(
+      "any (+,1)-approximation must separate these; Theorem 2 certifies "
+      "Omega(n/(D*B) + D) rounds for that.");
+}
+
+void contrast_2v3_vs_2v4() {
+  bench::Table t(
+      "The paper's headline asymmetry: 2-vs-3 needs Omega(n); 2-vs-4 runs in "
+      "O(sqrt(n log n))");
+  t.header({"n(2v3)", "exact_rounds", "n(2v4)", "alg3_rounds", "ratio"});
+  for (const std::uint32_t k : {8u, 16u, 32u, 64u}) {
+    const auto g3 = hard::diameter_2_vs_3(k, true, 3);
+    const auto exact = core::distributed_diameter(g3.graph);
+    const NodeId n4 = g3.graph.num_nodes() & ~1u;
+    const auto r4 =
+        core::run_two_vs_four(gen::dense_diameter2(std::max<NodeId>(n4, 6)),
+                              {.seed = 2});
+    t.cell(std::uint64_t{g3.graph.num_nodes()});
+    t.cell(exact.stats.rounds);
+    t.cell(std::uint64_t{std::max<NodeId>(n4, 6)});
+    t.cell(r4.stats.rounds);
+    t.cell(static_cast<double>(exact.stats.rounds) /
+           static_cast<double>(r4.stats.rounds));
+    t.end_row();
+  }
+  bench::note("Theorem 8: the same gadgets (girth 3) also make computing all "
+              "2-BFS trees Omega(n/B) — deciding |N2(v)| = n for all v is "
+              "exactly the 2-vs-3 question.");
+}
+
+void census_theorem8() {
+  bench::Table t(
+      "Theorem 8: the two-hop census (|N2(v)| for all v) — cheap on bounded "
+      "degree, Theta(n) on the gadgets");
+  t.header({"graph", "n", "max_deg", "rounds", "all_n2=n?"});
+  struct Case {
+    const char* name;
+    Graph g;
+  };
+  const Case cases[] = {
+      {"grid16x16", gen::grid(16, 16)},
+      {"torus12x12", gen::torus(12, 12)},
+      {"gadget k=16", hard::diameter_2_vs_3(16, true, 1).graph},
+      {"gadget k=64", hard::diameter_2_vs_3(64, true, 1).graph},
+  };
+  for (const Case& c : cases) {
+    const auto r = core::run_two_hop_census(c.g);
+    bool full = true;
+    for (const std::uint32_t x : r.n2) full &= x == c.g.num_nodes();
+    t.cell(std::string(c.name));
+    t.cell(std::uint64_t{c.g.num_nodes()});
+    t.cell(std::uint64_t{r.max_degree});
+    t.cell(r.stats.rounds);
+    t.cell(std::string(full ? "yes(diam<=2)" : "no(diam>=3)"));
+    t.end_row();
+  }
+  bench::note("answering \"is every |N2(v)| = n\" IS the 2-vs-3 decision; "
+              "the degree-streaming protocol pays Theta(Delta) = Theta(n) on "
+              "the gadgets, matching the Omega(n/B) bound.");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# bench_lower_bounds — Theorems 2, 6, 8 instance families\n");
+  audit_2v3();
+  gap2_family();
+  contrast_2v3_vs_2v4();
+  census_theorem8();
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Experiment 2-vs-4 (Section 7.2, Theorem 7): Algorithm 3 distinguishes
+// diameter 2 from diameter 4 in O(sqrt(n log n)) rounds — contrast with the
+// Omega(n/B) needed for 2 vs 3 (Theorem 6; see bench_lower_bounds).
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/two_vs_four.h"
+#include "graph/generators.h"
+
+using namespace dapsp;
+
+namespace {
+
+void sweep() {
+  bench::Table t(
+      "Algorithm 3 rounds vs n (paper: O(sqrt(n log n)); both branches)");
+  t.header({"n", "family", "answer", "branch", "|S|", "rounds",
+            "rounds/sqrt(nlogn)"});
+  std::vector<double> xs, ys;
+  for (const NodeId n : {64u, 128u, 256u, 512u}) {
+    struct Case {
+      const char* name;
+      Graph g;
+      std::uint32_t want;
+    };
+    const Case cases[] = {
+        {"dense_d2", gen::dense_diameter2(n), 2},
+        {"diam4", gen::diameter4((n - 3) / 2), 4},
+    };
+    for (const Case& c : cases) {
+      const auto r = core::run_two_vs_four(c.g, {.seed = 3});
+      const double ref = std::sqrt(static_cast<double>(c.g.num_nodes()) *
+                                   std::log2(c.g.num_nodes() + 1.0));
+      t.cell(std::uint64_t{c.g.num_nodes()});
+      t.cell(std::string(c.name));
+      t.cell(std::uint64_t{r.answer});
+      t.cell(std::string(r.used_low_degree_branch ? "low-deg" : "sampled"));
+      t.cell(std::uint64_t{r.num_sources});
+      t.cell(r.stats.rounds);
+      t.cell(static_cast<double>(r.stats.rounds) / ref);
+      t.end_row();
+      if (c.want == 2) {
+        xs.push_back(static_cast<double>(c.g.num_nodes()));
+        ys.push_back(static_cast<double>(r.stats.rounds));
+      }
+      if (r.answer != c.want) {
+        bench::note("!! wrong answer (sampling failure) on this seed");
+      }
+    }
+  }
+  bench::note("fitted exponent on the dense (sampled-branch) family: " +
+              std::to_string(bench::fit_exponent(xs, ys)) +
+              "   [paper: 0.5 up to log factors]");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# bench_two_vs_four — Theorem 7 (Algorithm 3)\n");
+  sweep();
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Shared helpers for the experiment harnesses: aligned table printing and
+// log-log scaling fits. Each bench binary reproduces one row group of the
+// paper's Table 1 (see DESIGN.md section 4) by printing measured rounds next
+// to the paper's predicted bound.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dapsp::bench {
+
+// Fits rounds ~ c * x^alpha by least squares on (log x, log y); returns
+// alpha. Used to check measured growth against the paper's exponent.
+inline double fit_exponent(const std::vector<double>& x,
+                           const std::vector<double>& y) {
+  const std::size_t n = x.size();
+  if (n < 2) return 0.0;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double lx = std::log(x[i]);
+    const double ly = std::log(y[i] > 0 ? y[i] : 1.0);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  const double d = static_cast<double>(n) * sxx - sx * sx;
+  if (d == 0) return 0.0;
+  return (static_cast<double>(n) * sxy - sx * sy) / d;
+}
+
+struct Table {
+  explicit Table(std::string title) { std::printf("\n== %s ==\n", title.c_str()); }
+
+  void header(const std::vector<std::string>& cols) {
+    for (const auto& c : cols) std::printf("%14s", c.c_str());
+    std::printf("\n");
+    for (std::size_t i = 0; i < cols.size(); ++i) std::printf("%14s", "------------");
+    std::printf("\n");
+  }
+
+  void cell(const std::string& s) { std::printf("%14s", s.c_str()); }
+  void cell(std::uint64_t v) { std::printf("%14llu", static_cast<unsigned long long>(v)); }
+  void cell(double v) { std::printf("%14.2f", v); }
+  void end_row() { std::printf("\n"); }
+};
+
+inline void note(const std::string& s) { std::printf("   %s\n", s.c_str()); }
+
+}  // namespace dapsp::bench

@@ -1,0 +1,329 @@
+// dapsp_cli — command-line front end over the library: read a graph (edge
+// list file or stdin, or generate one), run any of the paper's protocols,
+// print results and CONGEST cost.
+//
+//   dapsp_cli gen path 16                      # emit an edge list
+//   dapsp_cli gen random 100 150 --seed 7
+//   dapsp_cli apsp -g net.txt                  # Algorithm 1
+//   dapsp_cli diameter -g net.txt --epsilon 0.5
+//   dapsp_cli girth -g net.txt
+//   dapsp_cli ssp -g net.txt --sources 0,5,9   # Algorithm 2
+//   dapsp_cli kdom -g net.txt --k 3
+//   dapsp_cli labels -g net.txt --k 2          # APASP distance labels
+//   dapsp_cli tree-check -g net.txt
+//   dapsp_cli two-vs-four -g net.txt
+//
+// With no -g, the graph is read from stdin.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/apsp_applications.h"
+#include "core/distance_labels.h"
+#include "core/ecc_approx.h"
+#include "core/girth.h"
+#include "core/girth_approx.h"
+#include "core/kdom.h"
+#include "core/pebble_apsp.h"
+#include "core/ssp.h"
+#include "core/tree_check.h"
+#include "core/two_vs_four.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+
+using namespace dapsp;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::optional<std::string> graph_file;
+  std::vector<std::string> positional;
+  double epsilon = 0.5;
+  std::uint32_t k = 1;
+  std::uint64_t seed = 1;
+  std::vector<NodeId> sources;
+  bool exact = false;
+};
+
+[[noreturn]] void usage() {
+  std::fprintf(
+      stderr,
+      "usage: dapsp_cli <command> [-g graph.txt] [options]\n"
+      "commands:\n"
+      "  gen <family> <args...>   path|cycle|grid|random|tree|clique-chain\n"
+      "  apsp                     Algorithm 1: distances + properties\n"
+      "  diameter|radius|ecc      exact (--exact) or (x,1+eps) [--epsilon]\n"
+      "  center|peripheral        exact or approximate sets\n"
+      "  girth                    exact (--exact) or (x,1+eps)\n"
+      "  ssp --sources a,b,c      Algorithm 2\n"
+      "  kdom --k <k>             k-dominating set\n"
+      "  labels --k <k>           APASP distance labels + spot queries\n"
+      "  tree-check               Claim 1\n"
+      "  two-vs-four              Algorithm 3 (promise: diameter 2 or 4)\n"
+      "options: --epsilon <e>  --k <k>  --seed <s>  --exact\n");
+  std::exit(2);
+}
+
+Args parse(int argc, char** argv) {
+  Args a;
+  if (argc < 2) usage();
+  a.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (arg == "-g" || arg == "--graph") {
+      a.graph_file = next();
+    } else if (arg == "--epsilon") {
+      a.epsilon = std::stod(next());
+    } else if (arg == "--k") {
+      a.k = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (arg == "--seed") {
+      a.seed = std::stoull(next());
+    } else if (arg == "--exact") {
+      a.exact = true;
+    } else if (arg == "--sources") {
+      std::stringstream ss(next());
+      std::string tok;
+      while (std::getline(ss, tok, ',')) {
+        a.sources.push_back(static_cast<NodeId>(std::stoul(tok)));
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage();
+    } else {
+      a.positional.push_back(arg);
+    }
+  }
+  return a;
+}
+
+Graph load_graph(const Args& a) {
+  if (a.graph_file) {
+    std::ifstream in(*a.graph_file);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", a.graph_file->c_str());
+      std::exit(1);
+    }
+    return io::read_edge_list(in);
+  }
+  return io::read_edge_list(std::cin);
+}
+
+void print_stats(const congest::RunStats& s) {
+  std::printf("-- CONGEST cost: rounds=%llu messages=%llu bits=%llu "
+              "B=%u max_edge_bits=%u\n",
+              static_cast<unsigned long long>(s.rounds),
+              static_cast<unsigned long long>(s.messages),
+              static_cast<unsigned long long>(s.total_bits), s.bandwidth_bits,
+              s.max_edge_bits);
+}
+
+int cmd_gen(const Args& a) {
+  if (a.positional.empty()) usage();
+  const std::string& fam = a.positional[0];
+  auto arg_at = [&](std::size_t i, NodeId fallback) -> NodeId {
+    return i < a.positional.size()
+               ? static_cast<NodeId>(std::stoul(a.positional[i]))
+               : fallback;
+  };
+  Graph g;
+  if (fam == "path") {
+    g = gen::path(arg_at(1, 16));
+  } else if (fam == "cycle") {
+    g = gen::cycle(arg_at(1, 16));
+  } else if (fam == "grid") {
+    g = gen::grid(arg_at(1, 4), arg_at(2, 4));
+  } else if (fam == "random") {
+    const NodeId n = arg_at(1, 32);
+    g = gen::random_connected(n, arg_at(2, n), a.seed);
+  } else if (fam == "tree") {
+    g = gen::balanced_tree(arg_at(1, 31), arg_at(2, 2));
+  } else if (fam == "clique-chain") {
+    g = gen::path_of_cliques(arg_at(1, 4), arg_at(2, 8));
+  } else {
+    usage();
+  }
+  io::write_edge_list(std::cout, g);
+  return 0;
+}
+
+int cmd_apsp(const Graph& g) {
+  const core::ApspResult r = core::run_pebble_apsp(g);
+  std::printf("diameter=%u radius=%u girth=", r.diameter, r.radius);
+  if (r.girth == seq::kInfGirth) {
+    std::printf("inf");
+  } else {
+    std::printf("%u", r.girth);
+  }
+  std::printf("\nper-node eccentricities:");
+  for (NodeId v = 0; v < g.num_nodes(); ++v) std::printf(" %u", r.ecc[v]);
+  std::printf("\n");
+  print_stats(r.stats);
+  return 0;
+}
+
+int cmd_scalar(const Args& a, const Graph& g) {
+  if (a.exact) {
+    const auto r = a.command == "diameter" ? core::distributed_diameter(g)
+                                           : core::distributed_radius(g);
+    std::printf("%s = %u (exact)\n", a.command.c_str(), r.value);
+    print_stats(r.stats);
+  } else {
+    const auto r = core::run_ecc_approx(g, {.epsilon = a.epsilon});
+    const std::uint32_t est = a.command == "diameter" ? r.diameter_estimate
+                                                      : r.radius_estimate;
+    std::printf("%s ~ %u (additive slack <= %u)\n", a.command.c_str(), est,
+                r.k);
+    print_stats(r.stats);
+  }
+  return 0;
+}
+
+int cmd_set(const Args& a, const Graph& g) {
+  std::vector<NodeId> members;
+  congest::RunStats stats;
+  if (a.exact) {
+    auto r = a.command == "center" ? core::distributed_center(g)
+                                   : core::distributed_peripheral(g);
+    members = std::move(r.members);
+    stats = r.stats;
+  } else {
+    const auto r = core::run_ecc_approx(g, {.epsilon = a.epsilon});
+    members = a.command == "center" ? r.center_approx : r.peripheral_approx;
+    stats = r.stats;
+  }
+  std::printf("%s (%s): ", a.command.c_str(), a.exact ? "exact" : "approx");
+  for (const NodeId v : members) std::printf("%u ", v);
+  std::printf("\n");
+  print_stats(stats);
+  return 0;
+}
+
+int cmd_ecc(const Args& a, const Graph& g) {
+  if (a.exact) {
+    const auto r = core::distributed_eccentricities(g);
+    std::printf("eccentricities:");
+    for (const std::uint32_t e : r.ecc) std::printf(" %u", e);
+    std::printf("\n");
+    print_stats(r.stats);
+  } else {
+    const auto r = core::run_ecc_approx(g, {.epsilon = a.epsilon});
+    std::printf("eccentricity estimates (slack <= %u):", r.k);
+    for (const std::uint32_t e : r.ecc_estimate) std::printf(" %u", e);
+    std::printf("\n");
+    print_stats(r.stats);
+  }
+  return 0;
+}
+
+int cmd_girth(const Args& a, const Graph& g) {
+  if (a.exact) {
+    const auto r = core::run_girth(g);
+    if (r.girth == seq::kInfGirth) {
+      std::printf("girth = inf (tree)\n");
+    } else {
+      std::printf("girth = %u\n", r.girth);
+    }
+    print_stats(r.stats);
+  } else {
+    const auto r = core::run_girth_approx(g, {.epsilon = a.epsilon});
+    if (r.was_tree) {
+      std::printf("girth = inf (tree)\n");
+    } else {
+      std::printf("girth ~ %u ((x,1+%.2f), %zu iterations)\n",
+                  r.girth_estimate, a.epsilon, r.iterations.size());
+    }
+    print_stats(r.stats);
+  }
+  return 0;
+}
+
+int cmd_ssp(const Args& a, const Graph& g) {
+  if (a.sources.empty()) usage();
+  const auto r = core::run_ssp(g, a.sources);
+  for (const NodeId s : r.sources) {
+    std::printf("distances to %u:", s);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      std::printf(" %u", r.delta[v][s]);
+    }
+    std::printf("\n");
+  }
+  print_stats(r.stats);
+  return 0;
+}
+
+int cmd_kdom(const Args& a, const Graph& g) {
+  const auto r = core::run_kdom(g, a.k);
+  std::printf("%u-dominating set (%zu nodes, bound %u): ", a.k, r.dom.size(),
+              g.num_nodes() / (a.k + 1) + 1);
+  for (const NodeId v : r.dom) std::printf("%u ", v);
+  std::printf("\n");
+  print_stats(r.stats);
+  return 0;
+}
+
+int cmd_labels(const Args& a, const Graph& g) {
+  const auto labels = core::build_distance_labels(g, a.k);
+  std::printf("distance labels: %zu entries/node, additive error <= %u\n",
+              labels.label_entries(), 2 * a.k);
+  const NodeId n = g.num_nodes();
+  std::printf("spot queries (u, v, estimate): ");
+  for (NodeId i = 0; i < std::min<NodeId>(n, 5); ++i) {
+    const NodeId u = i;
+    const NodeId v = n - 1 - i;
+    std::printf("(%u,%u)=%u ", u, v, labels.estimate(u, v));
+  }
+  std::printf("\n");
+  print_stats(labels.stats());
+  return 0;
+}
+
+int cmd_tree_check(const Graph& g) {
+  const auto r = core::run_tree_check(g);
+  std::printf("graph is %s (leader ecc = %u)\n",
+              r.is_tree ? "a tree" : "not a tree", r.leader_ecc);
+  print_stats(r.stats);
+  return 0;
+}
+
+int cmd_two_vs_four(const Args& a, const Graph& g) {
+  const auto r = core::run_two_vs_four(g, {.seed = a.seed});
+  std::printf("diameter decision: %u (branch: %s, |S| = %u)\n", r.answer,
+              r.used_low_degree_branch ? "low-degree" : "sampled",
+              r.num_sources);
+  print_stats(r.stats);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = parse(argc, argv);
+  try {
+    if (a.command == "gen") return cmd_gen(a);
+    const Graph g = load_graph(a);
+    std::fprintf(stderr, "loaded %s\n", g.summary().c_str());
+    if (a.command == "apsp") return cmd_apsp(g);
+    if (a.command == "diameter" || a.command == "radius") return cmd_scalar(a, g);
+    if (a.command == "center" || a.command == "peripheral") return cmd_set(a, g);
+    if (a.command == "ecc") return cmd_ecc(a, g);
+    if (a.command == "girth") return cmd_girth(a, g);
+    if (a.command == "ssp") return cmd_ssp(a, g);
+    if (a.command == "kdom") return cmd_kdom(a, g);
+    if (a.command == "labels") return cmd_labels(a, g);
+    if (a.command == "tree-check") return cmd_tree_check(g);
+    if (a.command == "two-vs-four") return cmd_two_vs_four(a, g);
+    usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

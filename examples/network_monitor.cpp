@@ -1,0 +1,66 @@
+// Network-monitoring scenario: a operator wants to watch the diameter (worst
+// case latency) and girth (shortest redundancy loop) of a live topology, but
+// cannot afford the full Theta(n) APSP protocol every time. The paper's
+// toolbox offers a cost/accuracy ladder:
+//
+//   (x,2)   diameter in Theta(D)  (Remark 1: one BFS)
+//   (x,1.5) diameter in O(n^{3/4} + D) (Corollary 1 selector)
+//   (x,1+e) diameter in O(n/D + D)  (Corollary 4)
+//   exact   diameter in Theta(n)  (Lemma 3)
+//
+// and similarly for the girth (Lemma 7 / Theorem 5). This example walks the
+// ladder on one topology and prints what each step buys.
+//
+//   $ ./network_monitor
+#include <cstdio>
+
+#include "core/apsp_applications.h"
+#include "core/combined.h"
+#include "core/ecc_approx.h"
+#include "core/girth.h"
+#include "core/girth_approx.h"
+#include "graph/generators.h"
+
+using namespace dapsp;
+
+int main() {
+  // A metro ring with chord shortcuts and access chains.
+  const Graph g = gen::cycle_with_chords(420, 24, 2026);
+  std::printf("monitored topology: %s\n\n", g.summary().c_str());
+
+  std::printf("%-34s %10s %10s %8s\n", "method", "estimate", "rounds",
+              "ratio<=");
+  const auto two = core::distributed_diameter_2approx(g);
+  std::printf("%-34s %10u %10llu %8s\n", "diameter (x,2), Remark 1", two.value,
+              static_cast<unsigned long long>(two.stats.rounds), "2.0");
+
+  const auto c1 = core::run_combined_diameter_approx(g);
+  std::printf("%-34s %10u %10llu %8s\n", "diameter (x,1.5), Corollary 1",
+              c1.estimate, static_cast<unsigned long long>(c1.stats.rounds),
+              "1.5");
+
+  const auto apx = core::run_ecc_approx(g, {.epsilon = 0.25});
+  std::printf("%-34s %10u %10llu %8s\n", "diameter (x,1.25), Corollary 4",
+              apx.diameter_estimate,
+              static_cast<unsigned long long>(apx.stats.rounds), "1.25");
+
+  const auto exact = core::distributed_diameter(g);
+  std::printf("%-34s %10u %10llu %8s\n", "diameter exact, Lemma 3",
+              exact.value, static_cast<unsigned long long>(exact.stats.rounds),
+              "1.0");
+
+  std::printf("\n");
+  const auto gapx = core::run_girth_approx(g, {.epsilon = 0.5});
+  std::printf("%-34s %10u %10llu %8s\n", "girth (x,1.5), Theorem 5",
+              gapx.girth_estimate,
+              static_cast<unsigned long long>(gapx.stats.rounds), "1.5");
+
+  const auto gex = core::run_girth(g);
+  std::printf("%-34s %10u %10llu %8s\n", "girth exact, Lemma 7", gex.girth,
+              static_cast<unsigned long long>(gex.stats.rounds), "1.0");
+
+  std::printf(
+      "\noperator takeaway: a (x,2) health check costs ~D rounds; tight "
+      "monitoring costs ~n — pick per alarm level.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+#include "baselines/distance_vector.h"
+
+#include <deque>
+#include <memory>
+
+#include "core/primitives/bfs_process.h"
+
+namespace dapsp::baselines {
+namespace {
+
+using core::kDvEntry;
+
+class DistanceVectorProcess final : public congest::Process {
+ public:
+  DistanceVectorProcess(NodeId id, NodeId n, std::uint32_t degree)
+      : id_(id),
+        dist_(n, kInfDist),
+        queues_(degree),
+        queued_(degree, std::vector<std::uint8_t>(n, 0)) {
+    dist_[id] = 0;
+    for (std::uint32_t i = 0; i < degree; ++i) enqueue(i, id);
+  }
+
+  void on_round(congest::RoundCtx& ctx) override {
+    for (const congest::Received& r : ctx.inbox()) {
+      if (r.msg.kind != kDvEntry) continue;
+      const std::uint32_t dest = r.msg.f[0];
+      const std::uint32_t via = r.msg.f[1] + 1;
+      if (via < dist_[dest]) {
+        dist_[dest] = via;
+        for (std::uint32_t i = 0; i < ctx.degree(); ++i) {
+          if (i != r.from_index) enqueue(i, dest);
+        }
+      }
+    }
+    // One update per edge per round (the serialization the paper demands).
+    for (std::uint32_t i = 0; i < ctx.degree(); ++i) {
+      if (queues_[i].empty()) continue;
+      const std::uint32_t dest = queues_[i].front();
+      queues_[i].pop_front();
+      queued_[i][dest] = 0;
+      ctx.send(i, congest::Message::make(kDvEntry, dest, dist_[dest]));
+    }
+    quiescent_ = true;
+    for (const auto& q : queues_) {
+      if (!q.empty()) quiescent_ = false;
+    }
+  }
+
+  bool done() const override { return quiescent_; }
+
+  const std::vector<std::uint32_t>& dist() const { return dist_; }
+
+ private:
+  void enqueue(std::uint32_t neighbor, std::uint32_t dest) {
+    if (queued_[neighbor][dest]) return;  // already pending; will send the
+    queued_[neighbor][dest] = 1;          // freshest value when popped
+    queues_[neighbor].push_back(dest);
+  }
+
+  NodeId id_;
+  std::vector<std::uint32_t> dist_;
+  std::vector<std::deque<std::uint32_t>> queues_;
+  std::vector<std::vector<std::uint8_t>> queued_;
+  bool quiescent_ = false;
+};
+
+}  // namespace
+
+DistanceVectorResult run_distance_vector(const Graph& g,
+                                         const congest::EngineConfig& cfg) {
+  const NodeId n = g.num_nodes();
+  congest::EngineConfig config = cfg;
+  if (config.max_rounds == 0) {
+    config.max_rounds = 16 * std::uint64_t{n} * (std::uint64_t{n} + 4) + 1024;
+  }
+  congest::Engine engine(g, config);
+  engine.init([&](NodeId v) {
+    return std::make_unique<DistanceVectorProcess>(v, n, g.degree(v));
+  });
+
+  DistanceVectorResult out;
+  out.stats = engine.run();
+  out.dist = DistanceMatrix(n);
+  for (NodeId v = 0; v < n; ++v) {
+    auto& p = engine.process_as<DistanceVectorProcess>(v);
+    for (NodeId u = 0; u < n; ++u) out.dist.set(v, u, p.dist()[u]);
+  }
+  return out;
+}
+
+}  // namespace dapsp::baselines

@@ -1,0 +1,24 @@
+// Baseline: distance-vector routing (RIP-style Bellman-Ford), serialized to
+// the CONGEST bandwidth (Section 3.1): each node keeps a distance vector and
+// per-neighbor queues of changed entries; one (destination, distance) update
+// crosses each edge per round. The paper's point: once messages are limited
+// to O(log n) bits, distance-vector needs superlinear time — the bench
+// measures exactly how many rounds convergence takes.
+#pragma once
+
+#include "congest/engine.h"
+#include "graph/graph.h"
+#include "seq/apsp.h"
+
+namespace dapsp::baselines {
+
+struct DistanceVectorResult {
+  DistanceMatrix dist;
+  congest::RunStats stats;
+};
+
+// Runs until global convergence (quiescence). Connected graphs only.
+DistanceVectorResult run_distance_vector(const Graph& g,
+                                         const congest::EngineConfig& cfg = {});
+
+}  // namespace dapsp::baselines

@@ -1,0 +1,107 @@
+#include "baselines/link_state.h"
+
+#include <deque>
+#include <memory>
+#include <unordered_set>
+
+#include "core/primitives/bfs_process.h"
+#include "seq/bfs.h"
+
+namespace dapsp::baselines {
+namespace {
+
+using core::kLinkEdge;
+
+class LinkStateProcess final : public congest::Process {
+ public:
+  LinkStateProcess(NodeId id, NodeId n, const Graph& g)
+      : id_(id), n_(n), queues_(g.degree(id)) {
+    // Seed the flood with our incident edges.
+    for (const NodeId u : g.neighbors(id)) {
+      const Edge e = id < u ? Edge{id, u} : Edge{u, id};
+      if (known_.insert(key(e)).second) {
+        for (std::uint32_t i = 0; i < queues_.size(); ++i) {
+          queues_[i].push_back(e);
+        }
+      }
+    }
+  }
+
+  void on_round(congest::RoundCtx& ctx) override {
+    for (const congest::Received& r : ctx.inbox()) {
+      if (r.msg.kind != kLinkEdge) continue;
+      const Edge e{r.msg.f[0], r.msg.f[1]};
+      if (!known_.insert(key(e)).second) continue;
+      for (std::uint32_t i = 0; i < ctx.degree(); ++i) {
+        if (i != r.from_index) queues_[i].push_back(e);
+      }
+    }
+    // One edge record per edge per round.
+    for (std::uint32_t i = 0; i < ctx.degree(); ++i) {
+      if (queues_[i].empty()) continue;
+      const Edge e = queues_[i].front();
+      queues_[i].pop_front();
+      ctx.send(i, congest::Message::make(kLinkEdge, e.u, e.v));
+    }
+    quiescent_ = true;
+    for (const auto& q : queues_) {
+      if (!q.empty()) quiescent_ = false;
+    }
+  }
+
+  bool done() const override { return quiescent_; }
+
+  std::size_t known_edges() const { return known_.size(); }
+
+  // Local topology view as a Graph (local computation is free in CONGEST).
+  Graph view() const {
+    std::vector<Edge> edges;
+    edges.reserve(known_.size());
+    for (const std::uint64_t k : known_) {
+      edges.push_back({static_cast<NodeId>(k / n_),
+                       static_cast<NodeId>(k % n_)});
+    }
+    return Graph(n_, edges);
+  }
+
+ private:
+  std::uint64_t key(const Edge& e) const {
+    return std::uint64_t{e.u} * n_ + e.v;
+  }
+
+  NodeId id_;
+  NodeId n_;
+  std::unordered_set<std::uint64_t> known_;
+  std::vector<std::deque<Edge>> queues_;
+  bool quiescent_ = false;
+};
+
+}  // namespace
+
+LinkStateResult run_link_state(const Graph& g,
+                               const congest::EngineConfig& cfg) {
+  const NodeId n = g.num_nodes();
+  congest::EngineConfig config = cfg;
+  if (config.max_rounds == 0) {
+    config.max_rounds = 16 * (g.num_edges() + 16) + 64 * n;
+  }
+  congest::Engine engine(g, config);
+  engine.init([&](NodeId v) {
+    return std::make_unique<LinkStateProcess>(v, n, g);
+  });
+
+  LinkStateResult out;
+  out.stats = engine.run();
+  out.all_views_complete = true;
+  for (NodeId v = 0; v < n; ++v) {
+    auto& p = engine.process_as<LinkStateProcess>(v);
+    if (p.known_edges() != g.num_edges()) out.all_views_complete = false;
+  }
+  // APSP is a free local computation once the topology is known; compute it
+  // from node 0's reconstructed view.
+  const Graph view = engine.process_as<LinkStateProcess>(0).view();
+  out.dist = seq::apsp(view);
+  return out;
+}
+
+}  // namespace dapsp::baselines

@@ -1,0 +1,26 @@
+// Baseline: link-state routing (OSPF-style), serialized to the CONGEST
+// bandwidth (Section 3.1): every node floods every edge record it learns,
+// one (u, v) record per edge per round, until everyone knows the whole
+// topology; APSP is then a free local computation. The paper's point: a
+// link-state message describing the topology is Theta(m log n) bits, so the
+// serialized flood needs Omega(m) rounds — superlinear (quadratic on dense
+// graphs) — and Theta(m^2) messages.
+#pragma once
+
+#include "congest/engine.h"
+#include "graph/graph.h"
+#include "seq/apsp.h"
+
+namespace dapsp::baselines {
+
+struct LinkStateResult {
+  DistanceMatrix dist;           // computed locally by node 0 after the flood
+  bool all_views_complete = false;  // every node learned every edge
+  congest::RunStats stats;
+};
+
+// Runs until the topology flood quiesces. Connected graphs only.
+LinkStateResult run_link_state(const Graph& g,
+                               const congest::EngineConfig& cfg = {});
+
+}  // namespace dapsp::baselines

@@ -1,0 +1,149 @@
+#include "baselines/naive_apsp.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "core/primitives/aggregation.h"
+#include "core/primitives/bfs_process.h"
+
+namespace dapsp::baselines {
+namespace {
+
+using core::Broadcast;
+using core::TreeMachine;
+using core::kApspFlood;
+
+constexpr std::uint32_t kTagSchedule = 70;  // broadcast: (slot_len, delta)
+
+class NaiveApspProcess final : public congest::Process {
+ public:
+  NaiveApspProcess(NodeId id, NodeId n)
+      : id_(id), n_(n), dist_row_(n, kInfDist), schedule_(kTagSchedule) {
+    dist_row_[id] = 0;
+  }
+
+  void on_round(congest::RoundCtx& ctx) override {
+    new_roots_.clear();
+    for (const congest::Received& r : ctx.inbox()) {
+      if (tree_.handle(ctx, r)) continue;
+      if (r.msg.kind == kApspFlood) {
+        handle_flood(r);
+      } else if (schedule_.handle(r)) {
+        adopt_schedule(ctx.round() - tree_.dist());
+      }
+    }
+
+    tree_.advance(ctx);
+    if (id_ == 0 && tree_.root_complete() && !schedule_sent_) {
+      schedule_sent_ = true;
+      const std::uint32_t slot = 2 * tree_.root_ecc() + 2;
+      const std::uint32_t delta = tree_.root_ecc() + 1;
+      schedule_.start(slot, delta);
+      slot_len_ = slot;
+      delta_ = delta;
+      adopt_schedule(ctx.round());
+    }
+    schedule_.advance(ctx, tree_);
+
+    if (scheduled_ && !flood_started_ &&
+        ctx.round() >= my_start_) {
+      flood_started_ = true;
+      for (std::uint32_t i = 0; i < ctx.degree(); ++i) {
+        ctx.send(i, congest::Message::make(kApspFlood, id_, 1));
+      }
+    }
+    flush_new_roots(ctx);
+
+    quiescent_ = tree_.finished(id_) && flood_started_ && schedule_.idle();
+  }
+
+  bool done() const override { return quiescent_; }
+
+  const std::vector<std::uint32_t>& dist_row() const { return dist_row_; }
+  std::uint32_t slot_len() const { return slot_len_; }
+  const TreeMachine& tree() const { return tree_; }
+
+ private:
+  void adopt_schedule(std::uint64_t broadcast_round) {
+    if (scheduled_) return;
+    scheduled_ = true;
+    if (slot_len_ == 0) {
+      slot_len_ = schedule_.value(0);
+      delta_ = schedule_.value(1);
+    }
+    const std::uint64_t t_start = broadcast_round + delta_;
+    my_start_ = t_start + std::uint64_t{id_} * slot_len_;
+  }
+
+  void handle_flood(const congest::Received& r) {
+    const std::uint32_t root = r.msg.f[0];
+    const std::uint32_t d = r.msg.f[1];
+    if (dist_row_[root] == kInfDist) {
+      dist_row_[root] = d;
+      new_roots_.push_back({root, {r.from_index}});
+    } else {
+      for (auto& [nr, senders] : new_roots_) {
+        if (nr == root) senders.push_back(r.from_index);
+      }
+    }
+  }
+
+  void flush_new_roots(congest::RoundCtx& ctx) {
+    const std::uint32_t deg = ctx.degree();
+    for (const auto& [root, senders] : new_roots_) {
+      for (std::uint32_t i = 0; i < deg; ++i) {
+        if (std::find(senders.begin(), senders.end(), i) != senders.end()) {
+          continue;
+        }
+        ctx.send(i,
+                 congest::Message::make(kApspFlood, root, dist_row_[root] + 1));
+      }
+    }
+    new_roots_.clear();
+  }
+
+  NodeId id_;
+  NodeId n_;
+  TreeMachine tree_;
+  std::vector<std::uint32_t> dist_row_;
+  Broadcast schedule_;
+  std::vector<std::pair<std::uint32_t, std::vector<std::uint32_t>>> new_roots_;
+  bool schedule_sent_ = false;
+  bool scheduled_ = false;
+  bool flood_started_ = false;
+  bool quiescent_ = false;
+  std::uint32_t slot_len_ = 0;
+  std::uint32_t delta_ = 0;
+  std::uint64_t my_start_ = 0;
+};
+
+}  // namespace
+
+NaiveApspResult run_naive_apsp(const Graph& g,
+                               const congest::EngineConfig& cfg) {
+  const NodeId n = g.num_nodes();
+  congest::EngineConfig config = cfg;
+  if (config.max_rounds == 0) {
+    // Theta(n * D) rounds by design; size the safety valve accordingly.
+    config.max_rounds = 8 * std::uint64_t{n} * (std::uint64_t{n} + 4) + 1024;
+  }
+  congest::Engine engine(g, config);
+  engine.init([&](NodeId v) {
+    return std::make_unique<NaiveApspProcess>(v, n);
+  });
+
+  NaiveApspResult out;
+  out.stats = engine.run();
+  out.dist = DistanceMatrix(n);
+  for (NodeId v = 0; v < n; ++v) {
+    auto& p = engine.process_as<NaiveApspProcess>(v);
+    for (NodeId u = 0; u < n; ++u) out.dist.set(v, u, p.dist_row()[u]);
+    if (v == 0) {
+      out.slot_len = p.slot_len();
+      out.d0 = 2 * p.tree().root_ecc();
+    }
+  }
+  return out;
+}
+
+}  // namespace dapsp::baselines

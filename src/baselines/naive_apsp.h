@@ -1,0 +1,25 @@
+// Baseline: the unmodified classical approach the paper improves on
+// (Section 3.1 / 4.1): one BFS per node, run one after another, each in its
+// own time slot of D0 + 2 rounds. Takes Theta(n * D) rounds — this is the
+// O(n * D) bound the paper attributes to the unmodified n-fold-BFS approach
+// and the comparison target for Algorithm 1's O(n).
+#pragma once
+
+#include "congest/engine.h"
+#include "graph/graph.h"
+#include "seq/apsp.h"
+
+namespace dapsp::baselines {
+
+struct NaiveApspResult {
+  DistanceMatrix dist;
+  std::uint32_t d0 = 0;        // slot sizing bound 2*ecc(leader)
+  std::uint32_t slot_len = 0;  // d0 + 2 rounds per BFS
+  congest::RunStats stats;
+};
+
+// Connected graphs only.
+NaiveApspResult run_naive_apsp(const Graph& g,
+                               const congest::EngineConfig& cfg = {});
+
+}  // namespace dapsp::baselines

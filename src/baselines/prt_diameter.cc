@@ -1,0 +1,338 @@
+#include "baselines/prt_diameter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "core/primitives/aggregation.h"
+#include "core/primitives/bfs_process.h"
+#include "util/rng.h"
+
+namespace dapsp::baselines {
+namespace {
+
+using core::ArgMinConvergecast;
+using core::Broadcast;
+using core::Convergecast;
+using core::TreeMachine;
+using core::kApspFlood;
+using core::kNoParent;
+
+constexpr std::uint8_t kRankCount = 71;   // child -> parent: (subtree samples)
+constexpr std::uint8_t kRankOffset = 72;  // parent -> child: (rank offset)
+constexpr std::uint32_t kTagSample = 73;  // broadcast: (d0)
+constexpr std::uint32_t kTagParams = 74;  // broadcast: (S_total, slot, delta)
+constexpr std::uint32_t kTagFarthest = 75;  // argmax convergecast (encoded)
+constexpr std::uint32_t kTagW = 76;       // broadcast: (w, delta2)
+constexpr std::uint32_t kTagMax = 77;     // convergecast: (max depth)
+constexpr std::uint32_t kTagAnswer = 78;  // broadcast: (estimate)
+
+class PrtProcess final : public congest::Process {
+ public:
+  PrtProcess(NodeId id, NodeId n, std::uint64_t seed)
+      : id_(id),
+        n_(n),
+        seed_(seed),
+        sample_bcast_(kTagSample),
+        params_bcast_(kTagParams),
+        far_up_(kTagFarthest),
+        w_bcast_(kTagW),
+        max_up_(kTagMax, Convergecast::Op::kMax),
+        answer_bcast_(kTagAnswer) {}
+
+  void on_round(congest::RoundCtx& ctx) override {
+    for (const congest::Received& r : ctx.inbox()) {
+      if (tree_.handle(ctx, r)) continue;
+      switch (r.msg.kind) {
+        case kApspFlood:
+          handle_flood(r);
+          continue;
+        case kRankCount:
+          if (child_counts_.size() <= r.from_index) {
+            child_counts_.resize(r.from_index + 1, 0);
+          }
+          child_counts_[r.from_index] = r.msg.f[0];
+          ++count_reports_;
+          continue;
+        case kRankOffset:
+          my_offset_ = r.msg.f[0];
+          have_offset_ = true;
+          continue;
+        default:
+          break;
+      }
+      if (far_up_.handle(r)) continue;
+      if (max_up_.handle(r)) continue;
+      if (sample_bcast_.handle(r)) {
+        do_sample(sample_bcast_.value(0));
+      } else if (params_bcast_.handle(r)) {
+        adopt_params(ctx.round() - tree_.dist());
+      } else if (w_bcast_.handle(r)) {
+        adopt_w(ctx.round() - tree_.dist());
+      } else if (answer_bcast_.handle(r)) {
+        estimate_ = answer_bcast_.value(0);
+      }
+    }
+
+    tree_.advance(ctx);
+
+    // Phase: sampling.
+    if (id_ == 0 && tree_.root_complete() && !sample_sent_) {
+      sample_sent_ = true;
+      d0_ = 2 * tree_.root_ecc();
+      sample_bcast_.start(d0_);
+      do_sample(d0_);
+    }
+    sample_bcast_.advance(ctx, tree_);
+
+    // Phase: DFS-rank the sampled nodes (counts up, offsets down).
+    advance_ranking(ctx);
+
+    // Root: schedule the sequential BFS slots. Fired a few rounds after the
+    // ranking total is known so the PARAMS broadcast travels strictly behind
+    // the offset wave and never shares an edge-round with it (bandwidth).
+    if (id_ == 0 && total_known_ && !params_sent_ && ++params_delay_ >= 3) {
+      params_sent_ = true;
+      s_total_ = subtree_count_;
+      slot_len_ = d0_ + 2;
+      params_bcast_.start(s_total_, slot_len_, 2 * tree_.root_ecc() / 2 + 2);
+      adopt_params(ctx.round());
+    }
+    params_bcast_.advance(ctx, tree_);
+
+    // My own BFS slot.
+    if (phase1_configured_ && sampled_ && have_offset_ && !flood_started_ &&
+        ctx.round() >= t_start_ + std::uint64_t{my_offset_} * slot_len_) {
+      flood_started_ = true;
+      start_flood(ctx);
+    }
+    // w's extra BFS.
+    if (w_known_ && id_ == w_ && !w_flood_started_ &&
+        ctx.round() >= t2_) {
+      w_flood_started_ = true;
+      start_flood(ctx);
+    }
+    flush_new_roots(ctx);
+
+    // Phase: find the node farthest from the sample.
+    if (phase1_configured_ &&
+        ctx.round() >= t_start_ + std::uint64_t{s_total_} * slot_len_ + d0_ + 2 &&
+        !far_armed_) {
+      far_armed_ = true;
+      // Arg-max via key = inf - distance-to-sample.
+      const std::uint32_t inf = congest::wire_infinity(n_);
+      const std::uint32_t d = std::min(min_dist_to_sample_, inf);
+      far_up_.arm(inf - d, id_);
+    }
+    if (far_armed_) far_up_.advance(ctx, tree_);
+    if (id_ == 0 && far_up_.complete() && !w_sent_) {
+      w_sent_ = true;
+      w_bcast_.start(far_up_.payload(), tree_.root_ecc() + 2);
+      adopt_w(ctx.round());
+    }
+    w_bcast_.advance(ctx, tree_);
+
+    // Phase: final max-depth aggregation after w's BFS.
+    if (w_known_ && ctx.round() >= t2_ + d0_ + 2 && !max_armed_) {
+      max_armed_ = true;
+      max_up_.arm(max_depth_);
+    }
+    if (max_armed_) max_up_.advance(ctx, tree_);
+    if (id_ == 0 && max_up_.complete() && !answer_sent_) {
+      answer_sent_ = true;
+      estimate_ = max_up_.value(0);
+      answer_bcast_.start(estimate_);
+    }
+    answer_bcast_.advance(ctx, tree_);
+
+    quiescent_ = tree_.finished(id_) && estimate_ != kInfDist &&
+                 answer_bcast_.idle();
+  }
+
+  bool done() const override { return quiescent_; }
+
+  std::uint32_t estimate() const { return estimate_; }
+  std::uint32_t s_total() const { return s_total_; }
+  NodeId w() const { return w_; }
+
+ private:
+  void do_sample(std::uint32_t d0) {
+    if (sample_decided_) return;
+    sample_decided_ = true;
+    d0_ = d0;
+    const double p = std::sqrt(std::log2(static_cast<double>(n_) + 1.0) /
+                               static_cast<double>(n_));
+    Rng rng(seed_ * 0x2545f4914f6cdd1dULL + id_);
+    sampled_ = rng.chance(p) || id_ == 0;  // the leader always participates
+    if (sampled_) min_dist_to_sample_ = 0;
+  }
+
+  void advance_ranking(congest::RoundCtx& ctx) {
+    if (!sample_decided_ || !tree_.finished(id_)) return;
+    if (child_counts_.size() < ctx.degree()) {
+      child_counts_.resize(ctx.degree(), 0);  // keyed by neighbor index
+    }
+    if (!count_sent_ && count_reports_ == tree_.children().size()) {
+      subtree_count_ = sampled_ ? 1 : 0;
+      for (const std::uint32_t c : child_counts_) subtree_count_ += c;
+      if (tree_.parent_index() == kNoParent) {
+        total_known_ = true;
+        my_offset_ = 0;
+        have_offset_ = true;
+      } else {
+        ctx.send(tree_.parent_index(),
+                 congest::Message::make(kRankCount, subtree_count_));
+      }
+      count_sent_ = true;
+    }
+    if (have_offset_ && !offsets_sent_ && count_sent_) {
+      offsets_sent_ = true;
+      std::uint32_t next = my_offset_ + (sampled_ ? 1 : 0);
+      for (const std::uint32_t kid : tree_.children()) {
+        ctx.send(kid, congest::Message::make(kRankOffset, next));
+        next += child_counts_[kid];
+      }
+    }
+  }
+
+  void adopt_params(std::uint64_t bcast_round) {
+    if (phase1_configured_) return;
+    phase1_configured_ = true;
+    if (id_ != 0) {
+      s_total_ = params_bcast_.value(0);
+      slot_len_ = params_bcast_.value(1);
+    }
+    const std::uint32_t delta =
+        id_ == 0 ? d0_ / 2 + 2 : params_bcast_.value(2);
+    t_start_ = bcast_round + delta;
+  }
+
+  void adopt_w(std::uint64_t bcast_round) {
+    if (w_known_) return;
+    w_known_ = true;
+    if (id_ != 0) {
+      w_ = w_bcast_.value(0);
+      t2_ = bcast_round + w_bcast_.value(1);
+    } else {
+      w_ = far_up_.payload();
+      t2_ = bcast_round + tree_.root_ecc() + 2;
+    }
+  }
+
+  void start_flood(congest::RoundCtx& ctx) {
+    for (std::uint32_t i = 0; i < ctx.degree(); ++i) {
+      ctx.send(i, congest::Message::make(kApspFlood, id_, 1));
+    }
+  }
+
+  // The BFS floods are strictly sequential (one per slot), so per-node state
+  // for the *current* flood suffices — no n-sized distance table needed.
+  void handle_flood(const congest::Received& r) {
+    const std::uint32_t root = r.msg.f[0];
+    const std::uint32_t d = r.msg.f[1];
+    if (root != cur_root_) {
+      // A new flood has begun (the previous one is over by slot design).
+      cur_root_ = root;
+      cur_dist_ = d;
+      cur_senders_.assign(1, r.from_index);
+      forward_pending_ = true;
+      max_depth_ = std::max(max_depth_, d);
+      if (!w_known_ || root != w_) {
+        min_dist_to_sample_ = std::min(min_dist_to_sample_, d);
+      }
+    } else if (forward_pending_) {
+      // Same-round co-parent: exclude it from the forward.
+      cur_senders_.push_back(r.from_index);
+    }
+    // Later duplicates of the current flood are ignored (already forwarded).
+  }
+
+  void flush_new_roots(congest::RoundCtx& ctx) {
+    if (!forward_pending_) return;
+    forward_pending_ = false;
+    const std::uint32_t deg = ctx.degree();
+    for (std::uint32_t i = 0; i < deg; ++i) {
+      if (std::find(cur_senders_.begin(), cur_senders_.end(), i) !=
+          cur_senders_.end()) {
+        continue;
+      }
+      ctx.send(i, congest::Message::make(kApspFlood, cur_root_, cur_dist_ + 1));
+    }
+  }
+
+  NodeId id_;
+  NodeId n_;
+  std::uint64_t seed_;
+  TreeMachine tree_;
+  Broadcast sample_bcast_;
+  Broadcast params_bcast_;
+  ArgMinConvergecast far_up_;
+  Broadcast w_bcast_;
+  Convergecast max_up_;
+  Broadcast answer_bcast_;
+
+  std::vector<std::uint32_t> child_counts_;
+  std::size_t count_reports_ = 0;
+  bool count_sent_ = false;
+  bool offsets_sent_ = false;
+  bool have_offset_ = false;
+  bool total_known_ = false;
+  std::uint32_t my_offset_ = 0;
+  std::uint32_t subtree_count_ = 0;
+  int params_delay_ = 0;
+
+  bool sample_decided_ = false;
+  bool sampled_ = false;
+  bool sample_sent_ = false;
+  bool params_sent_ = false;
+  bool phase1_configured_ = false;
+  bool flood_started_ = false;
+  bool far_armed_ = false;
+  bool w_sent_ = false;
+  bool w_known_ = false;
+  bool w_flood_started_ = false;
+  bool max_armed_ = false;
+  bool answer_sent_ = false;
+  bool quiescent_ = false;
+
+  std::uint32_t d0_ = 0;
+  std::uint32_t s_total_ = 0;
+  std::uint32_t slot_len_ = 0;
+  std::uint64_t t_start_ = 0;
+  std::uint64_t t2_ = 0;
+  NodeId w_ = 0;
+  std::uint32_t max_depth_ = 0;
+  std::uint32_t min_dist_to_sample_ = kInfDist;
+  std::uint32_t estimate_ = kInfDist;
+
+  std::uint32_t cur_root_ = kInfDist;
+  std::uint32_t cur_dist_ = 0;
+  std::vector<std::uint32_t> cur_senders_;
+  bool forward_pending_ = false;
+};
+
+}  // namespace
+
+PrtDiameterResult run_prt_diameter(const Graph& g,
+                                   const PrtDiameterOptions& options) {
+  const NodeId n = g.num_nodes();
+  congest::EngineConfig config = options.engine;
+  if (config.max_rounds == 0) {
+    // Theta(sqrt(n log n) * D) by design.
+    config.max_rounds = 64 * std::uint64_t{n} * 32 + 4096;
+  }
+  congest::Engine engine(g, config);
+  engine.init([&](NodeId v) {
+    return std::make_unique<PrtProcess>(v, n, options.seed);
+  });
+
+  PrtDiameterResult out;
+  out.stats = engine.run();
+  auto& root = engine.process_as<PrtProcess>(0);
+  out.estimate = root.estimate();
+  out.sample_size = root.s_total();
+  out.farthest = root.w();
+  return out;
+}
+
+}  // namespace dapsp::baselines

@@ -1,0 +1,175 @@
+#include "congest/engine.h"
+
+#include <algorithm>
+
+#include "util/bits.h"
+
+namespace dapsp::congest {
+
+void accumulate(RunStats& into, const RunStats& from) {
+  into.rounds += from.rounds;
+  into.messages += from.messages;
+  into.total_bits += from.total_bits;
+  into.max_edge_bits = std::max(into.max_edge_bits, from.max_edge_bits);
+  into.max_edge_messages =
+      std::max(into.max_edge_messages, from.max_edge_messages);
+  into.max_node_bits = std::max(into.max_node_bits, from.max_node_bits);
+  into.bandwidth_bits = std::max(into.bandwidth_bits, from.bandwidth_bits);
+}
+
+NodeId RoundCtx::n() const noexcept { return engine_.graph().num_nodes(); }
+std::uint64_t RoundCtx::round() const noexcept { return engine_.current_round(); }
+std::uint32_t RoundCtx::degree() const noexcept {
+  return engine_.graph().degree(id_);
+}
+NodeId RoundCtx::neighbor(std::uint32_t index) const {
+  return engine_.graph().neighbors(id_)[index];
+}
+std::span<const Received> RoundCtx::inbox() const noexcept {
+  return engine_.inboxes_[id_];
+}
+void RoundCtx::send(std::uint32_t index, const Message& m) {
+  engine_.queue_message(id_, index, m);
+}
+void RoundCtx::send_all(const Message& m) {
+  const std::uint32_t d = degree();
+  for (std::uint32_t i = 0; i < d; ++i) send(i, m);
+}
+
+Engine::Engine(const Graph& g, EngineConfig config)
+    : graph_(&g), config_(config) {
+  const NodeId n = g.num_nodes();
+  // All transported values (ids, distances, 2*ecc estimates, counts,
+  // sub-protocol tags) are < max(2n, 256); size the field width accordingly.
+  // This is Theta(log n) with an 8-bit floor so that protocol tag constants
+  // fit even on toy graphs.
+  value_bits_ = static_cast<std::uint32_t>(
+      bits_for(std::max<std::uint64_t>(2 * std::uint64_t{n}, 255)));
+  bandwidth_bits_ =
+      static_cast<std::uint32_t>(kTagBits) + config_.bandwidth_ids * value_bits_;
+  max_rounds_ =
+      config_.max_rounds != 0 ? config_.max_rounds : 64 * std::uint64_t{n} + 1024;
+
+  inboxes_.resize(n);
+  next_inboxes_.resize(n);
+  edge_offsets_.resize(n + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    edge_offsets_[v + 1] = edge_offsets_[v] + g.degree(v);
+  }
+  const std::size_t directed_edges = edge_offsets_[n];
+  edge_bits_.assign(directed_edges, 0);
+  edge_msgs_.assign(directed_edges, 0);
+  edge_stamp_.assign(directed_edges, ~std::uint64_t{0});
+  node_bits_.assign(n, 0);
+  node_stamp_.assign(n, ~std::uint64_t{0});
+}
+
+void Engine::init(
+    const std::function<std::unique_ptr<Process>(NodeId)>& factory) {
+  const NodeId n = graph_->num_nodes();
+  processes_.clear();
+  processes_.reserve(n);
+  for (NodeId v = 0; v < n; ++v) processes_.push_back(factory(v));
+  round_ = 0;
+  stats_ = RunStats{};
+  stats_.bandwidth_bits = bandwidth_bits_;
+  pending_messages_ = 0;
+  for (auto& box : inboxes_) box.clear();
+  for (auto& box : next_inboxes_) box.clear();
+}
+
+void Engine::queue_message(NodeId from, std::uint32_t neighbor_index,
+                           const Message& m) {
+  const auto nbrs = graph_->neighbors(from);
+  if (neighbor_index >= nbrs.size()) {
+    throw std::out_of_range("send: bad neighbor index");
+  }
+  const NodeId to = nbrs[neighbor_index];
+
+  // Payload honesty: every field must fit the declared field width. This is
+  // what makes the B = O(log n) accounting meaningful.
+  for (int i = 0; i < m.num_fields; ++i) {
+    if (std::uint64_t{m.f[static_cast<std::size_t>(i)]} >>
+        value_bits_) {
+      throw CongestionError("message field exceeds value width: " +
+                            m.debug_string());
+    }
+  }
+
+  const std::size_t edge = edge_offsets_[from] + neighbor_index;
+  if (edge_stamp_[edge] != round_) {
+    edge_stamp_[edge] = round_;
+    edge_bits_[edge] = 0;
+    edge_msgs_[edge] = 0;
+  }
+  const std::uint32_t cost = m.bit_cost(value_bits_);
+  edge_bits_[edge] += cost;
+  edge_msgs_[edge] += 1;
+  if (config_.enforce_bandwidth && edge_bits_[edge] > bandwidth_bits_) {
+    throw CongestionError(
+        "bandwidth exceeded on edge " + std::to_string(from) + "->" +
+        std::to_string(to) + " in round " + std::to_string(round_) + ": " +
+        std::to_string(edge_bits_[edge]) + " > B=" +
+        std::to_string(bandwidth_bits_) + " bits (last: " + m.debug_string() +
+        ")");
+  }
+  stats_.max_edge_bits = std::max(stats_.max_edge_bits, edge_bits_[edge]);
+  stats_.max_edge_messages = std::max(stats_.max_edge_messages, edge_msgs_[edge]);
+  if (node_stamp_[from] != round_) {
+    node_stamp_[from] = round_;
+    node_bits_[from] = 0;
+  }
+  node_bits_[from] += cost;
+  stats_.max_node_bits = std::max(stats_.max_node_bits, node_bits_[from]);
+  stats_.messages += 1;
+  stats_.total_bits += cost;
+  if (config_.record_activity) {
+    if (activity_.size() <= round_) activity_.resize(round_ + 1, 0);
+    ++activity_[round_];
+  }
+
+  // Index of `from` in `to`'s adjacency list.
+  const auto back = graph_->neighbor_index(to, from);
+  next_inboxes_[to].push_back(Received{*back, m});
+  ++pending_messages_;
+}
+
+void Engine::step() {
+  if (round_ >= max_rounds_) {
+    throw RoundLimitError("round limit exceeded (" +
+                          std::to_string(max_rounds_) +
+                          " rounds); protocol livelock?");
+  }
+  const NodeId n = graph_->num_nodes();
+  for (NodeId v = 0; v < n; ++v) {
+    RoundCtx ctx(*this, v);
+    processes_[v]->on_round(ctx);
+  }
+  // Deliver: what was queued this round becomes next round's inboxes.
+  for (NodeId v = 0; v < n; ++v) {
+    inboxes_[v].swap(next_inboxes_[v]);
+    next_inboxes_[v].clear();
+  }
+  pending_messages_ = 0;
+  for (NodeId v = 0; v < n; ++v) pending_messages_ += inboxes_[v].size();
+  ++round_;
+  stats_.rounds = round_;
+}
+
+bool Engine::quiescent() const {
+  if (pending_messages_ > 0) return false;
+  return std::all_of(processes_.begin(), processes_.end(),
+                     [](const auto& p) { return p->done(); });
+}
+
+RunStats Engine::run() {
+  while (!quiescent()) step();
+  return stats_;
+}
+
+RunStats Engine::run_rounds(std::uint64_t rounds) {
+  for (std::uint64_t i = 0; i < rounds; ++i) step();
+  return stats_;
+}
+
+}  // namespace dapsp::congest

@@ -1,0 +1,184 @@
+// The synchronous CONGEST round engine.
+//
+// Model (Section 2 of the paper): in each synchronous round, every node may
+// send up to B bits over each incident edge (different messages to different
+// neighbors are allowed), then receives everything its neighbors sent to it
+// in that round. Local computation is free. The engine:
+//
+//   * drives one Process per node, round by round, in a deterministic order;
+//   * delivers messages with exactly one round of latency;
+//   * charges every message its bit cost and enforces the per-(directed
+//     edge, round) budget B, throwing CongestionError on violation — the
+//     paper's congestion-freedom claims (Lemma 1) become checked runtime
+//     invariants;
+//   * terminates on global quiescence: every process reports done() and no
+//     messages are in flight;
+//   * reports RunStats (rounds, message count, total bits, worst per-edge
+//     load) — the paper's cost measures.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "congest/message.h"
+#include "graph/graph.h"
+
+namespace dapsp::congest {
+
+class Engine;
+
+// Per-round view handed to a Process. Valid only during on_round().
+class RoundCtx {
+ public:
+  NodeId id() const noexcept { return id_; }
+  NodeId n() const noexcept;
+  std::uint64_t round() const noexcept;
+  std::uint32_t degree() const noexcept;
+  NodeId neighbor(std::uint32_t index) const;
+
+  // Messages delivered this round (sent by neighbors last round), ordered by
+  // sender index, then by send order.
+  std::span<const Received> inbox() const noexcept;
+
+  // Queues a message to neighbor `index` for delivery next round. Multiple
+  // sends to the same neighbor in one round are allowed as long as their
+  // total bit cost fits the bandwidth B.
+  void send(std::uint32_t index, const Message& m);
+  // Convenience: send to every neighbor.
+  void send_all(const Message& m);
+
+ private:
+  friend class Engine;
+  RoundCtx(Engine& engine, NodeId id) : engine_(engine), id_(id) {}
+  Engine& engine_;
+  NodeId id_;
+};
+
+// A node's algorithm. One instance per node; the engine owns them.
+class Process {
+ public:
+  virtual ~Process() = default;
+
+  // Called once per round for every node (even with an empty inbox).
+  virtual void on_round(RoundCtx& ctx) = 0;
+
+  // Quiescence flag: true when this node has nothing scheduled — it will not
+  // send anything unless a future message wakes it. The engine stops when
+  // every process is done and no messages are in flight.
+  virtual bool done() const = 0;
+};
+
+struct EngineConfig {
+  // Per-edge per-round budget B = kTagBits + bandwidth_ids * value_bits,
+  // where value_bits = bits needed for values in [0, 2n). The default allows
+  // one (id, distance) payload plus one small control message per edge per
+  // round — a constant number of ids, as the paper assumes.
+  std::uint32_t bandwidth_ids = 4;
+  bool enforce_bandwidth = true;
+  // Safety valve: run() throws RoundLimitError beyond this many rounds.
+  std::uint64_t max_rounds = 0;  // 0 = default 64*n + 1024
+  // Record the number of messages sent in each round (round_activity()),
+  // e.g. to plot a protocol's phase structure.
+  bool record_activity = false;
+};
+
+struct RunStats {
+  std::uint64_t rounds = 0;       // rounds executed until quiescence
+  std::uint64_t messages = 0;     // total messages delivered
+  std::uint64_t total_bits = 0;   // total bits delivered
+  std::uint32_t max_edge_bits = 0;      // worst (directed edge, round) load
+  std::uint32_t max_edge_messages = 0;  // worst message count per edge-round
+  std::uint64_t max_node_bits = 0;      // worst per-(node, round) outgoing load
+  std::uint32_t bandwidth_bits = 0;     // the enforced budget B
+};
+
+// Accumulates statistics across the phases of a multi-run protocol:
+// rounds/messages/bits add, per-edge loads take the maximum.
+void accumulate(RunStats& into, const RunStats& from);
+
+class CongestionError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+class RoundLimitError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Engine {
+ public:
+  // The graph must outlive the engine.
+  Engine(const Graph& g, EngineConfig config = {});
+
+  // Installs processes: factory(v) creates node v's process.
+  void init(const std::function<std::unique_ptr<Process>(NodeId)>& factory);
+
+  const Graph& graph() const noexcept { return *graph_; }
+  std::uint32_t value_bits() const noexcept { return value_bits_; }
+  std::uint32_t bandwidth_bits() const noexcept { return bandwidth_bits_; }
+  std::uint64_t current_round() const noexcept { return round_; }
+
+  // Runs rounds until quiescence (all processes done, no messages pending).
+  // Throws RoundLimitError if the configured round limit is exceeded and
+  // CongestionError if a bandwidth violation occurs.
+  RunStats run();
+
+  // Runs exactly `rounds` additional rounds (for protocols with a known
+  // round bound), regardless of done() flags.
+  RunStats run_rounds(std::uint64_t rounds);
+
+  // Messages sent per round (only populated with config.record_activity).
+  const std::vector<std::uint64_t>& round_activity() const {
+    return activity_;
+  }
+
+  // Access to a node's process after the run (to harvest results).
+  Process& process(NodeId v) { return *processes_[v]; }
+  const Process& process(NodeId v) const { return *processes_[v]; }
+
+  // Typed harvest helper.
+  template <typename T>
+  T& process_as(NodeId v) {
+    return dynamic_cast<T&>(*processes_[v]);
+  }
+
+ private:
+  friend class RoundCtx;
+
+  void step();  // executes one round
+  void queue_message(NodeId from, std::uint32_t neighbor_index,
+                     const Message& m);
+  bool quiescent() const;
+
+  const Graph* graph_;
+  EngineConfig config_;
+  std::uint32_t value_bits_ = 0;
+  std::uint32_t bandwidth_bits_ = 0;
+  std::uint64_t max_rounds_ = 0;
+
+  std::vector<std::unique_ptr<Process>> processes_;
+
+  // inboxes_[v]: messages delivered to v this round.
+  // next_inboxes_[v]: messages queued during this round for next round.
+  std::vector<std::vector<Received>> inboxes_;
+  std::vector<std::vector<Received>> next_inboxes_;
+  std::uint64_t pending_messages_ = 0;  // messages in next_inboxes_
+
+  // Per directed edge: bits sent this round (lazy-reset via round stamps).
+  // Directed edge index = graph offsets[u] + neighbor_index.
+  std::vector<std::size_t> edge_offsets_;
+  std::vector<std::uint32_t> edge_bits_;
+  std::vector<std::uint32_t> edge_msgs_;
+  std::vector<std::uint64_t> edge_stamp_;
+  std::vector<std::uint64_t> node_bits_;
+  std::vector<std::uint64_t> node_stamp_;
+
+  std::uint64_t round_ = 0;
+  RunStats stats_;
+  std::vector<std::uint64_t> activity_;
+};
+
+}  // namespace dapsp::congest

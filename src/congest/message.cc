@@ -1,0 +1,18 @@
+#include "congest/message.h"
+
+#include <sstream>
+
+namespace dapsp::congest {
+
+std::string Message::debug_string() const {
+  std::ostringstream out;
+  out << "Message(kind=" << static_cast<int>(kind) << ", fields=[";
+  for (int i = 0; i < num_fields; ++i) {
+    if (i > 0) out << ", ";
+    out << f[static_cast<std::size_t>(i)];
+  }
+  out << "])";
+  return out.str();
+}
+
+}  // namespace dapsp::congest

@@ -1,0 +1,64 @@
+// Messages in the CONGEST model.
+//
+// A message is a small tagged record of up to four integer fields. Its cost
+// in bits is what the bandwidth accounting charges: a tag byte plus
+// `num_fields` values of `value_bits` bits each, where value_bits is derived
+// from n (everything a message carries — ids, distances, counts, diameter
+// estimates — is < 2n in this library). This realizes the paper's
+// B = O(log n): with the default budget a message carrying an (id, distance)
+// pair fits comfortably in one round's bandwidth.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace dapsp::congest {
+
+inline constexpr int kTagBits = 8;
+inline constexpr int kMaxFields = 4;
+
+struct Message {
+  std::uint8_t kind = 0;
+  std::uint8_t num_fields = 0;
+  std::array<std::uint32_t, kMaxFields> f{};
+
+  static Message make(std::uint8_t kind) { return Message{kind, 0, {}}; }
+  static Message make(std::uint8_t kind, std::uint32_t a) {
+    return Message{kind, 1, {a}};
+  }
+  static Message make(std::uint8_t kind, std::uint32_t a, std::uint32_t b) {
+    return Message{kind, 2, {a, b}};
+  }
+  static Message make(std::uint8_t kind, std::uint32_t a, std::uint32_t b,
+                      std::uint32_t c) {
+    return Message{kind, 3, {a, b, c}};
+  }
+  static Message make(std::uint8_t kind, std::uint32_t a, std::uint32_t b,
+                      std::uint32_t c, std::uint32_t d) {
+    return Message{kind, 4, {a, b, c, d}};
+  }
+
+  // Cost charged against the per-edge bandwidth.
+  std::uint32_t bit_cost(std::uint32_t value_bits) const {
+    return kTagBits + num_fields * value_bits;
+  }
+
+  std::string debug_string() const;
+};
+
+// A message together with the index (in the receiver's adjacency list) of
+// the neighbor it came from.
+struct Received {
+  std::uint32_t from_index = 0;
+  Message msg;
+};
+
+// Protocol-level "no value / infinity" sentinel: the largest value that fits
+// a message field (all real payloads — ids, distances, D0 = 2*ecc, counts —
+// are strictly smaller). Protocols use this instead of kInfDist on the wire.
+inline std::uint32_t wire_infinity(NodeId n) { return 2 * n - 1; }
+
+}  // namespace dapsp::congest

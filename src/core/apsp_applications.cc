@@ -1,0 +1,105 @@
+#include "core/apsp_applications.h"
+
+#include <memory>
+
+#include "core/primitives/aggregation.h"
+#include "core/primitives/bfs_process.h"
+
+namespace dapsp::core {
+namespace {
+
+ApspResult run_with(const Graph& g, const congest::EngineConfig& cfg) {
+  ApspOptions options;
+  options.engine = cfg;
+  options.aggregate = true;
+  return run_pebble_apsp(g, options);
+}
+
+}  // namespace
+
+EccRun distributed_eccentricities(const Graph& g,
+                                  const congest::EngineConfig& cfg) {
+  ApspResult r = run_with(g, cfg);
+  return EccRun{std::move(r.ecc), r.stats};
+}
+
+PropertyRun distributed_diameter(const Graph& g,
+                                 const congest::EngineConfig& cfg) {
+  ApspResult r = run_with(g, cfg);
+  return PropertyRun{r.diameter, r.stats};
+}
+
+PropertyRun distributed_radius(const Graph& g,
+                               const congest::EngineConfig& cfg) {
+  ApspResult r = run_with(g, cfg);
+  return PropertyRun{r.radius, r.stats};
+}
+
+SetRun distributed_center(const Graph& g, const congest::EngineConfig& cfg) {
+  ApspResult r = run_with(g, cfg);
+  SetRun out;
+  out.stats = r.stats;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (r.is_center[v]) out.members.push_back(v);
+  }
+  return out;
+}
+
+SetRun distributed_peripheral(const Graph& g,
+                              const congest::EngineConfig& cfg) {
+  ApspResult r = run_with(g, cfg);
+  SetRun out;
+  out.stats = r.stats;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (r.is_peripheral[v]) out.members.push_back(v);
+  }
+  return out;
+}
+
+namespace {
+
+// One leader BFS with echo, then a broadcast of 2*ecc(leader): Remark 1.
+class TwoApproxProcess final : public congest::Process {
+ public:
+  explicit TwoApproxProcess(NodeId id) : id_(id), result_(/*tag=*/30) {}
+
+  void on_round(congest::RoundCtx& ctx) override {
+    for (const congest::Received& r : ctx.inbox()) {
+      if (tree_.handle(ctx, r)) continue;
+      if (result_.handle(r)) estimate_ = result_.value(0);
+    }
+    tree_.advance(ctx);
+    if (id_ == 0 && tree_.root_complete() && !sent_) {
+      sent_ = true;
+      estimate_ = 2 * tree_.root_ecc();
+      result_.start(estimate_);
+    }
+    result_.advance(ctx, tree_);
+    quiescent_ = tree_.finished(id_) && estimate_ != kInfDist && result_.idle();
+  }
+
+  bool done() const override { return quiescent_; }
+  std::uint32_t estimate() const { return estimate_; }
+
+ private:
+  NodeId id_;
+  TreeMachine tree_;
+  Broadcast result_;
+  bool sent_ = false;
+  std::uint32_t estimate_ = kInfDist;
+  bool quiescent_ = false;
+};
+
+}  // namespace
+
+PropertyRun distributed_diameter_2approx(const Graph& g,
+                                         const congest::EngineConfig& cfg) {
+  congest::Engine engine(g, cfg);
+  engine.init([](NodeId v) { return std::make_unique<TwoApproxProcess>(v); });
+  PropertyRun out;
+  out.stats = engine.run();
+  out.value = engine.process_as<TwoApproxProcess>(0).estimate();
+  return out;
+}
+
+}  // namespace dapsp::core

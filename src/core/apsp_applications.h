@@ -1,0 +1,57 @@
+// Applications of the O(n) APSP algorithm (Section 4.2, Lemmas 2-7).
+//
+// These are thin named drivers over run_pebble_apsp: the paper derives each
+// property by running Algorithm 1 and aggregating over T1 in O(D) extra
+// rounds — exactly what the aggregation phase of the APSP process does. Each
+// driver returns the property together with the round statistics, so tests
+// and benches can assert both correctness and the O(n) complexity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/engine.h"
+#include "core/pebble_apsp.h"
+#include "graph/graph.h"
+
+namespace dapsp::core {
+
+struct PropertyRun {
+  std::uint32_t value = 0;  // the scalar property (diameter/radius/girth)
+  congest::RunStats stats;
+};
+
+struct SetRun {
+  std::vector<NodeId> members;  // nodes that decided they belong to the set
+  congest::RunStats stats;
+};
+
+struct EccRun {
+  std::vector<std::uint32_t> ecc;  // per node (Definition 6: each node knows
+                                   // its own eccentricity)
+  congest::RunStats stats;
+};
+
+// Lemma 2: all eccentricities in O(n).
+EccRun distributed_eccentricities(const Graph& g,
+                                  const congest::EngineConfig& cfg = {});
+// Lemma 3: diameter in O(n).
+PropertyRun distributed_diameter(const Graph& g,
+                                 const congest::EngineConfig& cfg = {});
+// Lemma 4: radius in O(n).
+PropertyRun distributed_radius(const Graph& g,
+                               const congest::EngineConfig& cfg = {});
+// Lemma 5: center in O(n).
+SetRun distributed_center(const Graph& g,
+                          const congest::EngineConfig& cfg = {});
+// Lemma 6: peripheral vertices in O(n).
+SetRun distributed_peripheral(const Graph& g,
+                              const congest::EngineConfig& cfg = {});
+
+// Remark 1: a (x,2)-approximation of the diameter (and of the radius and of
+// every eccentricity) in O(D): one BFS with echo from the leader; every node
+// learns 2*ecc(leader) >= D (Fact 1: ecc(leader) <= D <= 2 ecc(leader)).
+PropertyRun distributed_diameter_2approx(const Graph& g,
+                                         const congest::EngineConfig& cfg = {});
+
+}  // namespace dapsp::core

@@ -1,0 +1,80 @@
+#include "core/combined.h"
+
+#include <algorithm>
+
+#include "baselines/prt_diameter.h"
+#include "core/apsp_applications.h"
+#include "core/ecc_approx.h"
+#include "core/girth.h"
+#include "core/girth_approx.h"
+#include "util/bits.h"
+
+namespace dapsp::core {
+
+CombinedDiameterResult run_combined_diameter_approx(
+    const Graph& g, const CombinedDiameterOptions& options) {
+  const NodeId n = g.num_nodes();
+  CombinedDiameterResult out;
+
+  // O(D) probe: D0 = 2*ecc(leader) (Remark 1). Both arms' costs can then be
+  // predicted and the cheaper one chosen — the paper's min{.} selector.
+  const PropertyRun probe = distributed_diameter_2approx(g, options.engine);
+  out.stats = probe.stats;
+  out.d0 = probe.value;
+  const std::uint64_t d = std::max<std::uint64_t>(out.d0 / 2, 1);
+
+  const std::uint64_t cost_ours = std::uint64_t{n} / d + 8 * d;
+  const std::uint64_t cost_prt = d * isqrt(std::uint64_t{n});
+
+  if (cost_ours <= cost_prt) {
+    out.arm = DiameterArm::kOurs;
+    EccApproxOptions eo;
+    eo.engine = options.engine;
+    eo.epsilon = 0.5;
+    const EccApproxResult r = run_ecc_approx(g, eo);
+    congest::accumulate(out.stats, r.stats);
+    out.estimate = r.diameter_estimate;
+  } else {
+    out.arm = DiameterArm::kPrt;
+    baselines::PrtDiameterOptions po;
+    po.engine = options.engine;
+    po.seed = options.seed;
+    const baselines::PrtDiameterResult r = baselines::run_prt_diameter(g, po);
+    congest::accumulate(out.stats, r.stats);
+    // The arm's estimate is a max of true eccentricities: a lower bound on D
+    // with est >= D/2 always (Fact 1); scale so that D <= answer <= (3/2)D
+    // whenever est >= 2D/3 (whp).
+    out.estimate = (3 * r.estimate + 1) / 2;
+  }
+  return out;
+}
+
+CombinedGirthResult run_combined_girth_approx(
+    const Graph& g, const CombinedGirthOptions& options) {
+  CombinedGirthResult out;
+  GirthApproxOptions ao;
+  ao.engine = options.engine;
+  ao.epsilon = options.epsilon;
+  ao.round_budget = 3 * std::uint64_t{g.num_nodes()} + 256;
+  const GirthApproxResult approx = run_girth_approx(g, ao);
+  out.stats = approx.stats;
+  out.estimate = approx.was_tree ? seq::kInfGirth : approx.girth_estimate;
+  if (approx.was_tree || approx.exact) return out;
+
+  // Did the refinement finish within its budget? If it stopped early because
+  // of the budget, fall back to the exact O(n) algorithm (Lemma 7), keeping
+  // the total at O(n).
+  const auto& last = approx.iterations.back();
+  const bool converged =
+      static_cast<double>(last.k) <=
+      options.epsilon * static_cast<double>(approx.girth_estimate) / 4.0;
+  if (!converged) {
+    out.used_exact_fallback = true;
+    const GirthRun exact = run_girth(g, options.engine);
+    congest::accumulate(out.stats, exact.stats);
+    out.estimate = exact.girth;
+  }
+  return out;
+}
+
+}  // namespace dapsp::core

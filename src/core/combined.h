@@ -1,0 +1,58 @@
+// Corollaries 1 and 2: min-selectors combining this paper's approximation
+// algorithms with the (independent) Peleg-Roditty-Tal ICALP'12 ones.
+//
+// Corollary 1: a (x,3/2)-approximation of the diameter in
+// O(min{D sqrt(n), n/D + D}) = O(n^{3/4} + D) rounds: first learn
+// D0 = 2*ecc(leader) in O(D) (Remark 1), then pick the cheaper arm:
+//   * "ours":  Theorem 4 with eps = 1/2           — O(n/D + D) rounds,
+//   * "PRT":   sequential sampled BFS (baselines)  — O(D sqrt(n)) rounds,
+//     reported as ceil(3 * est / 2) so that D <= answer always holds
+//     (the arm's raw estimate is a lower bound on D).
+//
+// Corollary 2: a girth approximation in O(min{n/g + D log(D/g), n}) rounds:
+// Theorem 5's refinement with a Theta(n) round budget; if the budget is hit
+// the exact Lemma 7 algorithm finishes the job. (The paper's
+// O(n^{2/3} + D log(D/g)) variant additionally uses PRT's O(D + sqrt(g n))
+// girth algorithm, which belongs to [33]; see DESIGN.md.)
+#pragma once
+
+#include <cstdint>
+
+#include "congest/engine.h"
+#include "graph/graph.h"
+#include "seq/properties.h"
+
+namespace dapsp::core {
+
+enum class DiameterArm { kOurs, kPrt };
+
+struct CombinedDiameterResult {
+  std::uint32_t estimate = 0;  // D <= estimate <= (3/2) D (PRT arm: whp)
+  DiameterArm arm = DiameterArm::kOurs;
+  std::uint32_t d0 = 0;
+  congest::RunStats stats;  // including the O(D) probe
+};
+
+struct CombinedDiameterOptions {
+  congest::EngineConfig engine{};
+  std::uint64_t seed = 1;
+};
+
+CombinedDiameterResult run_combined_diameter_approx(
+    const Graph& g, const CombinedDiameterOptions& options = {});
+
+struct CombinedGirthResult {
+  std::uint32_t estimate = seq::kInfGirth;
+  bool used_exact_fallback = false;
+  congest::RunStats stats;
+};
+
+struct CombinedGirthOptions {
+  congest::EngineConfig engine{};
+  double epsilon = 0.5;
+};
+
+CombinedGirthResult run_combined_girth_approx(
+    const Graph& g, const CombinedGirthOptions& options = {});
+
+}  // namespace dapsp::core

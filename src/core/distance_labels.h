@@ -1,0 +1,56 @@
+// Distance labeling / All-Pairs Almost Shortest Paths (the Section 3.2
+// connection, built from the paper's own machinery).
+//
+// The paper relates S-SP to APASP_k (all distances overestimated by at most
+// an additive k) and to distance oracles. Composing its tools gives a
+// label-based APASP scheme:
+//
+//   1. build a k-dominating set DOM (|DOM| <= n/(k+1) + 1; Lemma 10),
+//   2. solve DOM-SP with Algorithm 2 (O(|DOM| + D) rounds; Theorem 3);
+//      afterwards each node v holds the label L(v) = { (s, d(v,s)) : s in
+//      DOM } of size |DOM|,
+//   3. any two labels answer queries locally:
+//        est(u, v) = min_{s in DOM} d(u,s) + d(s,v)
+//      with d(u,v) <= est(u,v) <= d(u,v) + 2k  (u's dominator is within k,
+//      and the triangle inequality gives the rest) — an APASP_{2k} oracle.
+//
+// Total construction: O(n/k + D + k) rounds, versus Theta(n) for exact APSP
+// — the trade the paper's Section 3.2 discusses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/engine.h"
+#include "graph/graph.h"
+
+namespace dapsp::core {
+
+class DistanceLabeling {
+ public:
+  // d(u,v) <= estimate(u,v) <= d(u,v) + 2k. Requires both labels complete
+  // (connected graph, construction finished).
+  std::uint32_t estimate(NodeId u, NodeId v) const;
+
+  std::uint32_t k() const { return k_; }
+  const std::vector<NodeId>& dominators() const { return dom_; }
+  // Words per node label (= |DOM| entries of (id, distance)).
+  std::size_t label_entries() const { return dom_.size(); }
+  const congest::RunStats& stats() const { return stats_; }
+
+ private:
+  friend DistanceLabeling build_distance_labels(const Graph&, std::uint32_t,
+                                                const congest::EngineConfig&);
+  std::uint32_t k_ = 0;
+  std::vector<NodeId> dom_;
+  // labels_[v][i] = d(v, dom_[i]).
+  std::vector<std::vector<std::uint32_t>> labels_;
+  congest::RunStats stats_;
+};
+
+// Builds the labeling with slack parameter k (k = 0 degenerates to exact
+// APSP via Algorithm 2 with S = V). Connected graphs only.
+DistanceLabeling build_distance_labels(const Graph& g, std::uint32_t k,
+                                       const congest::EngineConfig& cfg = {});
+
+}  // namespace dapsp::core

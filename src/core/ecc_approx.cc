@@ -1,0 +1,200 @@
+#include "core/ecc_approx.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "core/kdom.h"
+#include "core/primitives/aggregation.h"
+#include "core/primitives/bfs_process.h"
+#include "core/ssp.h"
+
+namespace dapsp::core {
+namespace {
+
+constexpr std::uint32_t kTagK = 40;       // broadcast: (k)
+constexpr std::uint32_t kTagPick = 41;    // broadcast: (residue, |DOM|, delta)
+constexpr std::uint32_t kTagSummary = 42; // convergecast: (max est, min est)
+constexpr std::uint32_t kTagResult = 43;  // broadcast: (diam est, rad est)
+
+class EccApproxProcess final : public congest::Process {
+ public:
+  EccApproxProcess(NodeId id, NodeId n, double epsilon)
+      : id_(id),
+        n_(n),
+        epsilon_(epsilon),
+        ssp_(id, n, /*in_s=*/false),
+        k_bcast_(kTagK),
+        pick_bcast_(kTagPick),
+        summary_up_(kTagSummary, Convergecast::Op::kMax, Convergecast::Op::kMin),
+        result_bcast_(kTagResult) {}
+
+  void on_round(congest::RoundCtx& ctx) override {
+    for (const congest::Received& r : ctx.inbox()) {
+      if (tree_.handle(ctx, r)) continue;
+      if (kdom_.started() && kdom_.handle(r)) continue;
+      if (ssp_member_decided_ && ssp_.handle(ctx, r)) continue;
+      if (k_bcast_.handle(r)) {
+        k_ = k_bcast_.value(0);
+        d0_ = k_bcast_.value(1);
+        kdom_.start(k_);
+      } else if (pick_bcast_.handle(r)) {
+        adopt_pick(ctx);
+      } else if (summary_up_.handle(r)) {
+      } else if (result_bcast_.handle(r)) {
+        adopt_result();
+      }
+    }
+
+    tree_.advance(ctx);
+
+    // Root: choose k once T1 is complete.
+    if (id_ == 0 && tree_.root_complete() && !k_sent_) {
+      k_sent_ = true;
+      d0_ = 2 * tree_.root_ecc();
+      k_ = static_cast<std::uint32_t>(
+          std::floor(epsilon_ * static_cast<double>(d0_) / 8.0));
+      k_bcast_.start(k_, d0_);
+      kdom_.start(k_);
+    }
+    k_bcast_.advance(ctx, tree_);
+    if (kdom_.started()) kdom_.advance(ctx, tree_);
+
+    // Root: pick the residue and schedule the DOM-SP loop.
+    if (id_ == 0 && !pick_sent_ && kdom_.started() &&
+        kdom_.root_counts_complete(tree_)) {
+      pick_sent_ = true;
+      const std::uint32_t residue = kdom_.root_best_residue();
+      const std::uint32_t dom_size = kdom_.root_dom_size();
+      const std::uint32_t delta = tree_.root_ecc() + 1;
+      pick_bcast_.start(residue, dom_size, delta);
+      adopt_pick(ctx);
+    }
+    pick_bcast_.advance(ctx, tree_);
+
+    if (ssp_member_decided_) {
+      ssp_.advance(ctx);
+      // Loop over: estimate and fold.
+      if (ssp_.finished(ctx.round()) && !armed_) {
+        armed_ = true;
+        ecc_estimate_ = ssp_.max_delta() + k_;
+        summary_up_.arm(ecc_estimate_, ecc_estimate_);
+      }
+    }
+    if (armed_) summary_up_.advance(ctx, tree_);
+    if (id_ == 0 && summary_up_.complete() && !result_sent_) {
+      result_sent_ = true;
+      result_bcast_.start(summary_up_.value(0), summary_up_.value(1));
+      adopt_result();
+    }
+    result_bcast_.advance(ctx, tree_);
+
+    quiescent_ = tree_.finished(id_) && have_result_ && result_bcast_.idle();
+  }
+
+  bool done() const override { return quiescent_; }
+
+  std::uint32_t ecc_estimate() const { return ecc_estimate_; }
+  std::uint32_t diameter_estimate() const { return result_[0]; }
+  std::uint32_t radius_estimate() const { return result_[1]; }
+  bool in_center_approx() const {
+    return ecc_estimate_ <= std::uint64_t{result_[1]} + k_;
+  }
+  bool in_peripheral_approx() const {
+    return std::uint64_t{ecc_estimate_} + k_ >= result_[0];
+  }
+  bool is_dominator() const { return is_dominator_; }
+  std::uint32_t k() const { return k_; }
+  std::uint32_t d0() const { return d0_; }
+  std::uint32_t dom_size() const { return dom_size_; }
+
+ private:
+  void adopt_pick(congest::RoundCtx& ctx) {
+    if (ssp_member_decided_) return;
+    const std::uint32_t residue = pick_bcast_.delivered()
+                                      ? pick_bcast_.value(0)
+                                      : kdom_.root_best_residue();
+    // (Root adopts directly; others from the broadcast payload.)
+    const std::uint32_t dom_size = pick_bcast_.delivered()
+                                       ? pick_bcast_.value(1)
+                                       : kdom_.root_dom_size();
+    const std::uint32_t delta = pick_bcast_.delivered()
+                                    ? pick_bcast_.value(2)
+                                    : 0;  // unused for root
+    is_dominator_ = KdomMachine::member(tree_, id_, k_, residue);
+    dom_size_ = dom_size;
+    // Synchronized loop start: the root sent PICK in round T_b; node v
+    // received it at T_b + dist(v).
+    const std::uint64_t t_start =
+        id_ == 0 ? ctx.round() + (tree_.root_ecc() + 1)
+                 : ctx.round() - tree_.dist() + delta;
+    ssp_ = SspMachine(id_, n_, is_dominator_);
+    ssp_.configure(t_start, SspMachine::schedule_length(dom_size, d0_));
+    ssp_member_decided_ = true;
+  }
+
+  void adopt_result() {
+    result_ = {result_bcast_.value(0), result_bcast_.value(1)};
+    have_result_ = true;
+  }
+
+  NodeId id_;
+  NodeId n_;
+  double epsilon_;
+  TreeMachine tree_;
+  KdomMachine kdom_;
+  SspMachine ssp_;
+  Broadcast k_bcast_;
+  Broadcast pick_bcast_;
+  Convergecast summary_up_;
+  Broadcast result_bcast_;
+
+  bool k_sent_ = false;
+  bool pick_sent_ = false;
+  bool result_sent_ = false;
+  bool ssp_member_decided_ = false;
+  bool armed_ = false;
+  bool have_result_ = false;
+  bool quiescent_ = false;
+  bool is_dominator_ = false;
+  std::uint32_t k_ = 0;
+  std::uint32_t d0_ = 0;
+  std::uint32_t dom_size_ = 0;
+  std::uint32_t ecc_estimate_ = 0;
+  std::array<std::uint32_t, 2> result_{};
+};
+
+}  // namespace
+
+EccApproxResult run_ecc_approx(const Graph& g,
+                               const EccApproxOptions& options) {
+  if (options.epsilon <= 0.0) {
+    throw std::invalid_argument("run_ecc_approx: epsilon must be > 0");
+  }
+  const NodeId n = g.num_nodes();
+  congest::Engine engine(g, options.engine);
+  engine.init([&](NodeId v) {
+    return std::make_unique<EccApproxProcess>(v, n, options.epsilon);
+  });
+
+  EccApproxResult out;
+  out.stats = engine.run();
+  out.ecc_estimate.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    auto& p = engine.process_as<EccApproxProcess>(v);
+    out.ecc_estimate[v] = p.ecc_estimate();
+    if (p.in_center_approx()) out.center_approx.push_back(v);
+    if (p.in_peripheral_approx()) out.peripheral_approx.push_back(v);
+    if (v == 0) {
+      out.k = p.k();
+      out.d0 = p.d0();
+      out.dom_size = p.dom_size();
+      out.diameter_estimate = p.diameter_estimate();
+      out.radius_estimate = p.radius_estimate();
+    }
+  }
+  return out;
+}
+
+}  // namespace dapsp::core

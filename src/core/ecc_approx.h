@@ -1,0 +1,52 @@
+// Theorem 4 and Corollary 4: (x,1+eps)-approximation of all eccentricities,
+// diameter, radius, center and peripheral vertices in O(n/D + D) rounds.
+//
+// Pipeline (Section 6.2):
+//   1. Build T1; the root learns ecc(leader) and sets D0 = 2*ecc(leader)
+//      (Fact 1: D <= D0 <= 2D).
+//   2. Pick the additive slack k = floor(eps * D0 / 8) and build a
+//      k-dominating set DOM (|DOM| <= n/(k+1) + 1) via KdomMachine.
+//      The divisor 8 calibrates all downstream guarantees to a clean
+//      (x,1+eps): k <= eps*D0/8 <= eps*D/4 <= (eps/2)*ecc(v) for every v,
+//      and the center/peripheral sets carry 2k <= eps*rad slack.
+//   3. Solve DOM-SP with Algorithm 2 in O(|DOM| + D) rounds.
+//   4. Every node v estimates ecc~(v) = max_{u in DOM} d(v,u) + k; since
+//      every node is within k of a dominator, ecc(v) <= ecc~(v) <= ecc(v)+k.
+//   5. Convergecast max/min of the estimates; broadcast the results; nodes
+//      decide membership locally (Definition 6):
+//        center~:     ecc~(v) <= radius~ + k   (contains the true center;
+//                     members have ecc(v) <= rad + 2k <= (1+eps) rad)
+//        peripheral~: ecc~(v) >= diameter~ - k (contains the true peripheral
+//                     set; members have ecc(v) >= D - 2k >= D/(1+eps)).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/engine.h"
+#include "graph/graph.h"
+
+namespace dapsp::core {
+
+struct EccApproxOptions {
+  congest::EngineConfig engine{};
+  double epsilon = 0.5;  // must be > 0
+};
+
+struct EccApproxResult {
+  std::uint32_t k = 0;   // additive slack actually used (may be 0: exact)
+  std::uint32_t d0 = 0;  // the 2*ecc(leader) diameter bound
+  std::uint32_t dom_size = 0;
+  std::vector<std::uint32_t> ecc_estimate;  // ecc(v) <= est <= ecc(v)+k
+  std::uint32_t diameter_estimate = 0;      // D <= est <= D+k
+  std::uint32_t radius_estimate = 0;        // rad <= est <= rad+k
+  std::vector<NodeId> center_approx;
+  std::vector<NodeId> peripheral_approx;
+  congest::RunStats stats;
+};
+
+// Connected graphs only.
+EccApproxResult run_ecc_approx(const Graph& g,
+                               const EccApproxOptions& options = {});
+
+}  // namespace dapsp::core

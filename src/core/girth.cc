@@ -1,0 +1,26 @@
+#include "core/girth.h"
+
+#include "core/pebble_apsp.h"
+#include "core/tree_check.h"
+
+namespace dapsp::core {
+
+GirthRun run_girth(const Graph& g, const congest::EngineConfig& cfg) {
+  GirthRun out;
+  const TreeCheckRun check = run_tree_check(g, cfg);
+  out.stats = check.stats;
+  if (check.is_tree) {
+    out.was_tree = true;
+    out.girth = seq::kInfGirth;
+    return out;
+  }
+  ApspOptions options;
+  options.engine = cfg;
+  options.aggregate = true;
+  const ApspResult apsp = run_pebble_apsp(g, options);
+  congest::accumulate(out.stats, apsp.stats);
+  out.girth = apsp.girth;
+  return out;
+}
+
+}  // namespace dapsp::core

@@ -1,0 +1,27 @@
+// Lemma 7: exact girth in O(n) rounds.
+//
+// First run Claim 1's tree check in O(D); trees have infinite girth and
+// need no further work. Otherwise run Algorithm 1; every duplicate flood
+// receipt is a cycle witness of length d(u,v) + d(w,v) + 1, the minimum of
+// which — aggregated over T1 — is exactly the girth (the BFS from any vertex
+// of a minimum cycle certifies it; no witness is ever shorter).
+#pragma once
+
+#include <cstdint>
+
+#include "congest/engine.h"
+#include "graph/graph.h"
+#include "seq/properties.h"
+
+namespace dapsp::core {
+
+struct GirthRun {
+  std::uint32_t girth = seq::kInfGirth;  // kInfGirth for trees
+  bool was_tree = false;                 // short-circuited by Claim 1
+  congest::RunStats stats;               // summed over both phases
+};
+
+// Connected graphs only.
+GirthRun run_girth(const Graph& g, const congest::EngineConfig& cfg = {});
+
+}  // namespace dapsp::core

@@ -1,0 +1,187 @@
+#include "core/girth_approx.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "core/kdom.h"
+#include "core/primitives/aggregation.h"
+#include "core/primitives/bfs_process.h"
+#include "core/ssp.h"
+#include "core/tree_check.h"
+
+namespace dapsp::core {
+namespace {
+
+constexpr std::uint32_t kTagK = 50;        // broadcast: (k, d0)
+constexpr std::uint32_t kTagPick = 51;     // broadcast: (residue, |DOM|, delta)
+constexpr std::uint32_t kTagWitness = 52;  // convergecast: (min witness)
+
+// One Theorem-5 iteration: k-dominating set + DOM-SP + witness convergecast.
+class DomGirthProcess final : public congest::Process {
+ public:
+  DomGirthProcess(NodeId id, NodeId n, std::uint32_t k)
+      : id_(id),
+        n_(n),
+        k_(k),
+        ssp_(id, n, false),
+        k_bcast_(kTagK),
+        pick_bcast_(kTagPick),
+        witness_up_(kTagWitness, Convergecast::Op::kMin) {}
+
+  void on_round(congest::RoundCtx& ctx) override {
+    for (const congest::Received& r : ctx.inbox()) {
+      if (tree_.handle(ctx, r)) continue;
+      if (kdom_.started() && kdom_.handle(r)) continue;
+      if (configured_ && ssp_.handle(ctx, r)) continue;
+      if (k_bcast_.handle(r)) {
+        k_ = k_bcast_.value(0);
+        d0_ = k_bcast_.value(1);
+        kdom_.start(k_);
+      } else if (pick_bcast_.handle(r)) {
+        adopt_pick(ctx);
+      } else {
+        witness_up_.handle(r);
+      }
+    }
+
+    tree_.advance(ctx);
+    if (id_ == 0 && tree_.root_complete() && !k_sent_) {
+      k_sent_ = true;
+      d0_ = 2 * tree_.root_ecc();
+      k_bcast_.start(k_, d0_);
+      kdom_.start(k_);
+    }
+    k_bcast_.advance(ctx, tree_);
+    if (kdom_.started()) kdom_.advance(ctx, tree_);
+
+    if (id_ == 0 && !pick_sent_ && kdom_.started() &&
+        kdom_.root_counts_complete(tree_)) {
+      pick_sent_ = true;
+      pick_bcast_.start(kdom_.root_best_residue(), kdom_.root_dom_size(),
+                        tree_.root_ecc() + 1);
+      adopt_pick(ctx);
+    }
+    pick_bcast_.advance(ctx, tree_);
+
+    if (configured_) {
+      ssp_.advance(ctx);
+      if (ssp_.finished(ctx.round()) && !armed_) {
+        armed_ = true;
+        witness_up_.arm(std::min(ssp_.girth_witness(),
+                                 congest::wire_infinity(n_)));
+      }
+    }
+    if (armed_) witness_up_.advance(ctx, tree_);
+
+    quiescent_ = tree_.finished(id_) && armed_ && witness_up_.idle();
+  }
+
+  bool done() const override { return quiescent_; }
+
+  std::uint32_t root_witness() const { return witness_up_.value(0); }
+  std::uint32_t dom_size() const { return dom_size_; }
+  std::uint32_t d0() const { return d0_; }
+
+ private:
+  void adopt_pick(congest::RoundCtx& ctx) {
+    if (configured_) return;
+    const bool from_bcast = pick_bcast_.delivered() && id_ != 0;
+    const std::uint32_t residue =
+        from_bcast ? pick_bcast_.value(0) : kdom_.root_best_residue();
+    dom_size_ = from_bcast ? pick_bcast_.value(1) : kdom_.root_dom_size();
+    const std::uint32_t delta =
+        from_bcast ? pick_bcast_.value(2) : tree_.root_ecc() + 1;
+    const bool member = KdomMachine::member(tree_, id_, k_, residue);
+    const std::uint64_t t_start =
+        id_ == 0 ? ctx.round() + delta : ctx.round() - tree_.dist() + delta;
+    ssp_ = SspMachine(id_, n_, member);
+    ssp_.configure(t_start, SspMachine::schedule_length(dom_size_, d0_));
+    configured_ = true;
+  }
+
+  NodeId id_;
+  NodeId n_;
+  std::uint32_t k_;
+  std::uint32_t d0_ = 0;
+  std::uint32_t dom_size_ = 0;
+  TreeMachine tree_;
+  KdomMachine kdom_;
+  SspMachine ssp_;
+  Broadcast k_bcast_;
+  Broadcast pick_bcast_;
+  Convergecast witness_up_;
+  bool k_sent_ = false;
+  bool pick_sent_ = false;
+  bool configured_ = false;
+  bool armed_ = false;
+  bool quiescent_ = false;
+};
+
+struct IterationOutcome {
+  std::uint32_t witness;
+  std::uint32_t dom_size;
+  congest::RunStats stats;
+};
+
+IterationOutcome run_iteration(const Graph& g, std::uint32_t k,
+                               const congest::EngineConfig& cfg) {
+  congest::Engine engine(g, cfg);
+  const NodeId n = g.num_nodes();
+  engine.init([&](NodeId v) {
+    return std::make_unique<DomGirthProcess>(v, n, k);
+  });
+  IterationOutcome out{};
+  out.stats = engine.run();
+  auto& root = engine.process_as<DomGirthProcess>(0);
+  out.witness = root.root_witness();
+  out.dom_size = root.dom_size();
+  return out;
+}
+
+}  // namespace
+
+GirthApproxResult run_girth_approx(const Graph& g,
+                                   const GirthApproxOptions& options) {
+  if (options.epsilon <= 0.0) {
+    throw std::invalid_argument("run_girth_approx: epsilon must be > 0");
+  }
+  const double eps = options.epsilon;
+  const double shrink = std::min(eps, 1.0);
+
+  GirthApproxResult out;
+  const TreeCheckRun check = run_tree_check(g, options.engine);
+  out.stats = check.stats;
+  if (check.is_tree) {
+    out.was_tree = true;
+    return out;
+  }
+
+  const std::uint32_t inf = congest::wire_infinity(g.num_nodes());
+  const std::uint32_t d0 = 2 * check.leader_ecc;
+  std::uint32_t g_hat = 2 * d0 + 1;  // girth <= 2D+1 <= 2*D0+1
+  for (int iter = 0; iter < 64; ++iter) {
+    const auto k = static_cast<std::uint32_t>(
+        std::floor(shrink * static_cast<double>(g_hat) / 8.0));
+    const IterationOutcome o = run_iteration(g, k, options.engine);
+    congest::accumulate(out.stats, o.stats);
+    const std::uint32_t witness = o.witness >= inf ? seq::kInfGirth : o.witness;
+    g_hat = std::min(g_hat, witness);
+    out.iterations.push_back({k, o.dom_size, witness, o.stats.rounds});
+    if (k == 0) {
+      out.exact = true;  // DOM = V: the witnesses are exact (Lemma 7)
+      break;
+    }
+    if (static_cast<double>(k) <= eps * static_cast<double>(g_hat) / 4.0) {
+      break;
+    }
+    if (options.round_budget != 0 && out.stats.rounds >= options.round_budget) {
+      break;
+    }
+  }
+  out.girth_estimate = g_hat;
+  return out;
+}
+
+}  // namespace dapsp::core

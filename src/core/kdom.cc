@@ -1,0 +1,164 @@
+#include "core/kdom.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "core/primitives/aggregation.h"
+
+namespace dapsp::core {
+
+bool KdomMachine::handle(const congest::Received& r) {
+  if (r.msg.kind != kKdomCount) return false;
+  const std::uint32_t residue = r.msg.f[0];
+  const std::uint32_t count = r.msg.f[1];
+  counts_[residue] += count;
+  if (child_progress_.size() <= r.from_index) {
+    child_progress_.resize(r.from_index + 1, 0);
+  }
+  ++child_progress_[r.from_index];
+  return true;
+}
+
+void KdomMachine::advance(congest::RoundCtx& ctx, const TreeMachine& tree) {
+  if (!started_ || tree.dist() == kInfDist) return;
+  if (!own_counted_) {
+    counts_[tree.dist() % (k_ + 1)] += 1;
+    own_counted_ = true;
+  }
+  // Only stream upward once the tree echo is done: before that the children
+  // set is not final and counts could be sent without some child's share.
+  if (!tree.finished(ctx.id())) return;
+  if (send_cursor_ > k_) return;
+  if (tree.parent_index() == kNoParent) return;  // root keeps the totals
+
+  // Residue send_cursor_ may go up once every child has streamed it.
+  for (const std::uint32_t child : tree.children()) {
+    const std::uint32_t got =
+        child < child_progress_.size() ? child_progress_[child] : 0;
+    if (got <= send_cursor_) return;  // child hasn't delivered this residue
+  }
+  ctx.send(tree.parent_index(),
+           congest::Message::make(kKdomCount, send_cursor_,
+                                  counts_[send_cursor_]));
+  ++send_cursor_;
+}
+
+bool KdomMachine::root_counts_complete(const TreeMachine& tree) const {
+  if (!started_ || !own_counted_) return false;
+  for (const std::uint32_t child : tree.children()) {
+    const std::uint32_t got =
+        child < child_progress_.size() ? child_progress_[child] : 0;
+    if (got <= k_) return false;
+  }
+  return true;
+}
+
+std::uint32_t KdomMachine::root_best_residue() const {
+  std::uint32_t best = 0;
+  for (std::uint32_t r = 1; r <= k_; ++r) {
+    if (counts_[r] < counts_[best]) best = r;
+  }
+  return best;
+}
+
+std::uint32_t KdomMachine::root_dom_size() const {
+  const std::uint32_t r = root_best_residue();
+  // The root (depth 0) is in residue class 0; if another class wins it joins
+  // additionally.
+  return counts_[r] + (r == 0 ? 0 : 1);
+}
+
+namespace {
+
+constexpr std::uint32_t kTagKdomK = 20;
+constexpr std::uint32_t kTagKdomPick = 21;
+
+class KdomProcess final : public congest::Process {
+ public:
+  KdomProcess(NodeId id, std::uint32_t k)
+      : id_(id), k_(k), k_bcast_(kTagKdomK), pick_bcast_(kTagKdomPick) {}
+
+  void on_round(congest::RoundCtx& ctx) override {
+    for (const congest::Received& r : ctx.inbox()) {
+      if (tree_.handle(ctx, r)) continue;
+      if (kdom_.handle(r)) continue;
+      if (k_bcast_.handle(r)) {
+        kdom_.start(k_bcast_.value(0));
+      } else if (pick_bcast_.handle(r)) {
+        residue_ = pick_bcast_.value(0);
+        dom_size_ = pick_bcast_.value(1);
+        picked_ = true;
+      }
+    }
+
+    tree_.advance(ctx);
+    if (id_ == 0 && tree_.root_complete() && !k_sent_) {
+      k_sent_ = true;
+      k_bcast_.start(k_);
+      kdom_.start(k_);
+    }
+    k_bcast_.advance(ctx, tree_);
+    if (kdom_.started()) kdom_.advance(ctx, tree_);
+
+    if (id_ == 0 && !pick_sent_ && kdom_.started() &&
+        kdom_.root_counts_complete(tree_)) {
+      pick_sent_ = true;
+      residue_ = kdom_.root_best_residue();
+      dom_size_ = kdom_.root_dom_size();
+      picked_ = true;
+      pick_bcast_.start(residue_, dom_size_);
+    }
+    pick_bcast_.advance(ctx, tree_);
+
+    quiescent_ = tree_.finished(id_) && picked_ && pick_bcast_.idle() &&
+                 k_bcast_.idle();
+  }
+
+  bool done() const override { return quiescent_; }
+
+  bool is_member() const {
+    return KdomMachine::member(tree_, id_, k_, residue_);
+  }
+  std::uint32_t residue() const { return residue_; }
+  std::uint32_t dom_size() const { return dom_size_; }
+  const TreeMachine& tree() const { return tree_; }
+
+ private:
+  NodeId id_;
+  std::uint32_t k_;
+  TreeMachine tree_;
+  KdomMachine kdom_;
+  Broadcast k_bcast_;
+  Broadcast pick_bcast_;
+  bool k_sent_ = false;
+  bool pick_sent_ = false;
+  bool picked_ = false;
+  std::uint32_t residue_ = 0;
+  std::uint32_t dom_size_ = 0;
+  bool quiescent_ = false;
+};
+
+}  // namespace
+
+KdomResult run_kdom(const Graph& g, std::uint32_t k,
+                    const congest::EngineConfig& engine_config) {
+  congest::Engine engine(g, engine_config);
+  engine.init(
+      [&](NodeId v) { return std::make_unique<KdomProcess>(v, k); });
+
+  KdomResult out;
+  out.k = k;
+  out.stats = engine.run();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    auto& p = engine.process_as<KdomProcess>(v);
+    if (p.is_member()) out.dom.push_back(v);
+    if (v == 0) {
+      out.residue = p.residue();
+      out.dom_size = p.dom_size();
+      out.leader_ecc = p.tree().root_ecc();
+    }
+  }
+  return out;
+}
+
+}  // namespace dapsp::core

@@ -1,0 +1,88 @@
+// Distributed k-dominating set construction (the paper's Lemma 10).
+//
+// The paper invokes Kutten & Peleg's Diam_DOM [27] (size <= max{1,
+// floor(n/(k+1))}, 6D + k rounds). We use an equivalent tree-level-residue
+// construction on the already-built leader tree T1 (documented deviation,
+// see DESIGN.md):
+//
+//   * every node knows its T1 depth d; the nodes with d = r (mod k+1), for
+//     the residue class r* of minimum cardinality, plus the root, form a
+//     k-dominating set: walking up the tree from any node reaches a chosen
+//     level (or the root) within k hops, and tree distance bounds graph
+//     distance;
+//   * by pigeonhole the smallest class has <= floor(n/(k+1)) nodes, so
+//     |DOM| <= floor(n/(k+1)) + 1;
+//   * counting the k+1 class sizes is a pipelined convergecast: each node
+//     streams its subtree's per-residue counts upward in residue order, one
+//     message per round — O(depth(T1) + k) rounds, exactly the additive
+//     O(D + k) shape Lemma 10 provides.
+//
+// KdomMachine is embeddable (used by Theorems 4 and 5); run_kdom() is a
+// standalone driver for tests and benches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/engine.h"
+#include "core/primitives/bfs_process.h"
+#include "graph/graph.h"
+
+namespace dapsp::core {
+
+// Pipelined residue-count convergecast + local membership rule. The owner
+// must have a finished TreeMachine, must tell every node k (start()), and
+// must broadcast the root's pick (the machine only computes it).
+class KdomMachine {
+ public:
+  // Call once k is known at this node (k >= 0; k+1 residue classes).
+  void start(std::uint32_t k) {
+    k_ = k;
+    counts_.assign(std::size_t{k} + 1, 0);
+    started_ = true;
+  }
+  bool started() const { return started_; }
+
+  // Consumes kKdomCount messages.
+  bool handle(const congest::Received& r);
+  // Streams counts upward; call once per round (after the tree is built).
+  void advance(congest::RoundCtx& ctx, const TreeMachine& tree);
+
+  // Root: all residue classes fully counted?
+  bool root_counts_complete(const TreeMachine& tree) const;
+  // Root: residue class of minimum cardinality (smallest r on ties).
+  std::uint32_t root_best_residue() const;
+  // Root: |DOM| for that residue (class size + root if not already counted).
+  std::uint32_t root_dom_size() const;
+
+  // Local membership, once the winning residue is known (from the owner's
+  // broadcast): depth = r* (mod k+1), or being the root.
+  static bool member(const TreeMachine& tree, NodeId self, std::uint32_t k,
+                     std::uint32_t residue) {
+    return self == 0 || tree.dist() % (k + 1) == residue;
+  }
+
+ private:
+  std::uint32_t k_ = 0;
+  bool started_ = false;
+  std::vector<std::uint32_t> counts_;     // per residue: subtree totals so far
+  std::vector<std::uint32_t> child_progress_;  // messages received per child
+  std::uint32_t send_cursor_ = 0;         // next residue to send upward
+  bool own_counted_ = false;
+};
+
+struct KdomResult {
+  std::uint32_t k = 0;
+  std::uint32_t residue = 0;
+  std::vector<NodeId> dom;       // members, ascending
+  std::uint32_t dom_size = 0;    // as computed at the root
+  std::uint32_t leader_ecc = 0;
+  congest::RunStats stats;
+};
+
+// Standalone driver: builds T1, broadcasts k, runs the count pipeline, picks
+// and broadcasts the winning residue. Connected graphs only.
+KdomResult run_kdom(const Graph& g, std::uint32_t k,
+                    const congest::EngineConfig& engine_config = {});
+
+}  // namespace dapsp::core

@@ -1,0 +1,93 @@
+#include "core/leader_election.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "core/primitives/bfs_process.h"
+
+namespace dapsp::core {
+namespace {
+
+constexpr std::uint8_t kMinLabel = 90;  // message: (best label seen)
+
+class ElectionProcess final : public congest::Process {
+ public:
+  ElectionProcess(std::uint32_t label, std::uint64_t run_rounds)
+      : best_(label), run_rounds_(run_rounds) {}
+
+  void on_round(congest::RoundCtx& ctx) override {
+    bool improved = ctx.round() == 0;  // announce own label in round 0
+    for (const congest::Received& r : ctx.inbox()) {
+      if (r.msg.kind != kMinLabel) continue;
+      if (r.msg.f[0] < best_) {
+        best_ = r.msg.f[0];
+        improved = true;
+      }
+    }
+    if (improved && ctx.round() < run_rounds_) {
+      ctx.send_all(congest::Message::make(kMinLabel, best_));
+    }
+    finished_ = ctx.round() >= run_rounds_;
+  }
+
+  bool done() const override { return finished_; }
+
+  std::uint32_t best() const { return best_; }
+
+ private:
+  std::uint32_t best_;
+  std::uint64_t run_rounds_;
+  bool finished_ = false;
+};
+
+}  // namespace
+
+LeaderElectionResult run_leader_election(const Graph& g,
+                                         std::span<const std::uint32_t> labels,
+                                         const LeaderElectionOptions& o) {
+  const NodeId n = g.num_nodes();
+  if (labels.size() != n) {
+    throw std::invalid_argument("leader election: one label per node");
+  }
+  const std::uint64_t rounds =
+      o.diameter_hint == 0 ? std::uint64_t{n} : std::uint64_t{o.diameter_hint} + 1;
+
+  congest::Engine engine(g, o.engine);
+  engine.init([&](NodeId v) {
+    return std::make_unique<ElectionProcess>(labels[v], rounds);
+  });
+
+  LeaderElectionResult out;
+  out.stats = engine.run();
+  out.believed_label.resize(n);
+  out.leader_label = 0xffffffffu;
+  for (NodeId v = 0; v < n; ++v) {
+    out.believed_label[v] = engine.process_as<ElectionProcess>(v).best();
+    if (labels[v] < out.leader_label) {
+      out.leader_label = labels[v];
+      out.leader = v;
+    }
+  }
+  return out;
+}
+
+Graph relabel_leader_first(const Graph& g, NodeId leader,
+                           std::vector<NodeId>* perm_out) {
+  const NodeId n = g.num_nodes();
+  std::vector<NodeId> perm(n);
+  for (NodeId v = 0; v < n; ++v) {
+    if (v == leader) {
+      perm[v] = 0;
+    } else {
+      perm[v] = v < leader ? v + 1 : v;
+    }
+  }
+  std::vector<Edge> edges;
+  edges.reserve(g.num_edges());
+  for (const Edge& e : g.edges()) edges.push_back({perm[e.u], perm[e.v]});
+  if (perm_out != nullptr) *perm_out = perm;
+  return Graph(n, edges);
+}
+
+}  // namespace dapsp::core

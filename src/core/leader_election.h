@@ -1,0 +1,57 @@
+// Leader election: discharging the paper's Section 2 assumption.
+//
+// The model section assumes "there is a node with ID 1" (our drivers use
+// node 0) and argues that "the time to find the node with smallest ID and
+// rename it to 1 would not affect the asymptotic runtime". This module makes
+// that reduction concrete:
+//
+//   * every node starts with an arbitrary distinct label (the IDs of the
+//     paper, up to 2^O(log n));
+//   * a min-label flood runs for n rounds (n is known, and D <= n-1, so the
+//     minimum has stabilized everywhere); each node then knows the leader's
+//     label and whether it is the leader — O(n) rounds, O(m * changes)
+//     messages, one label per message;
+//   * with a diameter hint (e.g. from a prior run), the flood can stop after
+//     hint+1 rounds instead: O(D) when the hint is tight.
+//
+// run_with_elected_leader() composes the reduction end to end: elect, then
+// re-run any node-0-rooted driver on the graph relabeled so that the winner
+// is node 0, exactly the renaming step the paper waves at.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "congest/engine.h"
+#include "graph/graph.h"
+
+namespace dapsp::core {
+
+struct LeaderElectionOptions {
+  congest::EngineConfig engine{};
+  // 0 = run the full n rounds; otherwise stop after hint+1 rounds (the
+  // caller asserts D <= hint).
+  std::uint32_t diameter_hint = 0;
+};
+
+struct LeaderElectionResult {
+  NodeId leader = 0;                 // topology id of the winner
+  std::uint32_t leader_label = 0;    // its label (the global minimum)
+  std::vector<std::uint32_t> believed_label;  // per node, for agreement tests
+  congest::RunStats stats;
+};
+
+// `labels[v]` is node v's initial identifier; must be distinct and fit the
+// engine's field width (< 2n is always safe; pass relabeled ids).
+LeaderElectionResult run_leader_election(const Graph& g,
+                                         std::span<const std::uint32_t> labels,
+                                         const LeaderElectionOptions& o = {});
+
+// Builds the permutation that renames `leader` to topology id 0 (shifting
+// everything else up in label order) and returns the relabeled graph;
+// perm_out[old] = new.
+Graph relabel_leader_first(const Graph& g, NodeId leader,
+                           std::vector<NodeId>* perm_out = nullptr);
+
+}  // namespace dapsp::core

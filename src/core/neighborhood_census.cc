@@ -1,0 +1,129 @@
+#include "core/neighborhood_census.h"
+
+#include <memory>
+#include <set>
+
+#include "core/primitives/aggregation.h"
+#include "core/primitives/bfs_process.h"
+
+namespace dapsp::core {
+namespace {
+
+constexpr std::uint8_t kAdjEntry = 95;    // (neighbor id)
+constexpr std::uint32_t kTagMaxDeg = 97;  // convergecast: (max degree)
+constexpr std::uint32_t kTagGo = 98;      // broadcast: (max degree)
+
+// Phase A: build T1 and agree on the maximum degree (so everyone knows when
+// the streaming phase ends). Phase B: stream adjacency lists pairwise.
+class CensusProcess final : public congest::Process {
+ public:
+  CensusProcess(NodeId id, NodeId n)
+      : id_(id),
+        n_(n),
+        maxdeg_up_(kTagMaxDeg, Convergecast::Op::kMax),
+        go_bcast_(kTagGo) {}
+
+  void on_round(congest::RoundCtx& ctx) override {
+    for (const congest::Received& r : ctx.inbox()) {
+      if (tree_.handle(ctx, r)) continue;
+      if (maxdeg_up_.handle(r)) continue;
+      if (r.msg.kind == kAdjEntry) {
+        two_hop_.insert(r.msg.f[0]);
+        continue;
+      }
+      if (go_bcast_.handle(r)) start_streaming(ctx);
+    }
+
+    tree_.advance(ctx);
+    if (tree_.finished(id_) && !armed_) {
+      if (finish_seen_) {  // one round after the echo (bandwidth)
+        armed_ = true;
+        maxdeg_up_.arm(ctx.degree());
+      }
+      finish_seen_ = true;
+    }
+    if (armed_) maxdeg_up_.advance(ctx, tree_);
+    if (id_ == 0 && maxdeg_up_.complete() && !go_sent_) {
+      go_sent_ = true;
+      go_bcast_.start(maxdeg_up_.value(0));
+      start_streaming(ctx);
+    }
+    go_bcast_.advance(ctx, tree_);
+
+    // Streaming: one adjacency entry per neighbor per round. Starts one
+    // round after GO so the entry never shares an edge-round with the GO
+    // broadcast itself (bandwidth).
+    if (streaming_ && ctx.round() >= stream_start_ && cursor_ < max_degree_) {
+      const auto deg = ctx.degree();
+      for (std::uint32_t i = 0; i < deg; ++i) {
+        if (cursor_ < deg) {
+          ctx.send(i, congest::Message::make(kAdjEntry,
+                                             ctx.neighbor(cursor_)));
+        }
+      }
+      ++cursor_;
+      if (cursor_ >= max_degree_) finished_streaming_ = true;
+    }
+
+    quiescent_ = tree_.finished(id_) && finished_streaming_;
+  }
+
+  bool done() const override { return quiescent_; }
+
+  std::uint32_t count(const Graph& g) const {
+    // |N2(v)|: self + direct neighbors + everything heard, deduplicated.
+    std::set<std::uint32_t> all(two_hop_.begin(), two_hop_.end());
+    all.insert(id_);
+    for (const NodeId u : g.neighbors(id_)) all.insert(u);
+    return static_cast<std::uint32_t>(all.size());
+  }
+  std::uint32_t max_degree() const { return max_degree_; }
+
+ private:
+  void start_streaming(congest::RoundCtx& ctx) {
+    if (streaming_) return;
+    streaming_ = true;
+    stream_start_ = ctx.round() + 1;
+    max_degree_ = id_ == 0 ? maxdeg_up_.value(0) : go_bcast_.value(0);
+    if (ctx.degree() == 0 || max_degree_ == 0) finished_streaming_ = true;
+  }
+
+  NodeId id_;
+  NodeId n_;
+  TreeMachine tree_;
+  Convergecast maxdeg_up_;
+  Broadcast go_bcast_;
+  std::set<std::uint32_t> two_hop_;
+  bool finish_seen_ = false;
+  bool armed_ = false;
+  bool go_sent_ = false;
+  bool streaming_ = false;
+  bool finished_streaming_ = false;
+  bool quiescent_ = false;
+  std::uint32_t max_degree_ = 0;
+  std::uint32_t cursor_ = 0;
+  std::uint64_t stream_start_ = 0;
+};
+
+}  // namespace
+
+CensusResult run_two_hop_census(const Graph& g,
+                                const congest::EngineConfig& cfg) {
+  const NodeId n = g.num_nodes();
+  congest::Engine engine(g, cfg);
+  engine.init([&](NodeId v) {
+    return std::make_unique<CensusProcess>(v, n);
+  });
+
+  CensusResult out;
+  out.stats = engine.run();
+  out.n2.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    auto& p = engine.process_as<CensusProcess>(v);
+    out.n2[v] = p.count(g);
+    if (v == 0) out.max_degree = p.max_degree();
+  }
+  return out;
+}
+
+}  // namespace dapsp::core

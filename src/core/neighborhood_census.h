@@ -1,0 +1,38 @@
+// Section 8: counting the nodes in the greater (2-hop) neighborhood.
+//
+// Computing all depth-2 BFS trees — equivalently, |N2(v)| for every v — is
+// the task Theorem 8 proves Omega(n/B)-hard in the worst case (the girth-3
+// two-party gadgets: deciding whether every |N2(v)| = n is exactly the
+// diameter 2-vs-3 question). The natural upper bound is degree-limited:
+// every node streams its adjacency list to each neighbor, one id per round;
+// after max-degree rounds every node can unite what it heard and count its
+// 2-neighborhood locally.
+//
+//   rounds    = Theta(max degree)   (+ O(D) to agree on termination)
+//   messages  = sum_v deg(v)^2
+//
+// On bounded-degree graphs this is fast; on the lower-bound gadgets the
+// degree is Theta(n) and the protocol takes Theta(n) rounds — the pair of
+// measurements bench_lower_bounds reports next to Theorem 8.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/engine.h"
+#include "graph/graph.h"
+
+namespace dapsp::core {
+
+struct CensusResult {
+  // n2[v] = |N2(v)| including v itself (Definition: Nk(v) contains v).
+  std::vector<std::uint32_t> n2;
+  std::uint32_t max_degree = 0;
+  congest::RunStats stats;
+};
+
+// Connected graphs only.
+CensusResult run_two_hop_census(const Graph& g,
+                                const congest::EngineConfig& cfg = {});
+
+}  // namespace dapsp::core

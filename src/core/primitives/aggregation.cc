@@ -1,0 +1,3 @@
+// Broadcast and Convergecast are header-only; this translation unit just
+// compile-checks the header in isolation.
+#include "core/primitives/aggregation.h"

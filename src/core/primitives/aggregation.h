@@ -1,0 +1,189 @@
+// Broadcast and convergecast over the leader tree T1.
+//
+// These realize the paper's "aggregate using T1 in additional time O(D)"
+// steps (Lemmas 3-7): a Broadcast carries a small payload from the root to
+// every node in depth(T1) rounds; a Convergecast folds per-node values up to
+// the root with max/min/sum per field.
+//
+// Both are tagged so several instances can coexist in one protocol.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "congest/engine.h"
+#include "core/primitives/bfs_process.h"
+
+namespace dapsp::core {
+
+// One-shot broadcast of (tag, a, b, c) down the tree.
+class Broadcast {
+ public:
+  explicit Broadcast(std::uint32_t tag) : tag_(tag) {}
+
+  // Root: inject the payload (call once).
+  void start(std::uint32_t a, std::uint32_t b = 0, std::uint32_t c = 0) {
+    payload_ = {a, b, c};
+    delivered_ = true;
+    forward_pending_ = true;
+  }
+
+  // Returns true if consumed (a kBcast with this tag).
+  bool handle(const congest::Received& r) {
+    if (r.msg.kind != kBcast || r.msg.f[0] != tag_) return false;
+    payload_ = {r.msg.f[1], r.msg.f[2], r.msg.f[3]};
+    delivered_ = true;
+    forward_pending_ = true;
+    return true;
+  }
+
+  // Forwards to children once delivered. Requires children to be final.
+  void advance(congest::RoundCtx& ctx, const TreeMachine& tree) {
+    if (!forward_pending_) return;
+    for (const std::uint32_t child : tree.children()) {
+      ctx.send(child, congest::Message::make(kBcast, tag_, payload_[0],
+                                             payload_[1], payload_[2]));
+    }
+    forward_pending_ = false;
+  }
+
+  bool delivered() const { return delivered_; }
+  bool idle() const { return !forward_pending_; }
+  std::uint32_t value(int i) const { return payload_[static_cast<std::size_t>(i)]; }
+
+ private:
+  std::uint32_t tag_;
+  std::array<std::uint32_t, 3> payload_{};
+  bool delivered_ = false;
+  bool forward_pending_ = false;
+};
+
+// One-shot convergecast of three values folded with per-field operations.
+class Convergecast {
+ public:
+  enum class Op : std::uint8_t { kMax, kMin, kSum };
+
+  Convergecast(std::uint32_t tag, Op op0, Op op1 = Op::kMax, Op op2 = Op::kMax)
+      : tag_(tag), ops_{op0, op1, op2} {
+    acc_ = {identity(op0), identity(op1), identity(op2)};
+  }
+
+  // Provide this node's contribution (call once, any round before or after
+  // children report).
+  void arm(std::uint32_t a, std::uint32_t b = 0, std::uint32_t c = 0) {
+    fold(0, a);
+    fold(1, b);
+    fold(2, c);
+    armed_ = true;
+  }
+
+  bool handle(const congest::Received& r) {
+    if (r.msg.kind != kAggUp || r.msg.f[0] != tag_) return false;
+    fold(0, r.msg.f[1]);
+    fold(1, r.msg.f[2]);
+    fold(2, r.msg.f[3]);
+    ++reports_;
+    return true;
+  }
+
+  // Sends up once armed and all children reported. At the root, flips
+  // complete() instead.
+  void advance(congest::RoundCtx& ctx, const TreeMachine& tree) {
+    if (sent_ || complete_ || !armed_) return;
+    if (reports_ < tree.children().size()) return;
+    if (tree.parent_index() == kNoParent) {
+      complete_ = true;
+    } else {
+      ctx.send(tree.parent_index(),
+               congest::Message::make(kAggUp, tag_, acc_[0], acc_[1], acc_[2]));
+      sent_ = true;
+    }
+  }
+
+  bool complete() const { return complete_; }  // root only
+  bool idle() const { return sent_ || complete_ || !armed_; }
+  std::uint32_t value(int i) const { return acc_[static_cast<std::size_t>(i)]; }
+
+  static std::uint32_t identity(Op op) {
+    switch (op) {
+      case Op::kMax: return 0;
+      case Op::kMin: return 0xffffffffu;
+      case Op::kSum: return 0;
+    }
+    return 0;
+  }
+
+ private:
+  void fold(int i, std::uint32_t v) {
+    auto& slot = acc_[static_cast<std::size_t>(i)];
+    switch (ops_[static_cast<std::size_t>(i)]) {
+      case Op::kMax: slot = std::max(slot, v); break;
+      case Op::kMin: slot = std::min(slot, v); break;
+      case Op::kSum: slot += v; break;
+    }
+  }
+
+  std::uint32_t tag_;
+  std::array<Op, 3> ops_;
+  std::array<std::uint32_t, 3> acc_{};
+  std::size_t reports_ = 0;
+  bool armed_ = false;
+  bool sent_ = false;
+  bool complete_ = false;
+};
+
+// Convergecast of a (key, payload) pair keeping the entry with the smallest
+// key (ties: the one folded first wins; with distinct ids as keys this is
+// deterministic). Used e.g. to elect the lowest-id low-degree node in
+// Algorithm 3 together with its degree.
+class ArgMinConvergecast {
+ public:
+  explicit ArgMinConvergecast(std::uint32_t tag) : tag_(tag) {}
+
+  void arm(std::uint32_t key, std::uint32_t payload) {
+    fold(key, payload);
+    armed_ = true;
+  }
+
+  bool handle(const congest::Received& r) {
+    if (r.msg.kind != kAggUp || r.msg.f[0] != tag_) return false;
+    fold(r.msg.f[1], r.msg.f[2]);
+    ++reports_;
+    return true;
+  }
+
+  void advance(congest::RoundCtx& ctx, const TreeMachine& tree) {
+    if (sent_ || complete_ || !armed_) return;
+    if (reports_ < tree.children().size()) return;
+    if (tree.parent_index() == kNoParent) {
+      complete_ = true;
+    } else {
+      ctx.send(tree.parent_index(),
+               congest::Message::make(kAggUp, tag_, key_, payload_));
+      sent_ = true;
+    }
+  }
+
+  bool complete() const { return complete_; }
+  bool idle() const { return sent_ || complete_ || !armed_; }
+  std::uint32_t key() const { return key_; }
+  std::uint32_t payload() const { return payload_; }
+
+ private:
+  void fold(std::uint32_t key, std::uint32_t payload) {
+    if (key < key_) {
+      key_ = key;
+      payload_ = payload;
+    }
+  }
+
+  std::uint32_t tag_;
+  std::uint32_t key_ = 0xffffffffu;
+  std::uint32_t payload_ = 0;
+  std::size_t reports_ = 0;
+  bool armed_ = false;
+  bool sent_ = false;
+  bool complete_ = false;
+};
+
+}  // namespace dapsp::core

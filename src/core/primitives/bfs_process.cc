@@ -1,0 +1,86 @@
+#include "core/primitives/bfs_process.h"
+
+#include <algorithm>
+
+#include "graph/graph.h"
+
+namespace dapsp::core {
+
+bool TreeMachine::handle(congest::RoundCtx& ctx, const congest::Received& r) {
+  switch (r.msg.kind) {
+    case kFlood: {
+      ++receipts_;
+      if (dist_ == kInfDist) {
+        dist_ = r.msg.f[0];
+        parent_idx_ = r.from_index;  // inbox is ordered: lowest index first
+        flood_senders_.push_back(r.from_index);
+      } else if (!flooded_) {
+        // Another flood in the adoption round (a second potential parent).
+        flood_senders_.push_back(r.from_index);
+      }
+      return true;
+    }
+    case kAck:
+      children_.push_back(r.from_index);
+      return true;
+    case kEcho:
+      ++echoes_received_;
+      agg_depth_ = std::max(agg_depth_, r.msg.f[0]);
+      agg_marked_ += r.msg.f[1];
+      agg_flags_ |= r.msg.f[2];
+      return true;
+    default:
+      (void)ctx;
+      return false;
+  }
+}
+
+void TreeMachine::advance(congest::RoundCtx& ctx) {
+  // Root bootstraps itself in round 0.
+  if (ctx.round() == 0 && ctx.id() == 0) {
+    dist_ = 0;
+    parent_idx_ = kNoParent;
+  }
+  if (dist_ == kInfDist) return;
+
+  if (!flooded_) {
+    // Forward the flood to every neighbor except the same-round senders
+    // (Claim 1's rule), and acknowledge the parent.
+    const std::uint32_t deg = ctx.degree();
+    for (std::uint32_t i = 0; i < deg; ++i) {
+      if (std::find(flood_senders_.begin(), flood_senders_.end(), i) !=
+          flood_senders_.end()) {
+        continue;
+      }
+      ctx.send(i, congest::Message::make(kFlood, dist_ + 1));
+    }
+    if (parent_idx_ != kNoParent) {
+      ctx.send(parent_idx_, congest::Message::make(kAck));
+    }
+    flooded_ = true;
+  }
+
+  if (!children_final_ && ctx.round() >= std::uint64_t{dist_} + 2) {
+    children_final_ = true;
+  }
+  maybe_send_echo(ctx);
+}
+
+void TreeMachine::maybe_send_echo(congest::RoundCtx& ctx) {
+  if (echo_sent_ || root_complete_ || !children_final_) return;
+  if (echoes_received_ < children_.size()) return;
+
+  agg_depth_ = std::max(agg_depth_, dist_);
+  agg_marked_ += marked_ ? 1u : 0u;
+  if (receipts_ >= 2) agg_flags_ |= kEchoCycleFlag;
+
+  if (parent_idx_ == kNoParent) {
+    root_complete_ = true;
+  } else {
+    ctx.send(parent_idx_, congest::Message::make(kEcho, agg_depth_,
+                                                 agg_marked_, agg_flags_));
+    echo_sent_ = true;
+  }
+}
+
+}  // namespace dapsp::core

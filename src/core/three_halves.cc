@@ -1,0 +1,289 @@
+#include "core/three_halves.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "core/primitives/aggregation.h"
+#include "core/primitives/bfs_process.h"
+#include "core/ssp.h"
+#include "util/rng.h"
+
+namespace dapsp::core {
+namespace {
+
+constexpr std::uint32_t kTagGo1 = 100;     // broadcast: (d0, s)
+constexpr std::uint32_t kTagArgmax = 101;  // argmax: (inf - r_s, id)
+constexpr std::uint32_t kTagDomCnt = 102;  // convergecast: (|DOM|)
+constexpr std::uint32_t kTagGo2 = 103;     // broadcast: (w, r_w, |DOM|)
+constexpr std::uint8_t kWFlood = 104;      // w's BFS: (dist)
+constexpr std::uint32_t kTagBallCnt = 105; // convergecast: (|S2|)
+constexpr std::uint32_t kTagGo3 = 106;     // broadcast: (|S2|)
+constexpr std::uint32_t kTagMax = 107;     // convergecast: (max delta)
+constexpr std::uint32_t kTagAnswer = 108;  // broadcast: (estimate)
+
+class ThreeHalvesProcess final : public congest::Process {
+ public:
+  ThreeHalvesProcess(NodeId id, NodeId n, std::uint32_t s, std::uint64_t seed)
+      : id_(id),
+        n_(n),
+        s_(s),
+        seed_(seed),
+        detect_(id, n, /*in_s=*/true),
+        ssp2_(id, n, /*in_s=*/false),
+        go1_(kTagGo1),
+        argmax_(kTagArgmax),
+        dom_cnt_(kTagDomCnt, Convergecast::Op::kSum),
+        go2_(kTagGo2),
+        ball_cnt_(kTagBallCnt, Convergecast::Op::kSum),
+        go3_(kTagGo3),
+        max_up_(kTagMax, Convergecast::Op::kMax),
+        answer_(kTagAnswer) {}
+
+  void on_round(congest::RoundCtx& ctx) override {
+    const std::uint32_t inf = congest::wire_infinity(n_);
+
+    for (const congest::Received& r : ctx.inbox()) {
+      if (tree_.handle(ctx, r)) continue;
+      if (detect_configured_ && !detect_harvested_ && detect_.handle(ctx, r)) {
+        continue;
+      }
+      if (ssp2_configured_ && ssp2_.handle(ctx, r)) continue;
+      if (r.msg.kind == kWFlood) {
+        handle_w_flood(r);
+        continue;
+      }
+      if (argmax_.handle(r)) continue;
+      if (dom_cnt_.handle(r)) continue;
+      if (ball_cnt_.handle(r)) continue;
+      if (max_up_.handle(r)) continue;
+      if (go1_.handle(r)) {
+        adopt_go1(ctx);
+      } else if (go2_.handle(r)) {
+        adopt_go2(ctx);
+      } else if (go3_.handle(r)) {
+        adopt_go3(ctx);
+      } else if (answer_.handle(r)) {
+        estimate_ = answer_.value(0);
+      }
+    }
+
+    tree_.advance(ctx);
+
+    // Phase 1: root announces d0; everyone starts truncated detection.
+    if (id_ == 0 && tree_.root_complete() && !go1_sent_) {
+      go1_sent_ = true;
+      d0_ = 2 * tree_.root_ecc();
+      go1_.start(d0_, s_);
+      adopt_go1(ctx);
+    }
+    go1_.advance(ctx, tree_);
+    if (detect_configured_ && !detect_harvested_) detect_.advance(ctx);
+
+    // Phase 2: harvest the partial ball radius; argmax + DOM count upward.
+    if (detect_configured_ && !detect_harvested_ &&
+        detect_.finished(ctx.round())) {
+      detect_harvested_ = true;
+      const auto nearest = detect_.nearest_sources();
+      r_s_ = nearest.empty() ? 0 : nearest.back().first;
+      argmax_.arm(inf - r_s_, id_);
+    }
+    if (detect_harvested_) {
+      argmax_.advance(ctx, tree_);
+      if (!dom_armed_) {
+        dom_armed_ = true;  // stagger one round behind the argmax wave
+      } else if (!dom_cnt_armed_) {
+        dom_cnt_armed_ = true;
+        dom_cnt_.arm(in_dom_ ? 1 : 0);
+      }
+      if (dom_cnt_armed_) dom_cnt_.advance(ctx, tree_);
+    }
+
+    // Phase 3: root announces w; w floods its BFS.
+    if (id_ == 0 && argmax_.complete() && dom_cnt_.complete() && !go2_sent_) {
+      go2_sent_ = true;
+      go2_.start(argmax_.payload(), inf - argmax_.key(), dom_cnt_.value(0));
+      adopt_go2(ctx);
+    }
+    go2_.advance(ctx, tree_);
+    if (go2_adopted_ && id_ == w_ && !w_flood_started_ &&
+        ctx.round() >= t_wflood_) {
+      w_flood_started_ = true;
+      dist_w_ = 0;
+      ctx.send_all(congest::Message::make(kWFlood, 1));
+    }
+    if (w_forward_pending_) {
+      ctx.send_all(congest::Message::make(kWFlood, dist_w_ + 1));
+      w_forward_pending_ = false;
+    }
+
+    // Phase 4: once w's flood has quiesced, count |S2| and announce it.
+    if (go2_adopted_ && ctx.round() >= t_wflood_ + d0_ + 2 && !ball_armed_) {
+      ball_armed_ = true;
+      in_s2_ = id_ == w_ || (dist_w_ != kInfDist && dist_w_ <= r_w_) || in_dom_;
+      ball_cnt_.arm(in_s2_ ? 1 : 0);
+    }
+    if (ball_armed_) ball_cnt_.advance(ctx, tree_);
+    if (id_ == 0 && ball_cnt_.complete() && !go3_sent_) {
+      go3_sent_ = true;
+      go3_.start(ball_cnt_.value(0));
+      adopt_go3(ctx);
+    }
+    go3_.advance(ctx, tree_);
+
+    // Phase 5: S2-SP; then fold the maximum distance up (= max ecc over S2).
+    if (ssp2_configured_) {
+      ssp2_.advance(ctx);
+      if (ssp2_.finished(ctx.round()) && !max_armed_) {
+        max_armed_ = true;
+        max_up_.arm(std::min(ssp2_.max_delta(), inf));
+      }
+    }
+    if (max_armed_) max_up_.advance(ctx, tree_);
+    if (id_ == 0 && max_up_.complete() && !answer_sent_) {
+      answer_sent_ = true;
+      estimate_ = max_up_.value(0);
+      answer_.start(estimate_);
+    }
+    answer_.advance(ctx, tree_);
+
+    quiescent_ = tree_.finished(id_) && estimate_ != kInfDist && answer_.idle();
+  }
+
+  bool done() const override { return quiescent_; }
+
+  std::uint32_t estimate() const { return estimate_; }
+  NodeId w() const { return w_; }
+  std::uint32_t r_w() const { return r_w_; }
+  std::uint32_t s2() const { return s2_count_; }
+
+ private:
+  void adopt_go1(congest::RoundCtx& ctx) {
+    if (detect_configured_) return;
+    detect_configured_ = true;
+    if (id_ != 0) {
+      d0_ = go1_.value(0);
+      s_ = go1_.value(1);
+    }
+    // Hitting-set sample: whp every partial ball of s nodes is hit.
+    const double p =
+        std::min(1.0, 2.0 * std::log(static_cast<double>(n_) + 1.0) /
+                          static_cast<double>(s_));
+    Rng rng(seed_ * 0x9e3779b97f4a7c15ULL + id_ + 1);
+    in_dom_ = rng.chance(p);
+
+    const std::uint32_t delta = d0_ / 2 + 2;
+    const std::uint64_t t_start =
+        id_ == 0 ? ctx.round() + delta : ctx.round() - tree_.dist() + delta;
+    detect_.set_cap(s_);
+    detect_.configure(t_start, SspMachine::schedule_length(
+                                   std::min<std::uint64_t>(s_, n_), d0_));
+  }
+
+  void adopt_go2(congest::RoundCtx& ctx) {
+    if (go2_adopted_) return;
+    go2_adopted_ = true;
+    const std::uint32_t inf = congest::wire_infinity(n_);
+    if (id_ == 0) {
+      w_ = argmax_.payload();
+      r_w_ = inf - argmax_.key();
+    } else {
+      w_ = go2_.value(0);
+      r_w_ = go2_.value(1);
+    }
+    const std::uint32_t delta = d0_ / 2 + 2;
+    t_wflood_ =
+        id_ == 0 ? ctx.round() + delta : ctx.round() - tree_.dist() + delta;
+  }
+
+  void handle_w_flood(const congest::Received& r) {
+    if (dist_w_ != kInfDist) return;  // already reached
+    dist_w_ = r.msg.f[0];
+    w_forward_pending_ = true;
+  }
+
+  void adopt_go3(congest::RoundCtx& ctx) {
+    if (ssp2_configured_) return;
+    ssp2_configured_ = true;
+    s2_count_ = id_ == 0 ? ball_cnt_.value(0) : go3_.value(0);
+    const std::uint32_t delta = d0_ / 2 + 2;
+    const std::uint64_t t_start =
+        id_ == 0 ? ctx.round() + delta : ctx.round() - tree_.dist() + delta;
+    ssp2_ = SspMachine(id_, n_, in_s2_);
+    ssp2_.configure(t_start, SspMachine::schedule_length(s2_count_, d0_));
+  }
+
+  NodeId id_;
+  NodeId n_;
+  std::uint32_t s_;
+  std::uint64_t seed_;
+  TreeMachine tree_;
+  SspMachine detect_;
+  SspMachine ssp2_;
+  Broadcast go1_;
+  ArgMinConvergecast argmax_;
+  Convergecast dom_cnt_;
+  Broadcast go2_;
+  Convergecast ball_cnt_;
+  Broadcast go3_;
+  Convergecast max_up_;
+  Broadcast answer_;
+
+  bool go1_sent_ = false;
+  bool detect_configured_ = false;
+  bool detect_harvested_ = false;
+  bool dom_armed_ = false;
+  bool dom_cnt_armed_ = false;
+  bool go2_sent_ = false;
+  bool go2_adopted_ = false;
+  bool w_flood_started_ = false;
+  bool w_forward_pending_ = false;
+  bool ball_armed_ = false;
+  bool go3_sent_ = false;
+  bool ssp2_configured_ = false;
+  bool max_armed_ = false;
+  bool answer_sent_ = false;
+  bool quiescent_ = false;
+  bool in_dom_ = false;
+  bool in_s2_ = false;
+
+  std::uint32_t d0_ = 0;
+  std::uint32_t r_s_ = 0;
+  NodeId w_ = 0;
+  std::uint32_t r_w_ = 0;
+  std::uint64_t t_wflood_ = 0;
+  std::uint32_t dist_w_ = kInfDist;
+  std::uint32_t s2_count_ = 0;
+  std::uint32_t estimate_ = kInfDist;
+};
+
+}  // namespace
+
+ThreeHalvesRun run_three_halves_diameter(const Graph& g,
+                                         const ThreeHalvesOptions& o) {
+  const NodeId n = g.num_nodes();
+  if (n < 2) throw std::invalid_argument("three_halves: n >= 2");
+  std::uint32_t s = o.s;
+  if (s == 0) {
+    s = static_cast<std::uint32_t>(std::ceil(std::sqrt(
+        static_cast<double>(n) * std::log2(static_cast<double>(n) + 1.0))));
+  }
+
+  congest::Engine engine(g, o.engine);
+  engine.init([&](NodeId v) {
+    return std::make_unique<ThreeHalvesProcess>(v, n, s, o.seed);
+  });
+
+  ThreeHalvesRun out;
+  out.stats = engine.run();
+  auto& root = engine.process_as<ThreeHalvesProcess>(0);
+  out.estimate = root.estimate();
+  out.answer = (3 * out.estimate + 1) / 2;
+  out.deepest = root.w();
+  out.ball_radius = root.r_w();
+  out.num_sources = root.s2();
+  return out;
+}
+
+}  // namespace dapsp::core

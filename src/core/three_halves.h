@@ -1,0 +1,56 @@
+// A distributed Aingworth-style (x,3/2) diameter estimator in
+// O~(sqrt(n) + D) rounds — the Section 3.3 / 3.6 direction, realized with
+// the paper's own machinery plus truncated source detection.
+//
+// Section 3.3 discusses implementing the sequential Aingworth-Chekuri-
+// Indyk-Motwani (x,3/2) approximation distributedly; the companion paper
+// [33] achieved O(D*sqrt(n)) by running the ~sqrt(n) BFS sequentially, and
+// Corollary 1 combines that with Theorem 4. Running the SAME plan through
+// Algorithm 2 instead of sequential BFS removes the D factor:
+//
+//   1. truncated source detection with S = V and cap s = sqrt(n log n):
+//      every node learns its s nearest nodes (its partial s-BFS) in
+//      O(s + D) rounds — Algorithm 2's lists, kept to the s
+//      lexicographically smallest (distance, id) claims;
+//   2. w := argmax_v (radius of v's partial ball)   (convergecast);
+//   3. a full BFS from w teaches everyone d(v, w); the ball
+//      B(w, r_s(w)) (a superset of w's s nearest) self-selects;
+//   4. every node independently joins a hitting-set sample DOM with
+//      probability ~ln(n)/s (whp DOM hits every partial ball — the
+//      randomized stand-in for [2]'s greedy hitting set);
+//   5. one S-SP run from {w} u B(w, r_s(w)) u DOM (O(|S| + D) rounds);
+//      the estimate is the largest distance any node sees — the maximum
+//      eccentricity over all those sources.
+//
+// Guarantee (as in [2], whp): floor(2D/3) <= estimate <= D; report
+// ceil(3*estimate/2) to get a one-sided (x,3/2) answer. Cost:
+// O(s + |S| + D) = O~(sqrt(n) + D) rounds.
+#pragma once
+
+#include <cstdint>
+
+#include "congest/engine.h"
+#include "graph/graph.h"
+
+namespace dapsp::core {
+
+struct ThreeHalvesOptions {
+  congest::EngineConfig engine{};
+  std::uint64_t seed = 1;
+  std::uint32_t s = 0;  // 0 = ceil(sqrt(n log n))
+};
+
+struct ThreeHalvesRun {
+  std::uint32_t estimate = 0;       // max ecc over sources: in [2D/3, D] whp
+  std::uint32_t answer = 0;         // ceil(3*estimate/2): in [D, 3D/2] whp
+  NodeId deepest = 0;               // w
+  std::uint32_t ball_radius = 0;    // r_s(w)
+  std::uint32_t num_sources = 0;    // |{w} u ball u DOM|
+  congest::RunStats stats;
+};
+
+// Connected graphs only.
+ThreeHalvesRun run_three_halves_diameter(const Graph& g,
+                                         const ThreeHalvesOptions& o = {});
+
+}  // namespace dapsp::core

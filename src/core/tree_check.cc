@@ -1,0 +1,62 @@
+#include "core/tree_check.h"
+
+#include <memory>
+
+#include "core/primitives/aggregation.h"
+#include "core/primitives/bfs_process.h"
+
+namespace dapsp::core {
+namespace {
+
+class TreeCheckProcess final : public congest::Process {
+ public:
+  explicit TreeCheckProcess(NodeId id) : id_(id), verdict_(/*tag=*/31) {}
+
+  void on_round(congest::RoundCtx& ctx) override {
+    for (const congest::Received& r : ctx.inbox()) {
+      if (tree_.handle(ctx, r)) continue;
+      if (verdict_.handle(r)) {
+        is_tree_ = verdict_.value(0) != 0;
+        decided_ = true;
+      }
+    }
+    tree_.advance(ctx);
+    if (id_ == 0 && tree_.root_complete() && !sent_) {
+      sent_ = true;
+      is_tree_ = !tree_.root_cycle_evidence();
+      decided_ = true;
+      verdict_.start(is_tree_ ? 1 : 0);
+    }
+    verdict_.advance(ctx, tree_);
+    quiescent_ = tree_.finished(id_) && decided_ && verdict_.idle();
+  }
+
+  bool done() const override { return quiescent_; }
+
+  bool is_tree() const { return is_tree_; }
+  const TreeMachine& tree() const { return tree_; }
+
+ private:
+  NodeId id_;
+  TreeMachine tree_;
+  Broadcast verdict_;
+  bool sent_ = false;
+  bool decided_ = false;
+  bool is_tree_ = false;
+  bool quiescent_ = false;
+};
+
+}  // namespace
+
+TreeCheckRun run_tree_check(const Graph& g, const congest::EngineConfig& cfg) {
+  congest::Engine engine(g, cfg);
+  engine.init([](NodeId v) { return std::make_unique<TreeCheckProcess>(v); });
+  TreeCheckRun out;
+  out.stats = engine.run();
+  auto& leader = engine.process_as<TreeCheckProcess>(0);
+  out.is_tree = leader.is_tree();
+  out.leader_ecc = leader.tree().root_ecc();
+  return out;
+}
+
+}  // namespace dapsp::core

@@ -1,0 +1,26 @@
+// Claim 1: one BFS from the leader decides whether G is a tree, in O(D).
+//
+// The flood forwards to every neighbor except same-round senders; G is a
+// tree iff no node ever receives the flood more than once. TreeMachine
+// already counts receipts and ORs the evidence into the echo, so the check
+// is the tree build itself plus a broadcast of the verdict.
+#pragma once
+
+#include <cstdint>
+
+#include "congest/engine.h"
+#include "graph/graph.h"
+
+namespace dapsp::core {
+
+struct TreeCheckRun {
+  bool is_tree = false;
+  std::uint32_t leader_ecc = 0;
+  congest::RunStats stats;
+};
+
+// Connected graphs only (the flood must reach every node).
+TreeCheckRun run_tree_check(const Graph& g,
+                            const congest::EngineConfig& cfg = {});
+
+}  // namespace dapsp::core

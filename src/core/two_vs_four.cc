@@ -1,0 +1,232 @@
+#include "core/two_vs_four.h"
+
+#include <cmath>
+#include <memory>
+
+#include "core/primitives/aggregation.h"
+#include "core/primitives/bfs_process.h"
+#include "core/ssp.h"
+#include "util/rng.h"
+
+namespace dapsp::core {
+namespace {
+
+constexpr std::uint32_t kTagLowMin = 60;   // argmin: (low? id : inf, deg+1)
+constexpr std::uint32_t kTagSample = 61;   // broadcast: (d0) - sample now
+constexpr std::uint32_t kTagCount = 62;    // convergecast: (|S| so far)
+constexpr std::uint32_t kTagParams = 63;   // broadcast: (v* or inf, |S|, d0)
+constexpr std::uint32_t kTagDepth = 64;    // convergecast: (max delta)
+constexpr std::uint32_t kTagAnswer = 65;   // broadcast: (2 or 4)
+constexpr std::uint8_t kRecruit = 66;      // v* -> neighbors: join S
+
+std::uint32_t threshold(NodeId n) {
+  return static_cast<std::uint32_t>(std::ceil(std::sqrt(
+      static_cast<double>(n) * std::log2(static_cast<double>(n) + 1.0))));
+}
+
+class TwoVsFourProcess final : public congest::Process {
+ public:
+  TwoVsFourProcess(NodeId id, NodeId n, std::uint64_t seed)
+      : id_(id),
+        n_(n),
+        seed_(seed),
+        ssp_(id, n, false),
+        low_min_(kTagLowMin),
+        sample_bcast_(kTagSample),
+        count_up_(kTagCount, Convergecast::Op::kSum),
+        params_bcast_(kTagParams),
+        depth_up_(kTagDepth, Convergecast::Op::kMax),
+        answer_bcast_(kTagAnswer) {}
+
+  void on_round(congest::RoundCtx& ctx) override {
+    const std::uint32_t inf = congest::wire_infinity(n_);
+
+    for (const congest::Received& r : ctx.inbox()) {
+      if (tree_.handle(ctx, r)) continue;
+      if (ssp_.handle(ctx, r)) continue;
+      if (r.msg.kind == kRecruit) {
+        in_s_ = true;
+        ssp_.set_in_s(true);
+        continue;
+      }
+      if (low_min_.handle(r)) continue;
+      if (count_up_.handle(r)) continue;
+      if (depth_up_.handle(r)) continue;
+      if (sample_bcast_.handle(r)) {
+        do_sample(sample_bcast_.value(0));
+      } else if (params_bcast_.handle(r)) {
+        adopt_params(ctx, params_bcast_.value(0), params_bcast_.value(1),
+                     params_bcast_.value(2));
+      } else if (answer_bcast_.handle(r)) {
+        answer_ = answer_bcast_.value(0);
+      }
+    }
+
+    tree_.advance(ctx);
+
+    // Phase 1: elect the lowest-id low-degree node (if any). Armed one round
+    // after the local tree echo so the two convergecasts never share an
+    // edge-round (bandwidth).
+    if (tree_.finished(id_) && !low_armed_) {
+      if (tree_finish_seen_) {
+        low_armed_ = true;
+        const std::uint32_t s = threshold(n_);
+        const bool low = ctx.degree() + 1 < s;
+        low_min_.arm(low ? id_ : inf, ctx.degree() + 1);
+      }
+      tree_finish_seen_ = true;
+    }
+    if (low_armed_) low_min_.advance(ctx, tree_);
+
+    // Root: branch.
+    if (id_ == 0 && low_min_.complete() && !branched_) {
+      branched_ = true;
+      d0_ = 2 * tree_.root_ecc();
+      if (low_min_.key() != inf) {
+        // Low-degree branch: S = N1(v*), |S| = deg(v*)+1.
+        fire_params(ctx, low_min_.key(), low_min_.payload());
+      } else {
+        sample_bcast_.start(d0_);
+        do_sample(d0_);
+      }
+    }
+    sample_bcast_.advance(ctx, tree_);
+    if (count_armed_) count_up_.advance(ctx, tree_);
+    if (id_ == 0 && count_up_.complete() && !params_sent_) {
+      fire_params(ctx, congest::wire_infinity(n_), count_up_.value(0));
+    }
+    params_bcast_.advance(ctx, tree_);
+
+    ssp_.advance(ctx);
+    if (ssp_.configured() && ssp_.finished(ctx.round()) && !depth_armed_) {
+      depth_armed_ = true;
+      depth_up_.arm(ssp_.max_delta());
+    }
+    if (depth_armed_) depth_up_.advance(ctx, tree_);
+    if (id_ == 0 && depth_up_.complete() && !answer_sent_) {
+      answer_sent_ = true;
+      answer_ = depth_up_.value(0) <= 2 ? 2 : 4;
+      answer_bcast_.start(answer_);
+    }
+    answer_bcast_.advance(ctx, tree_);
+
+    if (recruit_pending_ && ctx.round() >= recruit_round_) {
+      send_recruits(ctx);
+    }
+    quiescent_ = tree_.finished(id_) && answer_ != 0 && answer_bcast_.idle() &&
+                 !recruit_pending_;
+  }
+
+  bool done() const override { return quiescent_; }
+
+  std::uint32_t answer() const { return answer_; }
+  bool used_low_branch() const { return used_low_branch_; }
+  std::uint32_t num_sources() const { return num_sources_; }
+  bool in_s() const { return in_s_; }
+
+ private:
+  void do_sample(std::uint32_t d0) {
+    if (sampled_) return;
+    sampled_ = true;
+    d0_ = d0;
+    const double p = std::sqrt(std::log2(static_cast<double>(n_) + 1.0) /
+                               static_cast<double>(n_));
+    Rng rng(seed_ * 0x9e3779b97f4a7c15ULL + id_);
+    in_s_ = rng.chance(p);
+    ssp_.set_in_s(in_s_);
+    count_armed_ = true;
+    count_up_.arm(in_s_ ? 1 : 0);
+  }
+
+  void fire_params(congest::RoundCtx& ctx, std::uint32_t v_star,
+                   std::uint32_t s_count) {
+    params_sent_ = true;
+    params_bcast_.start(v_star, s_count, d0_);
+    adopt_params(ctx, v_star, s_count, d0_);
+  }
+
+  void adopt_params(congest::RoundCtx& ctx, std::uint32_t v_star,
+                    std::uint32_t s_count, std::uint32_t d0) {
+    if (params_adopted_) return;
+    params_adopted_ = true;
+    d0_ = d0;
+    num_sources_ = s_count;
+    const std::uint32_t inf = congest::wire_infinity(n_);
+    if (v_star != inf) {
+      used_low_branch_ = true;
+      if (id_ == v_star) {
+        in_s_ = true;
+        ssp_.set_in_s(true);
+        // Recruit one round later: the PARAMS broadcast still occupies our
+        // edges this round (bandwidth).
+        recruit_pending_ = true;
+        recruit_round_ = ctx.round() + 1;
+      }
+    }
+    // Loop start: delta = ecc0 + 3 leaves room for the delayed recruit round
+    // (recruits arrive at most two rounds after the latest PARAMS arrival).
+    const std::uint32_t delta = d0_ / 2 + 3;
+    const std::uint64_t t_start =
+        id_ == 0 ? ctx.round() + delta : ctx.round() - tree_.dist() + delta;
+    ssp_.configure(t_start, SspMachine::schedule_length(s_count, d0_));
+  }
+
+  void send_recruits(congest::RoundCtx& ctx) {
+    recruit_pending_ = false;
+    for (std::uint32_t i = 0; i < ctx.degree(); ++i) {
+      ctx.send(i, congest::Message::make(kRecruit));
+    }
+  }
+
+  NodeId id_;
+  NodeId n_;
+  std::uint64_t seed_;
+  TreeMachine tree_;
+  SspMachine ssp_;
+  ArgMinConvergecast low_min_;
+  Broadcast sample_bcast_;
+  Convergecast count_up_;
+  Broadcast params_bcast_;
+  Convergecast depth_up_;
+  Broadcast answer_bcast_;
+
+  bool low_armed_ = false;
+  bool tree_finish_seen_ = false;
+  bool branched_ = false;
+  bool sampled_ = false;
+  bool count_armed_ = false;
+  bool params_sent_ = false;
+  bool params_adopted_ = false;
+  bool depth_armed_ = false;
+  bool answer_sent_ = false;
+  bool recruit_pending_ = false;
+  std::uint64_t recruit_round_ = 0;
+  bool in_s_ = false;
+  bool used_low_branch_ = false;
+  bool quiescent_ = false;
+  std::uint32_t d0_ = 0;
+  std::uint32_t num_sources_ = 0;
+  std::uint32_t answer_ = 0;
+};
+
+}  // namespace
+
+TwoVsFourResult run_two_vs_four(const Graph& g,
+                                const TwoVsFourOptions& options) {
+  const NodeId n = g.num_nodes();
+  congest::Engine engine(g, options.engine);
+  engine.init([&](NodeId v) {
+    return std::make_unique<TwoVsFourProcess>(v, n, options.seed);
+  });
+
+  TwoVsFourResult out;
+  out.stats = engine.run();
+  out.s_threshold = threshold(n);
+  auto& root = engine.process_as<TwoVsFourProcess>(0);
+  out.answer = root.answer();
+  out.used_low_degree_branch = root.used_low_branch();
+  out.num_sources = root.num_sources();
+  return out;
+}
+
+}  // namespace dapsp::core

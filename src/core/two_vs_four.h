@@ -1,0 +1,49 @@
+// Algorithm 3 (Theorem 7): distinguish diameter-2 graphs from diameter-4
+// graphs in O(sqrt(n log n)) rounds, whp.
+//
+// Distributed realization of the Aingworth-Chekuri-Indyk-Motwani "2-vs-4"
+// test (Section 7.2), with degree threshold s = ceil(sqrt(n log n)):
+//
+//   * If some node has |N1(v)| < s (a low-degree node exists), elect the
+//     lowest-id one by an arg-min convergecast over T1 and let S = N1(v)
+//     (v recruits its neighbors in one round).
+//   * Otherwise every node joins S independently with probability
+//     sqrt(log n / n); whp S is a dominating set of size O(sqrt(n log n))
+//     (Remark 6) — we count |S| by a convergecast.
+//   * Solve S-SP (Algorithm 2, O(|S| + D) rounds; the paper's sequential
+//     BFS would also do since D <= 4 under the promise).
+//   * Answer 2 iff every BFS tree has depth <= 2, i.e. the global max of
+//     delta[*] is <= 2 (max convergecast + answer broadcast).
+//
+// Correctness under the promise (Theorem 3.1 of [2]): a diameter-2 graph
+// makes every BFS tree depth <= 2; in a diameter-4 graph, S dominating (or
+// S = N1(v)) forces some tree to depth >= 3. The only failure mode is the
+// random sample not dominating (probability o(1)); the result reports the
+// sample size so callers can detect pathological draws.
+#pragma once
+
+#include <cstdint>
+
+#include "congest/engine.h"
+#include "graph/graph.h"
+
+namespace dapsp::core {
+
+struct TwoVsFourOptions {
+  congest::EngineConfig engine{};
+  std::uint64_t seed = 1;  // randomness for the high-degree branch
+};
+
+struct TwoVsFourResult {
+  std::uint32_t answer = 0;  // 2 or 4
+  bool used_low_degree_branch = false;
+  std::uint32_t s_threshold = 0;  // ceil(sqrt(n log n))
+  std::uint32_t num_sources = 0;  // |S|
+  congest::RunStats stats;
+};
+
+// Requires a connected graph whose diameter is exactly 2 or exactly 4.
+TwoVsFourResult run_two_vs_four(const Graph& g,
+                                const TwoVsFourOptions& options = {});
+
+}  // namespace dapsp::core

@@ -1,0 +1,284 @@
+#include "graph/generators.h"
+
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dapsp::gen {
+namespace {
+
+void require(bool cond, const char* msg) {
+  if (!cond) throw std::invalid_argument(msg);
+}
+
+}  // namespace
+
+Graph path(NodeId n) {
+  require(n >= 1, "path: n >= 1");
+  std::vector<Edge> e;
+  for (NodeId i = 0; i + 1 < n; ++i) e.push_back({i, i + 1});
+  return Graph(n, e);
+}
+
+Graph cycle(NodeId n) {
+  require(n >= 3, "cycle: n >= 3");
+  std::vector<Edge> e;
+  for (NodeId i = 0; i + 1 < n; ++i) e.push_back({i, i + 1});
+  e.push_back({n - 1, 0});
+  return Graph(n, e);
+}
+
+Graph complete(NodeId n) {
+  require(n >= 1, "complete: n >= 1");
+  std::vector<Edge> e;
+  for (NodeId i = 0; i < n; ++i)
+    for (NodeId j = i + 1; j < n; ++j) e.push_back({i, j});
+  return Graph(n, e);
+}
+
+Graph star(NodeId n) {
+  require(n >= 2, "star: n >= 2");
+  std::vector<Edge> e;
+  for (NodeId i = 1; i < n; ++i) e.push_back({0, i});
+  return Graph(n, e);
+}
+
+Graph complete_bipartite(NodeId a, NodeId b) {
+  require(a >= 1 && b >= 1, "complete_bipartite: a,b >= 1");
+  std::vector<Edge> e;
+  for (NodeId i = 0; i < a; ++i)
+    for (NodeId j = 0; j < b; ++j) e.push_back({i, a + j});
+  return Graph(a + b, e);
+}
+
+Graph balanced_tree(NodeId n, std::uint32_t arity) {
+  require(n >= 1, "balanced_tree: n >= 1");
+  require(arity >= 1, "balanced_tree: arity >= 1");
+  std::vector<Edge> e;
+  for (NodeId i = 1; i < n; ++i) e.push_back({(i - 1) / arity, i});
+  return Graph(n, e);
+}
+
+Graph grid(NodeId rows, NodeId cols) {
+  require(rows >= 1 && cols >= 1, "grid: rows,cols >= 1");
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  std::vector<Edge> e;
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) e.push_back({id(r, c), id(r, c + 1)});
+      if (r + 1 < rows) e.push_back({id(r, c), id(r + 1, c)});
+    }
+  }
+  return Graph(rows * cols, e);
+}
+
+Graph torus(NodeId rows, NodeId cols) {
+  require(rows >= 3 && cols >= 3, "torus: rows,cols >= 3");
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  std::vector<Edge> e;
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      e.push_back({id(r, c), id(r, (c + 1) % cols)});
+      e.push_back({id(r, c), id((r + 1) % rows, c)});
+    }
+  }
+  return Graph(rows * cols, e);
+}
+
+Graph hypercube(std::uint32_t dim) {
+  require(dim >= 1 && dim < 25, "hypercube: 1 <= dim < 25");
+  const NodeId n = NodeId{1} << dim;
+  std::vector<Edge> e;
+  for (NodeId v = 0; v < n; ++v) {
+    for (std::uint32_t d = 0; d < dim; ++d) {
+      const NodeId u = v ^ (NodeId{1} << d);
+      if (v < u) e.push_back({v, u});
+    }
+  }
+  return Graph(n, e);
+}
+
+Graph erdos_renyi(NodeId n, double p, std::uint64_t seed) {
+  require(n >= 1, "erdos_renyi: n >= 1");
+  Rng rng(seed);
+  std::vector<Edge> e;
+  for (NodeId i = 0; i < n; ++i)
+    for (NodeId j = i + 1; j < n; ++j)
+      if (rng.chance(p)) e.push_back({i, j});
+  return Graph(n, e);
+}
+
+Graph random_connected(NodeId n, std::size_t extra_edges, std::uint64_t seed) {
+  require(n >= 1, "random_connected: n >= 1");
+  Rng rng(seed);
+  std::set<std::pair<NodeId, NodeId>> used;
+  std::vector<Edge> e;
+  auto add = [&](NodeId u, NodeId v) {
+    if (u > v) std::swap(u, v);
+    if (u == v) return false;
+    if (!used.insert({u, v}).second) return false;
+    e.push_back({u, v});
+    return true;
+  };
+  for (NodeId i = 1; i < n; ++i) {
+    add(static_cast<NodeId>(rng.below(i)), i);  // random attachment tree
+  }
+  const std::size_t max_extra =
+      static_cast<std::size_t>(n) * (n - 1) / 2 - e.size();
+  extra_edges = std::min(extra_edges, max_extra);
+  std::size_t added = 0;
+  while (added < extra_edges) {
+    const NodeId u = static_cast<NodeId>(rng.below(n));
+    const NodeId v = static_cast<NodeId>(rng.below(n));
+    if (add(u, v)) ++added;
+  }
+  return Graph(n, e);
+}
+
+Graph barbell(NodeId k, NodeId bridge_len) {
+  require(k >= 2 && bridge_len >= 1, "barbell: k >= 2, bridge_len >= 1");
+  // Nodes: 0..k-1 left clique, k..2k-1 right clique,
+  // 2k..2k+bridge_len-2 internal bridge nodes.
+  const NodeId n = 2 * k + bridge_len - 1;
+  std::vector<Edge> e;
+  for (NodeId i = 0; i < k; ++i)
+    for (NodeId j = i + 1; j < k; ++j) {
+      e.push_back({i, j});
+      e.push_back({k + i, k + j});
+    }
+  NodeId prev = 0;  // representative of left clique
+  for (NodeId b = 0; b + 1 < bridge_len; ++b) {
+    e.push_back({prev, 2 * k + b});
+    prev = 2 * k + b;
+  }
+  e.push_back({prev, k});  // representative of right clique
+  return Graph(n, e);
+}
+
+Graph lollipop(NodeId k, NodeId tail_len) {
+  require(k >= 2 && tail_len >= 1, "lollipop: k >= 2, tail_len >= 1");
+  const NodeId n = k + tail_len;
+  std::vector<Edge> e;
+  for (NodeId i = 0; i < k; ++i)
+    for (NodeId j = i + 1; j < k; ++j) e.push_back({i, j});
+  NodeId prev = 0;
+  for (NodeId t = 0; t < tail_len; ++t) {
+    e.push_back({prev, k + t});
+    prev = k + t;
+  }
+  return Graph(n, e);
+}
+
+Graph caterpillar(NodeId spine, NodeId legs) {
+  require(spine >= 1, "caterpillar: spine >= 1");
+  const NodeId n = spine * (1 + legs);
+  std::vector<Edge> e;
+  for (NodeId s = 0; s + 1 < spine; ++s) e.push_back({s, s + 1});
+  for (NodeId s = 0; s < spine; ++s)
+    for (NodeId l = 0; l < legs; ++l)
+      e.push_back({s, spine + s * legs + l});
+  return Graph(n, e);
+}
+
+Graph path_of_cliques(NodeId num_cliques, NodeId clique_size) {
+  require(num_cliques >= 1 && clique_size >= 1,
+          "path_of_cliques: num_cliques, clique_size >= 1");
+  const NodeId n = num_cliques * clique_size;
+  std::vector<Edge> e;
+  for (NodeId c = 0; c < num_cliques; ++c) {
+    const NodeId base = c * clique_size;
+    for (NodeId i = 0; i < clique_size; ++i)
+      for (NodeId j = i + 1; j < clique_size; ++j)
+        e.push_back({base + i, base + j});
+    if (c + 1 < num_cliques) {
+      // Join the last node of this clique to the first node of the next.
+      e.push_back({base + clique_size - 1, base + clique_size});
+    }
+  }
+  return Graph(n, e);
+}
+
+Graph cycle_with_chords(NodeId n, std::size_t chords, std::uint64_t seed) {
+  require(n >= 3, "cycle_with_chords: n >= 3");
+  Rng rng(seed);
+  std::set<std::pair<NodeId, NodeId>> used;
+  std::vector<Edge> e;
+  for (NodeId i = 0; i < n; ++i) {
+    const NodeId j = (i + 1) % n;
+    used.insert({std::min(i, j), std::max(i, j)});
+    e.push_back({i, j});
+  }
+  const std::size_t max_extra =
+      static_cast<std::size_t>(n) * (n - 1) / 2 - n;
+  chords = std::min(chords, max_extra);
+  std::size_t added = 0;
+  while (added < chords) {
+    NodeId u = static_cast<NodeId>(rng.below(n));
+    NodeId v = static_cast<NodeId>(rng.below(n));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    if (!used.insert({u, v}).second) continue;
+    e.push_back({u, v});
+    ++added;
+  }
+  return Graph(n, e);
+}
+
+Graph tree_with_cycle(NodeId n, NodeId g, std::uint64_t seed) {
+  require(g >= 3 && n >= g, "tree_with_cycle: g >= 3, n >= g");
+  // Nodes 0..g-1 form the cycle; the remaining n-g nodes hang off the cycle
+  // as a random binary-ish tree attached to cycle node 0.
+  (void)seed;
+  std::vector<Edge> e;
+  for (NodeId i = 0; i < g; ++i) e.push_back({i, (i + 1) % g});
+  // Balanced binary tree rooted at node 0 over nodes {0} u {g..n-1}.
+  // Child i (0-based among tree nodes) has parent (i-1)/2 within the tree
+  // numbering; tree node 0 is cycle node 0.
+  const NodeId tree_nodes = n - g + 1;
+  auto tree_id = [g](NodeId t) { return t == 0 ? NodeId{0} : g + t - 1; };
+  for (NodeId t = 1; t < tree_nodes; ++t) {
+    e.push_back({tree_id((t - 1) / 2), tree_id(t)});
+  }
+  return Graph(n, e);
+}
+
+Graph petersen() {
+  std::vector<Edge> e;
+  for (NodeId i = 0; i < 5; ++i) {
+    e.push_back({i, (i + 1) % 5});                      // outer 5-cycle
+    e.push_back({i, i + 5});                            // spokes
+    e.push_back({i + 5, ((i + 2) % 5) + 5});            // inner pentagram
+  }
+  return Graph(10, e);
+}
+
+Graph dense_diameter2(NodeId n) {
+  require(n >= 6 && n % 2 == 0, "dense_diameter2: even n >= 6");
+  // Complement of a perfect matching {2i, 2i+1}: every pair is adjacent
+  // except matched pairs, which share all other nodes as common neighbors.
+  std::vector<Edge> e;
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      const bool matched = (i % 2 == 0) && (j == i + 1);
+      if (!matched) e.push_back({i, j});
+    }
+  }
+  return Graph(n, e);
+}
+
+Graph diameter4(NodeId leaves) {
+  require(leaves >= 1, "diameter4: leaves >= 1");
+  // Hubs 0 - 1 - 2; leaves on hub 0 and hub 2. A leaf of hub 0 and a leaf of
+  // hub 2 are at distance 4; no pair is further.
+  const NodeId n = 3 + 2 * leaves;
+  std::vector<Edge> e{{0, 1}, {1, 2}};
+  for (NodeId l = 0; l < leaves; ++l) {
+    e.push_back({0, static_cast<NodeId>(3 + l)});
+    e.push_back({2, static_cast<NodeId>(3 + leaves + l)});
+  }
+  return Graph(n, e);
+}
+
+}  // namespace dapsp::gen

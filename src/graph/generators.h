@@ -1,0 +1,87 @@
+// Graph generators used by tests, benches and examples.
+//
+// Each generator is deterministic given its parameters (and seed, where
+// randomized). Generators whose diameter/girth is analytically known document
+// it, so tests can assert exact values without the oracle.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace dapsp::gen {
+
+// Path v0 - v1 - ... - v_{n-1}. Diameter n-1. Requires n >= 1.
+Graph path(NodeId n);
+
+// Cycle of length n. Diameter floor(n/2), girth n. Requires n >= 3.
+Graph cycle(NodeId n);
+
+// Complete graph K_n. Diameter 1 (n >= 2), girth 3 (n >= 3).
+Graph complete(NodeId n);
+
+// Star: node 0 is the hub, nodes 1..n-1 are leaves. Diameter 2 (n >= 3).
+Graph star(NodeId n);
+
+// Complete bipartite K_{a,b}: nodes 0..a-1 vs a..a+b-1.
+// Diameter 2 (a,b >= 2), girth 4 (a,b >= 2).
+Graph complete_bipartite(NodeId a, NodeId b);
+
+// Balanced tree with given branching factor, exactly n nodes (the last level
+// may be partial). arity >= 1; arity == 1 yields a path.
+Graph balanced_tree(NodeId n, std::uint32_t arity);
+
+// rows x cols grid. Diameter (rows-1)+(cols-1); girth 4 (rows,cols >= 2).
+Graph grid(NodeId rows, NodeId cols);
+
+// rows x cols torus (wrap-around grid). Requires rows,cols >= 3.
+Graph torus(NodeId rows, NodeId cols);
+
+// Hypercube of dimension dim: 2^dim nodes, diameter dim, girth 4 (dim >= 2).
+Graph hypercube(std::uint32_t dim);
+
+// Erdos-Renyi G(n, p). May be disconnected.
+Graph erdos_renyi(NodeId n, double p, std::uint64_t seed);
+
+// Connected random graph: uniform random spanning tree (random attachment)
+// plus `extra_edges` additional distinct random edges.
+Graph random_connected(NodeId n, std::size_t extra_edges, std::uint64_t seed);
+
+// Two cliques of size k joined by a path with `bridge_len` edges
+// (bridge_len == 1 means a single edge between the cliques).
+// Diameter bridge_len + 2 for k >= 3.
+Graph barbell(NodeId k, NodeId bridge_len);
+
+// Clique of size k with a path ("tail") of tail_len edges attached.
+Graph lollipop(NodeId k, NodeId tail_len);
+
+// Caterpillar: spine path of `spine` nodes, `legs` leaves per spine node.
+Graph caterpillar(NodeId spine, NodeId legs);
+
+// `num_cliques` cliques of size `clique_size` arranged on a path; consecutive
+// cliques joined by one edge between representatives. Lets benches control
+// diameter (~2*num_cliques) and n (~num_cliques*clique_size) independently.
+// Diameter: for num_cliques >= 2 it is 3*num_cliques - 2 - (clique_size==1)...
+// exact value depends on parameters; computed by tests via the oracle.
+Graph path_of_cliques(NodeId num_cliques, NodeId clique_size);
+
+// Cycle of length n with `chords` random chords added. Girth shrinks as
+// chords are added; connected, diameter <= n/2.
+Graph cycle_with_chords(NodeId n, std::size_t chords, std::uint64_t seed);
+
+// Balanced binary tree with one extra cycle of length exactly g spliced into
+// it: girth exactly g, diameter O(log n + g). Requires g >= 3, n >= g.
+Graph tree_with_cycle(NodeId n, NodeId g, std::uint64_t seed);
+
+// The Petersen graph: n=10, m=15, diameter 2, girth 5, 3-regular.
+Graph petersen();
+
+// Family with diameter exactly 2 where every node has degree >= n/2
+// (complement of a perfect matching). Requires even n >= 6.
+Graph dense_diameter2(NodeId n);
+
+// Family with diameter exactly 4: three hubs on a path, leaves on the two end
+// hubs. `leaves` per end hub; n = 3 + 2*leaves.
+Graph diameter4(NodeId leaves);
+
+}  // namespace dapsp::gen

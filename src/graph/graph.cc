@@ -1,0 +1,80 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace dapsp {
+
+Graph::Graph(NodeId n, std::span<const Edge> edges) : n_(n) {
+  edge_list_.reserve(edges.size());
+  for (const Edge& e : edges) {
+    if (e.u >= n || e.v >= n) {
+      throw std::invalid_argument("Graph: edge endpoint out of range");
+    }
+    if (e.u == e.v) {
+      throw std::invalid_argument("Graph: self-loops are not allowed");
+    }
+    edge_list_.push_back(e.u < e.v ? e : Edge{e.v, e.u});
+  }
+  std::sort(edge_list_.begin(), edge_list_.end(),
+            [](const Edge& a, const Edge& b) {
+              return a.u != b.u ? a.u < b.u : a.v < b.v;
+            });
+  edge_list_.erase(std::unique(edge_list_.begin(), edge_list_.end()),
+                   edge_list_.end());
+
+  std::vector<std::size_t> deg(n_ + 1, 0);
+  for (const Edge& e : edge_list_) {
+    ++deg[e.u];
+    ++deg[e.v];
+  }
+  offsets_.assign(n_ + 1, 0);
+  for (NodeId v = 0; v < n_; ++v) offsets_[v + 1] = offsets_[v] + deg[v];
+  adjacency_.resize(offsets_[n_]);
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const Edge& e : edge_list_) {
+    adjacency_[cursor[e.u]++] = e.v;
+    adjacency_[cursor[e.v]++] = e.u;
+  }
+  for (NodeId v = 0; v < n_; ++v) {
+    auto nb = adjacency_.begin() + static_cast<std::ptrdiff_t>(offsets_[v]);
+    auto ne = adjacency_.begin() + static_cast<std::ptrdiff_t>(offsets_[v + 1]);
+    std::sort(nb, ne);
+    max_degree_ = std::max(max_degree_, degree(v));
+  }
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  if (u >= n_ || v >= n_ || u == v) return false;
+  const auto nb = neighbors(u);
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+std::optional<std::uint32_t> Graph::neighbor_index(NodeId u, NodeId v) const {
+  const auto nb = neighbors(u);
+  const auto it = std::lower_bound(nb.begin(), nb.end(), v);
+  if (it == nb.end() || *it != v) return std::nullopt;
+  return static_cast<std::uint32_t>(it - nb.begin());
+}
+
+Graph Graph::relabeled(std::uint64_t seed, std::vector<NodeId>* perm_out) const {
+  Rng rng(seed);
+  std::vector<NodeId> perm(n_);
+  for (NodeId i = 0; i < n_; ++i) perm[i] = i;
+  shuffle(perm, rng);
+  std::vector<Edge> relabeled_edges;
+  relabeled_edges.reserve(edge_list_.size());
+  for (const Edge& e : edge_list_) {
+    relabeled_edges.push_back({perm[e.u], perm[e.v]});
+  }
+  if (perm_out != nullptr) *perm_out = perm;
+  return Graph(n_, relabeled_edges);
+}
+
+std::string Graph::summary() const {
+  return "Graph(n=" + std::to_string(n_) + ", m=" + std::to_string(num_edges()) + ")";
+}
+
+}  // namespace dapsp

@@ -1,0 +1,81 @@
+// Immutable undirected simple graph in CSR (compressed sparse row) form.
+//
+// This is the topology substrate under both the sequential reference
+// algorithms (src/seq) and the CONGEST simulator (src/congest). Nodes are
+// identified by dense ids 0..n-1; in the paper's terms, node 0 plays the role
+// of "the node with ID 1" (the distinguished leader).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dapsp {
+
+using NodeId = std::uint32_t;
+
+// Sentinel "infinite" distance (graph is unweighted; all finite distances
+// are < n <= 2^31).
+inline constexpr std::uint32_t kInfDist = 0xffffffffu;
+
+struct Edge {
+  NodeId u = 0;
+  NodeId v = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+class Graph {
+ public:
+  // Empty graph (0 nodes); useful as a placeholder before assignment.
+  Graph() : offsets_(1, 0) {}
+
+  // Builds a graph over n nodes from an edge list. Self-loops are rejected;
+  // duplicate edges (in either orientation) are collapsed.
+  Graph(NodeId n, std::span<const Edge> edges);
+  Graph(NodeId n, std::initializer_list<Edge> edges)
+      : Graph(n, std::span<const Edge>(edges.begin(), edges.size())) {}
+
+  NodeId num_nodes() const noexcept { return n_; }
+  std::size_t num_edges() const noexcept { return edge_list_.size(); }
+
+  std::uint32_t degree(NodeId v) const {
+    return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  // Neighbors of v, sorted ascending by id.
+  std::span<const NodeId> neighbors(NodeId v) const {
+    return {adjacency_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
+  bool has_edge(NodeId u, NodeId v) const;
+
+  // Index of neighbor `v` in `neighbors(u)`, if adjacent.
+  std::optional<std::uint32_t> neighbor_index(NodeId u, NodeId v) const;
+
+  // Unique undirected edges, each listed once with u < v.
+  std::span<const Edge> edges() const noexcept { return edge_list_; }
+
+  std::uint32_t max_degree() const noexcept { return max_degree_; }
+
+  // Returns a graph isomorphic to *this with node ids permuted by a random
+  // permutation drawn from `seed`. Used to ensure algorithms do not rely on
+  // accidental id structure of the generators. The permutation maps old id i
+  // to new id perm[i]; `perm_out` (if non-null) receives it.
+  Graph relabeled(std::uint64_t seed, std::vector<NodeId>* perm_out = nullptr) const;
+
+  // Human-readable one-line summary, e.g. "Graph(n=16, m=24)".
+  std::string summary() const;
+
+ private:
+  NodeId n_ = 0;
+  std::vector<std::size_t> offsets_;   // n_+1 entries
+  std::vector<NodeId> adjacency_;      // 2m entries, sorted per node
+  std::vector<Edge> edge_list_;        // m entries, u < v, sorted
+  std::uint32_t max_degree_ = 0;
+};
+
+}  // namespace dapsp

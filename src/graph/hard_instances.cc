@@ -1,0 +1,214 @@
+#include "graph/hard_instances.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/bits.h"
+#include "util/rng.h"
+
+namespace dapsp::hard {
+
+void BitMatrix::fill(bool value) {
+  std::fill(bits_.begin(), bits_.end(), value ? std::uint8_t{1} : std::uint8_t{0});
+}
+
+std::size_t BitMatrix::popcount() const {
+  std::size_t c = 0;
+  for (const std::uint8_t b : bits_) c += b;
+  return c;
+}
+
+bool BitMatrix::intersects(const BitMatrix& other) const {
+  if (other.k_ != k_) throw std::invalid_argument("BitMatrix size mismatch");
+  for (std::size_t i = 0; i < bits_.size(); ++i) {
+    if (bits_[i] != 0 && other.bits_[i] != 0) return true;
+  }
+  return false;
+}
+
+std::uint64_t TwoPartyGadget::certified_min_rounds(
+    std::uint32_t bandwidth_bits) const {
+  return ceil_div(input_bits(), cut_edge_count * bandwidth_bits);
+}
+
+NodeId gadget_num_nodes(std::uint32_t k, std::uint32_t path_len) {
+  // 4k row nodes + 2 hubs + internals: 2k matching paths with (L-1)
+  // internals each, hub path of length L+1 with L internals.
+  return 4 * k + 2 + 2 * k * (path_len - 1) + path_len;
+}
+
+NodeId wide_gap_num_nodes(std::uint32_t k, std::uint32_t path_len) {
+  // As above, but 4k spokes of length 2 contribute one internal node each
+  // and the hub path has length L-1 (L-2 internals).
+  return 4 * k + 2 + 2 * k * (path_len - 1) + 4 * k + (path_len - 2);
+}
+
+namespace {
+
+struct GadgetShape {
+  std::uint32_t spoke_len;     // length of each hub spoke (1 or 2)
+  std::uint32_t hub_path_len;  // length of the c_A ~ c_B path
+};
+
+TwoPartyGadget build_gadget(std::uint32_t path_len, const BitMatrix& s_alice,
+                            const BitMatrix& s_bob, const GadgetShape& shape,
+                            NodeId n) {
+  const std::uint32_t k = s_alice.k();
+  if (s_bob.k() != k) throw std::invalid_argument("gadget: input size mismatch");
+  if (k < 1) throw std::invalid_argument("gadget: k >= 1");
+  const std::uint32_t L = path_len;
+
+  TwoPartyGadget g;
+  g.k = k;
+  g.path_len = L;
+
+  std::vector<Edge> e;
+  NodeId next_internal = 4 * k + 2;
+
+  // Connects u ~ v by a path with `len` edges, allocating len-1 fresh
+  // internal nodes.
+  auto add_path = [&](NodeId u, NodeId v, std::uint32_t len) {
+    NodeId prev = u;
+    for (std::uint32_t t = 0; t + 1 < len; ++t) {
+      e.push_back({prev, next_internal});
+      prev = next_internal++;
+    }
+    e.push_back({prev, v});
+  };
+
+  // Cliques on each of the four row groups.
+  for (std::uint32_t i = 0; i < k; ++i) {
+    for (std::uint32_t j = i + 1; j < k; ++j) {
+      e.push_back({g.a(i), g.a(j)});
+      e.push_back({g.b(i), g.b(j)});
+      e.push_back({g.a_prime(i), g.a_prime(j)});
+      e.push_back({g.b_prime(i), g.b_prime(j)});
+    }
+  }
+  // Hub spokes.
+  for (std::uint32_t i = 0; i < k; ++i) {
+    add_path(g.c_alice(), g.a(i), shape.spoke_len);
+    add_path(g.c_alice(), g.b(i), shape.spoke_len);
+    add_path(g.c_bob(), g.a_prime(i), shape.spoke_len);
+    add_path(g.c_bob(), g.b_prime(i), shape.spoke_len);
+  }
+  // Cross paths (the communication cut: one crossing edge per path).
+  for (std::uint32_t i = 0; i < k; ++i) {
+    add_path(g.a(i), g.a_prime(i), L);
+    add_path(g.b(i), g.b_prime(i), L);
+  }
+  add_path(g.c_alice(), g.c_bob(), shape.hub_path_len);
+  g.cut_edge_count = std::size_t{2} * k + 1;
+
+  // Inputs: edge iff the bit is 0.
+  for (std::uint32_t i = 0; i < k; ++i) {
+    for (std::uint32_t j = 0; j < k; ++j) {
+      if (!s_alice.at(i, j)) e.push_back({g.a(i), g.b(j)});
+      if (!s_bob.at(i, j)) e.push_back({g.a_prime(i), g.b_prime(j)});
+    }
+  }
+
+  if (next_internal != n) throw std::logic_error("gadget: node count mismatch");
+  g.graph = Graph(n, e);
+  return g;
+}
+
+}  // namespace
+
+TwoPartyGadget two_party_gadget(std::uint32_t path_len,
+                                const BitMatrix& s_alice,
+                                const BitMatrix& s_bob) {
+  if (path_len < 1) throw std::invalid_argument("gadget: path_len >= 1");
+  TwoPartyGadget g = build_gadget(
+      path_len, s_alice, s_bob,
+      GadgetShape{.spoke_len = 1, .hub_path_len = path_len + 1},
+      gadget_num_nodes(s_alice.k(), path_len));
+  g.expected_diameter =
+      s_alice.intersects(s_bob) ? path_len + 2 : path_len + 1;
+  return g;
+}
+
+TwoPartyGadget wide_gap_gadget(std::uint32_t path_len,
+                               const BitMatrix& s_alice,
+                               const BitMatrix& s_bob) {
+  if (path_len < 3) throw std::invalid_argument("wide_gap_gadget: path_len >= 3");
+  const std::uint32_t k = s_alice.k();
+  TwoPartyGadget g = build_gadget(
+      path_len, s_alice, s_bob,
+      GadgetShape{.spoke_len = 2, .hub_path_len = path_len - 1},
+      wide_gap_num_nodes(k, path_len));
+  const bool all_ones =
+      s_alice.popcount() == std::size_t{k} * k &&
+      s_bob.popcount() == std::size_t{k} * k;
+  if (all_ones) {
+    g.expected_diameter = path_len + 4;
+  } else if (!s_alice.intersects(s_bob)) {
+    g.expected_diameter = path_len + 2;
+  } else {
+    g.expected_diameter = 0;  // unsupported input regime; caller beware
+  }
+  return g;
+}
+
+TwoPartyGadget random_gadget(std::uint32_t k, std::uint32_t path_len,
+                             GadgetCase which, std::uint64_t seed) {
+  Rng rng(seed);
+  BitMatrix sa(k), sb(k);
+  // Random background: each entry goes to S_A only, S_B only, or neither,
+  // keeping the 1-sets disjoint.
+  for (std::uint32_t i = 0; i < k; ++i) {
+    for (std::uint32_t j = 0; j < k; ++j) {
+      switch (rng.below(3)) {
+        case 0: sa.set(i, j); break;
+        case 1: sb.set(i, j); break;
+        default: break;
+      }
+    }
+  }
+  if (which == GadgetCase::kIntersecting) {
+    // Plant a single witness entry present in both matrices.
+    const auto wi = static_cast<std::uint32_t>(rng.below(k));
+    const auto wj = static_cast<std::uint32_t>(rng.below(k));
+    sa.set(wi, wj);
+    sb.set(wi, wj);
+  }
+  return two_party_gadget(path_len, sa, sb);
+}
+
+TwoPartyGadget diameter_2_vs_3(std::uint32_t k, bool want_diameter3,
+                               std::uint64_t seed) {
+  return random_gadget(
+      k, 1,
+      want_diameter3 ? GadgetCase::kIntersecting : GadgetCase::kDisjoint,
+      seed);
+}
+
+TwoPartyGadget diameter_wide_gap(std::uint32_t k, std::uint32_t path_len,
+                                 bool want_large, std::uint64_t seed) {
+  if (want_large) {
+    BitMatrix sa(k), sb(k);
+    sa.fill(true);
+    sb.fill(true);
+    return wide_gap_gadget(path_len, sa, sb);
+  }
+  Rng rng(seed);
+  BitMatrix sa(k), sb(k);
+  for (std::uint32_t i = 0; i < k; ++i) {
+    for (std::uint32_t j = 0; j < k; ++j) {
+      switch (rng.below(3)) {
+        case 0: sa.set(i, j); break;
+        case 1: sb.set(i, j); break;
+        default: break;
+      }
+    }
+  }
+  return wide_gap_gadget(path_len, sa, sb);
+}
+
+std::uint32_t max_k_for_nodes(NodeId max_nodes, std::uint32_t path_len) {
+  std::uint32_t k = 0;
+  while (gadget_num_nodes(k + 1, path_len) <= max_nodes) ++k;
+  return k;
+}
+
+}  // namespace dapsp::hard

@@ -1,0 +1,128 @@
+// Lower-bound instance families (Theorems 2, 6 and 8 of the paper).
+//
+// The paper's lower bounds reduce two-party set disjointness to distributed
+// diameter computation: Alice holds a k x k bit matrix S_A, Bob holds S_B,
+// and a graph gadget is built whose diameter depends on whether the 1-sets
+// of S_A and S_B intersect. All Theta(k^2) input bits must cross a cut of
+// only Theta(k) edges, so any correct algorithm needs Omega(k / B) rounds;
+// with n = Theta(k) nodes this is Omega(n / B).
+//
+// We implement two parametric gadgets:
+//
+// 1. two_party_gadget(L, S_A, S_B) - "gap-1" gadget.
+//    Nodes: row nodes a_0..a_{k-1}, b_0..b_{k-1} (Alice) and a'_i, b'_i
+//    (Bob), each group a clique; hubs c_A (adjacent to every a_i, b_i) and
+//    c_B (adjacent to every a'_i, b'_i); disjoint paths a_i ~ a'_i and
+//    b_i ~ b'_i of length L; a hub path c_A ~ c_B of length L+1.
+//    Input: edge (a_i, b_j) iff S_A[i][j] == 0; Bob symmetric.
+//    Diameter (verified in tests against the sequential oracle):
+//        L+1  iff the 1-sets are disjoint,
+//        L+2  otherwise (the hub detour bounds every pair by L+2).
+//    With L == 1 this is the Theorem 6 family (diameter 2 vs 3); its cliques
+//    make girth 3 for k >= 3, giving the Theorem 8 family; Lemma 11 uses it
+//    for (x,3/2-eps)-APSP hardness.
+//
+// 2. wide_gap_gadget(L) - "gap-2" gadget for Theorem 2 benches (L >= 3).
+//    Same skeleton, but every hub spoke (c_A ~ a_i, c_A ~ b_i, c_B ~ a'_i,
+//    c_B ~ b'_i) is a path of length 2 and the hub path has length L-1.
+//    Diameter (oracle-verified in tests): with d := L+2,
+//        d    for disjoint inputs   (the far pairs are hub-spoke internals),
+//        d+2  for all-ones inputs   (the only inputs that block every 2-hop
+//                                    in-side detour).
+//    This is exactly Theorem 2's "diameter d or d+2" promise family. Note
+//    the all-ones "far" instance carries no disjointness entropy, so the
+//    information-theoretic cut audit (certified_min_rounds) is only
+//    meaningful for the gap-1 family; benches use it there only.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dapsp::hard {
+
+// Dense k x k bit matrix.
+class BitMatrix {
+ public:
+  explicit BitMatrix(std::uint32_t k) : k_(k), bits_(std::size_t{k} * k, 0) {}
+
+  std::uint32_t k() const noexcept { return k_; }
+  bool at(std::uint32_t i, std::uint32_t j) const {
+    return bits_[std::size_t{i} * k_ + j] != 0;
+  }
+  void set(std::uint32_t i, std::uint32_t j, bool value = true) {
+    bits_[std::size_t{i} * k_ + j] = value ? 1 : 0;
+  }
+  void fill(bool value);
+  // Number of 1-entries.
+  std::size_t popcount() const;
+  // True iff this and other share a common 1-entry.
+  bool intersects(const BitMatrix& other) const;
+
+ private:
+  std::uint32_t k_;
+  std::vector<std::uint8_t> bits_;
+};
+
+// A built gadget instance plus the bookkeeping benches need.
+struct TwoPartyGadget {
+  Graph graph;
+  std::uint32_t k = 0;
+  std::uint32_t path_len = 0;      // L
+  std::uint32_t expected_diameter = 0;
+  std::size_t cut_edge_count = 0;  // edges crossing the Alice/Bob cut
+
+  NodeId a(std::uint32_t i) const { return i; }
+  NodeId b(std::uint32_t i) const { return k + i; }
+  NodeId a_prime(std::uint32_t i) const { return 2 * k + i; }
+  NodeId b_prime(std::uint32_t i) const { return 3 * k + i; }
+  NodeId c_alice() const { return 4 * k; }
+  NodeId c_bob() const { return 4 * k + 1; }
+
+  // Bits of two-party input encoded in the instance.
+  std::uint64_t input_bits() const { return std::uint64_t{k} * k; }
+  // Information-theoretic certified minimum number of rounds for any
+  // protocol deciding set disjointness on this family with per-edge
+  // bandwidth B bits: ceil(k^2 / (cut * B)).
+  std::uint64_t certified_min_rounds(std::uint32_t bandwidth_bits) const;
+};
+
+// Total node count of the gap-1 gadget for given (k, L).
+NodeId gadget_num_nodes(std::uint32_t k, std::uint32_t path_len);
+// Total node count of the wide-gap gadget for given (k, L).
+NodeId wide_gap_num_nodes(std::uint32_t k, std::uint32_t path_len);
+
+// Gap-1 gadget (diameter L+1 vs L+2). path_len >= 1, k >= 1.
+TwoPartyGadget two_party_gadget(std::uint32_t path_len,
+                                const BitMatrix& s_alice,
+                                const BitMatrix& s_bob);
+
+// Wide-gap gadget (diameter L+2 for disjoint inputs, L+4 for all-ones).
+// path_len >= 3.
+TwoPartyGadget wide_gap_gadget(std::uint32_t path_len,
+                               const BitMatrix& s_alice,
+                               const BitMatrix& s_bob);
+
+enum class GadgetCase {
+  kDisjoint,      // diameter L+1 (both gadgets)
+  kIntersecting,  // gap-1 gadget: diameter L+2
+};
+
+// Random gap-1 instance of the requested case.
+TwoPartyGadget random_gadget(std::uint32_t k, std::uint32_t path_len,
+                             GadgetCase which, std::uint64_t seed);
+
+// Theorem 6 family: diameter 2 (want_diameter3 == false) or 3.
+TwoPartyGadget diameter_2_vs_3(std::uint32_t k, bool want_diameter3,
+                               std::uint64_t seed);
+
+// Theorem 2 family: diameter d = path_len+2 (want_large == false) or d+2.
+// path_len >= 3.
+TwoPartyGadget diameter_wide_gap(std::uint32_t k, std::uint32_t path_len,
+                                 bool want_large, std::uint64_t seed);
+
+// Largest k such that gadget_num_nodes(k, path_len) <= max_nodes (0 if none).
+std::uint32_t max_k_for_nodes(NodeId max_nodes, std::uint32_t path_len);
+
+}  // namespace dapsp::hard

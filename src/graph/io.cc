@@ -1,0 +1,79 @@
+#include "graph/io.h"
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dapsp::io {
+namespace {
+
+// Strips comments and returns the next non-empty line's token stream.
+bool next_content_line(std::istream& in, std::istringstream& tokens) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream probe(line);
+    std::string word;
+    if (probe >> word) {
+      tokens = std::istringstream(line);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void write_edge_list(std::ostream& out, const Graph& g) {
+  out << g.num_nodes() << ' ' << g.num_edges() << '\n';
+  for (const Edge& e : g.edges()) out << e.u << ' ' << e.v << '\n';
+}
+
+Graph read_edge_list(std::istream& in) {
+  std::istringstream tokens;
+  if (!next_content_line(in, tokens)) {
+    throw std::invalid_argument("edge list: missing header");
+  }
+  std::uint64_t n = 0, m = 0;
+  if (!(tokens >> n >> m)) {
+    throw std::invalid_argument("edge list: bad header");
+  }
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    if (!next_content_line(in, tokens)) {
+      throw std::invalid_argument("edge list: truncated");
+    }
+    std::uint64_t u = 0, v = 0;
+    if (!(tokens >> u >> v)) {
+      throw std::invalid_argument("edge list: bad edge line");
+    }
+    edges.push_back({static_cast<NodeId>(u), static_cast<NodeId>(v)});
+  }
+  return Graph(static_cast<NodeId>(n), edges);
+}
+
+std::string to_edge_list(const Graph& g) {
+  std::ostringstream out;
+  write_edge_list(out, g);
+  return out.str();
+}
+
+Graph from_edge_list(const std::string& text) {
+  std::istringstream in(text);
+  return read_edge_list(in);
+}
+
+std::string to_dot(const Graph& g) {
+  std::ostringstream out;
+  out << "graph G {\n";
+  for (NodeId v = 0; v < g.num_nodes(); ++v) out << "  " << v << ";\n";
+  for (const Edge& e : g.edges()) out << "  " << e.u << " -- " << e.v << ";\n";
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace dapsp::io

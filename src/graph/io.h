@@ -1,0 +1,24 @@
+// Text serialization of graphs: a simple edge-list format and GraphViz DOT.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace dapsp::io {
+
+// Edge-list format:
+//   line 1: "<n> <m>"
+//   next m lines: "<u> <v>"
+// Comments ('#' to end of line) and blank lines are ignored.
+void write_edge_list(std::ostream& out, const Graph& g);
+Graph read_edge_list(std::istream& in);
+
+std::string to_edge_list(const Graph& g);
+Graph from_edge_list(const std::string& text);
+
+// GraphViz "graph { ... }" output for visual inspection.
+std::string to_dot(const Graph& g);
+
+}  // namespace dapsp::io

@@ -1,0 +1,168 @@
+#include "seq/aingworth.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "seq/bfs.h"
+#include "seq/properties.h"
+#include "util/bits.h"
+#include "util/rng.h"
+
+namespace dapsp::seq {
+
+std::uint32_t aingworth_threshold(NodeId n) {
+  const double s = std::sqrt(static_cast<double>(n) *
+                             std::log2(static_cast<double>(n) + 1.0));
+  return static_cast<std::uint32_t>(std::ceil(s));
+}
+
+std::vector<NodeId> low_degree_nodes(const Graph& g, std::uint32_t s) {
+  std::vector<NodeId> low;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.degree(v) + 1 < s) low.push_back(v);
+  }
+  return low;
+}
+
+std::vector<NodeId> sample_dominating_set_for_high(const Graph& g,
+                                                   std::uint32_t s,
+                                                   std::uint64_t seed) {
+  const NodeId n = g.num_nodes();
+  const double p = std::sqrt(std::log2(static_cast<double>(n) + 1.0) /
+                             static_cast<double>(n));
+  Rng rng(seed);
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    std::vector<NodeId> dom;
+    for (NodeId v = 0; v < n; ++v) {
+      if (rng.chance(p)) dom.push_back(v);
+    }
+    // Check domination of H(V): every high-degree node has a sampled node in
+    // its inclusive neighborhood.
+    bool ok = true;
+    std::vector<std::uint8_t> sampled(n, 0);
+    for (const NodeId v : dom) sampled[v] = 1;
+    for (NodeId v = 0; v < n && ok; ++v) {
+      if (g.degree(v) + 1 < s) continue;  // low-degree: not required
+      if (sampled[v]) continue;
+      bool dominated = false;
+      for (const NodeId u : g.neighbors(v)) {
+        if (sampled[u]) {
+          dominated = true;
+          break;
+        }
+      }
+      ok = dominated;
+    }
+    if (ok) return dom;
+  }
+  throw std::runtime_error(
+      "sample_dominating_set_for_high: sampling failed 64 times (graph too "
+      "small for the whp guarantee?)");
+}
+
+PartialBfs partial_bfs(const Graph& g, NodeId v, std::uint32_t s) {
+  PartialBfs out;
+  const BfsResult full = bfs(g, v);
+  std::vector<std::pair<std::uint32_t, NodeId>> order;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (full.dist[u] != kInfDist) order.push_back({full.dist[u], u});
+  }
+  std::sort(order.begin(), order.end());
+  const std::size_t keep = std::min<std::size_t>(s, order.size());
+  for (std::size_t i = 0; i < keep; ++i) {
+    out.nearest.push_back(order[i].second);
+    out.radius = order[i].first;
+  }
+  return out;
+}
+
+ThreeHalvesResult three_halves_diameter(const Graph& g, std::uint32_t s) {
+  const NodeId n = g.num_nodes();
+  if (n < 2) throw std::invalid_argument("three_halves_diameter: n >= 2");
+  if (s == 0) s = aingworth_threshold(n);
+
+  ThreeHalvesResult out;
+  auto run_bfs = [&](NodeId root) {
+    const BfsResult b = bfs(g, root);
+    ++out.bfs_performed;
+    out.estimate = std::max(out.estimate, b.ecc);
+  };
+
+  // 1. Partial s-BFS everywhere; find the deepest.
+  std::vector<PartialBfs> partial(n);
+  std::uint32_t deepest_radius = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    partial[v] = partial_bfs(g, v, s);
+    if (partial[v].radius > deepest_radius) {
+      deepest_radius = partial[v].radius;
+      out.deepest = v;
+    }
+  }
+
+  // 2. Full BFS from w and from each of its s nearest.
+  run_bfs(out.deepest);
+  for (const NodeId u : partial[out.deepest].nearest) {
+    if (u != out.deepest) run_bfs(u);
+  }
+
+  // 3. Greedy hitting set of { N_s(v) : v in V }, then BFS from each member
+  //    (the deterministic dominating-set step of [2]).
+  std::vector<std::uint8_t> hit(n, 0);
+  std::size_t unhit = n;
+  while (unhit > 0) {
+    // Count, for each node u, how many un-hit neighborhoods contain u.
+    std::vector<std::uint32_t> gain(n, 0);
+    for (NodeId v = 0; v < n; ++v) {
+      if (hit[v]) continue;
+      for (const NodeId u : partial[v].nearest) ++gain[u];
+    }
+    NodeId best = 0;
+    for (NodeId u = 1; u < n; ++u) {
+      if (gain[u] > gain[best]) best = u;
+    }
+    ++out.hitting_set_size;
+    run_bfs(best);
+    for (NodeId v = 0; v < n; ++v) {
+      if (hit[v]) continue;
+      for (const NodeId u : partial[v].nearest) {
+        if (u == best) {
+          hit[v] = 1;
+          --unhit;
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+TwoVsFourResult two_vs_four(const Graph& g, std::uint64_t seed) {
+  const NodeId n = g.num_nodes();
+  if (n < 2) throw std::invalid_argument("two_vs_four: n >= 2");
+  const std::uint32_t s = aingworth_threshold(n);
+
+  TwoVsFourResult result;
+  std::vector<NodeId> roots;
+  const std::vector<NodeId> low = low_degree_nodes(g, s);
+  if (!low.empty()) {
+    result.used_low_degree_branch = true;
+    // BFS from every vertex in N1(v) for a low-degree v (|N1(v)| < s).
+    const NodeId v = low.front();
+    roots.push_back(v);
+    for (const NodeId u : g.neighbors(v)) roots.push_back(u);
+  } else {
+    roots = sample_dominating_set_for_high(g, s, seed);
+  }
+
+  std::uint32_t max_depth = 0;
+  for (const NodeId r : roots) {
+    const BfsResult b = bfs(g, r);
+    ++result.bfs_performed;
+    max_depth = std::max(max_depth, b.ecc);
+  }
+  result.answer = (max_depth <= 2) ? 2u : 4u;
+  return result;
+}
+
+}  // namespace dapsp::seq

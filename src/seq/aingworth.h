@@ -1,0 +1,58 @@
+// Sequential version of Algorithm 3 ("2-vs-4", after Aingworth, Chekuri,
+// Indyk, Motwani): distinguish diameter-2 graphs from diameter-4 graphs.
+// Serves as the reference implementation for the distributed version in
+// src/core/two_vs_four and as a standalone baseline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dapsp::seq {
+
+// Degree threshold used by Algorithm 3; the paper (following [2]) picks
+// s = sqrt(n * log n).
+std::uint32_t aingworth_threshold(NodeId n);
+
+// L(V) = { v : deg(v) + 1 < s } (Definition 10 counts v itself in N1(v)).
+std::vector<NodeId> low_degree_nodes(const Graph& g, std::uint32_t s);
+
+// A 1-dominating set for the high-degree nodes H(V), by random sampling with
+// probability sqrt(log n / n) per node (Remark 6). Retries until dominating
+// (whp a single attempt suffices).
+std::vector<NodeId> sample_dominating_set_for_high(const Graph& g,
+                                                   std::uint32_t s,
+                                                   std::uint64_t seed);
+
+struct TwoVsFourResult {
+  std::uint32_t answer = 0;        // 2 or 4
+  std::size_t bfs_performed = 0;   // cost proxy: number of full BFS runs
+  bool used_low_degree_branch = false;
+};
+
+// Input promise: diameter(g) is exactly 2 or exactly 4.
+TwoVsFourResult two_vs_four(const Graph& g, std::uint64_t seed);
+
+// The s nearest nodes of v (ties broken by id), i.e. the partial s-BFS of
+// [2], together with the distance of the s-th (the ball radius).
+struct PartialBfs {
+  std::vector<NodeId> nearest;   // <= s nodes, including v itself
+  std::uint32_t radius = 0;      // distance of the farthest of them
+};
+PartialBfs partial_bfs(const Graph& g, NodeId v, std::uint32_t s);
+
+// The Aingworth-Chekuri-Indyk-Motwani (x,3/2) diameter estimate
+// (Section 3.3): partial s-BFS everywhere, a full BFS from the deepest
+// partial tree's root w and from each of w's s nearest, plus BFS from a
+// greedy hitting set of all the partial neighborhoods. Returns a lower
+// estimate with floor(2D/3) <= estimate <= D, deterministically.
+struct ThreeHalvesResult {
+  std::uint32_t estimate = 0;    // max eccentricity seen
+  NodeId deepest = 0;            // w
+  std::size_t bfs_performed = 0; // cost proxy
+  std::size_t hitting_set_size = 0;
+};
+ThreeHalvesResult three_halves_diameter(const Graph& g, std::uint32_t s = 0);
+
+}  // namespace dapsp::seq

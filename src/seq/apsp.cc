@@ -1,0 +1,27 @@
+#include "seq/apsp.h"
+
+#include "seq/bfs.h"
+
+namespace dapsp {
+
+std::uint32_t DistanceMatrix::max_finite() const {
+  std::uint32_t best = 0;
+  for (const std::uint32_t d : d_) {
+    if (d != kInfDist && d > best) best = d;
+  }
+  return best;
+}
+
+namespace seq {
+
+DistanceMatrix apsp(const Graph& g) {
+  DistanceMatrix m(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const BfsResult r = bfs(g, u);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) m.set(u, v, r.dist[v]);
+  }
+  return m;
+}
+
+}  // namespace seq
+}  // namespace dapsp

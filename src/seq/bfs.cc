@@ -1,0 +1,34 @@
+#include "seq/bfs.h"
+
+#include <queue>
+
+namespace dapsp::seq {
+
+BfsResult bfs(const Graph& g, NodeId source) {
+  return bfs_limited(g, source, kInfDist);
+}
+
+BfsResult bfs_limited(const Graph& g, NodeId source, std::uint32_t max_depth) {
+  BfsResult r;
+  r.dist.assign(g.num_nodes(), kInfDist);
+  r.parent.assign(g.num_nodes(), BfsResult::kInfParent);
+  std::queue<NodeId> q;
+  r.dist[source] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    r.ecc = r.dist[u];
+    if (r.dist[u] == max_depth) continue;
+    for (const NodeId v : g.neighbors(u)) {
+      if (r.dist[v] == kInfDist) {
+        r.dist[v] = r.dist[u] + 1;
+        r.parent[v] = u;
+        q.push(v);
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace dapsp::seq

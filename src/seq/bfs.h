@@ -1,0 +1,29 @@
+// Sequential breadth-first search: the ground-truth oracle against which the
+// distributed algorithms are tested, and a building block for src/seq.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dapsp::seq {
+
+struct BfsResult {
+  // dist[v] = hop distance from the source, kInfDist if unreachable.
+  std::vector<std::uint32_t> dist;
+  // parent[v] = predecessor of v on a shortest path from the source
+  // (smallest-id predecessor); kInfParent for the source and unreachable.
+  std::vector<NodeId> parent;
+  // Maximum finite distance (the source's eccentricity within its component).
+  std::uint32_t ecc = 0;
+
+  static constexpr NodeId kInfParent = 0xffffffffu;
+};
+
+BfsResult bfs(const Graph& g, NodeId source);
+
+// Distances from `source` truncated at `max_depth` (nodes further away get
+// kInfDist). Mirrors the paper's partial k-BFS trees (Definition 7).
+BfsResult bfs_limited(const Graph& g, NodeId source, std::uint32_t max_depth);
+
+}  // namespace dapsp::seq

@@ -1,0 +1,136 @@
+#include "seq/properties.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "seq/bfs.h"
+
+namespace dapsp::seq {
+
+bool is_connected(const Graph& g) {
+  if (g.num_nodes() == 0) return true;
+  const BfsResult r = bfs(g, 0);
+  return std::none_of(r.dist.begin(), r.dist.end(),
+                      [](std::uint32_t d) { return d == kInfDist; });
+}
+
+bool is_tree(const Graph& g) {
+  return is_connected(g) &&
+         g.num_edges() + 1 == static_cast<std::size_t>(g.num_nodes());
+}
+
+std::vector<std::uint32_t> eccentricities(const Graph& g) {
+  std::vector<std::uint32_t> ecc(g.num_nodes(), 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const BfsResult r = bfs(g, v);
+    for (const std::uint32_t d : r.dist) {
+      if (d == kInfDist) {
+        throw std::invalid_argument("eccentricities: graph is disconnected");
+      }
+    }
+    ecc[v] = r.ecc;
+  }
+  return ecc;
+}
+
+std::vector<std::uint32_t> eccentricities(const DistanceMatrix& d) {
+  std::vector<std::uint32_t> ecc(d.n(), 0);
+  for (NodeId v = 0; v < d.n(); ++v) {
+    for (const std::uint32_t dist : d.row(v)) {
+      if (dist == kInfDist) {
+        throw std::invalid_argument("eccentricities: matrix has infinities");
+      }
+      ecc[v] = std::max(ecc[v], dist);
+    }
+  }
+  return ecc;
+}
+
+std::uint32_t diameter(const Graph& g) {
+  const auto ecc = eccentricities(g);
+  return *std::max_element(ecc.begin(), ecc.end());
+}
+
+std::uint32_t radius(const Graph& g) {
+  const auto ecc = eccentricities(g);
+  return *std::min_element(ecc.begin(), ecc.end());
+}
+
+std::vector<NodeId> center(const Graph& g) {
+  const auto ecc = eccentricities(g);
+  const std::uint32_t rad = *std::min_element(ecc.begin(), ecc.end());
+  std::vector<NodeId> c;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (ecc[v] == rad) c.push_back(v);
+  }
+  return c;
+}
+
+std::vector<NodeId> peripheral_vertices(const Graph& g) {
+  const auto ecc = eccentricities(g);
+  const std::uint32_t diam = *std::max_element(ecc.begin(), ecc.end());
+  std::vector<NodeId> p;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (ecc[v] == diam) p.push_back(v);
+  }
+  return p;
+}
+
+std::uint32_t girth(const Graph& g) {
+  // For each source v: BFS, then scan every edge (u,w); a non-tree edge
+  // closes a cycle through the BFS paths of length dist[u] + dist[w] + 1.
+  // The minimum over all sources and edges is exactly the girth (the BFS
+  // from any vertex on a minimum cycle certifies it; no candidate is ever
+  // shorter than the girth since each candidate closed walk contains a
+  // cycle). This mirrors the distributed detection rule of Lemma 7.
+  std::uint32_t best = kInfGirth;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const BfsResult r = bfs(g, v);
+    for (const Edge& e : g.edges()) {
+      if (r.dist[e.u] == kInfDist || r.dist[e.v] == kInfDist) continue;
+      if (r.parent[e.u] == e.v || r.parent[e.v] == e.u) continue;  // tree edge
+      const std::uint32_t len = r.dist[e.u] + r.dist[e.v] + 1;
+      best = std::min(best, len);
+    }
+  }
+  return best;
+}
+
+std::uint32_t count_within(const Graph& g, NodeId v, std::uint32_t k) {
+  const BfsResult r = bfs_limited(g, v, k);
+  std::uint32_t count = 0;
+  for (const std::uint32_t d : r.dist) {
+    if (d != kInfDist) ++count;
+  }
+  return count;
+}
+
+bool is_k_dominating(const Graph& g, std::span<const NodeId> dom,
+                     std::uint32_t k) {
+  // Multi-source BFS from dom, truncated at depth k.
+  std::vector<std::uint32_t> dist(g.num_nodes(), kInfDist);
+  std::vector<NodeId> frontier;
+  for (const NodeId v : dom) {
+    if (v >= g.num_nodes()) throw std::invalid_argument("is_k_dominating: bad node");
+    if (dist[v] != 0) {
+      dist[v] = 0;
+      frontier.push_back(v);
+    }
+  }
+  for (std::uint32_t depth = 0; depth < k && !frontier.empty(); ++depth) {
+    std::vector<NodeId> next;
+    for (const NodeId u : frontier) {
+      for (const NodeId w : g.neighbors(u)) {
+        if (dist[w] == kInfDist) {
+          dist[w] = depth + 1;
+          next.push_back(w);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return std::none_of(dist.begin(), dist.end(),
+                      [](std::uint32_t d) { return d == kInfDist; });
+}
+
+}  // namespace dapsp::seq

@@ -1,0 +1,49 @@
+// Sequential computation of the graph properties studied by the paper
+// (Definitions 3, 4 and 6): eccentricities, diameter, radius, center,
+// peripheral vertices, girth — plus structural predicates used by tests.
+//
+// These are the trusted oracles; every distributed algorithm is validated
+// against them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "seq/apsp.h"
+
+namespace dapsp::seq {
+
+// Girth of a forest is "infinity" (Definition 3).
+inline constexpr std::uint32_t kInfGirth = kInfDist;
+
+bool is_connected(const Graph& g);
+
+// True iff g is connected and acyclic (Claim 1's predicate).
+bool is_tree(const Graph& g);
+
+// ecc(v) for every v. Requires a connected graph.
+std::vector<std::uint32_t> eccentricities(const Graph& g);
+std::vector<std::uint32_t> eccentricities(const DistanceMatrix& d);
+
+// Diameter / radius. Require a connected graph.
+std::uint32_t diameter(const Graph& g);
+std::uint32_t radius(const Graph& g);
+
+// Center: nodes with ecc(v) == radius (Definition 4).
+std::vector<NodeId> center(const Graph& g);
+// Peripheral vertices: nodes with ecc(v) == diameter (Definition 4).
+std::vector<NodeId> peripheral_vertices(const Graph& g);
+
+// Exact girth via n BFS runs; kInfGirth for forests.
+std::uint32_t girth(const Graph& g);
+
+// Number of nodes within distance k of v, including v (|N_k(v)|).
+std::uint32_t count_within(const Graph& g, NodeId v, std::uint32_t k);
+
+// True iff every node of g is within distance k of some node in dom
+// (Definition 9).
+bool is_k_dominating(const Graph& g, std::span<const NodeId> dom,
+                     std::uint32_t k);
+
+}  // namespace dapsp::seq

@@ -1,0 +1,25 @@
+#include "util/bits.h"
+
+#include <bit>
+
+namespace dapsp {
+
+int bits_for(std::uint64_t n) noexcept {
+  if (n == 0) return 1;
+  return 64 - std::countl_zero(n);
+}
+
+int ceil_log2(std::uint64_t n) noexcept {
+  if (n <= 1) return 0;
+  return bits_for(n - 1);
+}
+
+std::uint64_t isqrt(std::uint64_t n) noexcept {
+  if (n == 0) return 0;
+  std::uint64_t r = static_cast<std::uint64_t>(__builtin_sqrtl(static_cast<long double>(n)));
+  while (r > 0 && r * r > n) --r;
+  while ((r + 1) * (r + 1) <= n) ++r;
+  return r;
+}
+
+}  // namespace dapsp

@@ -1,0 +1,23 @@
+// Small bit-arithmetic helpers used by the CONGEST bandwidth accounting.
+#pragma once
+
+#include <cstdint>
+
+namespace dapsp {
+
+// Number of bits needed to represent values in [0, n] (at least 1).
+// bits_for(0) == 1, bits_for(1) == 1, bits_for(2) == 2, bits_for(255) == 8.
+int bits_for(std::uint64_t n) noexcept;
+
+// ceil(log2(n)) for n >= 1; ceil_log2(1) == 0.
+int ceil_log2(std::uint64_t n) noexcept;
+
+// Integer square root: largest r with r*r <= n.
+std::uint64_t isqrt(std::uint64_t n) noexcept;
+
+// ceil(a / b) for b > 0.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+}  // namespace dapsp

@@ -1,0 +1,31 @@
+#include "util/rng.h"
+
+namespace dapsp {
+
+std::uint64_t Rng::below(std::uint64_t bound) noexcept {
+  // Lemire-style rejection-free mapping is overkill here; use modulo with a
+  // rejection loop to remove bias (bound is tiny compared to 2^64 in all of
+  // our uses, so the loop almost never iterates).
+  const std::uint64_t threshold = -bound % bound;  // 2^64 mod bound
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::uint64_t Rng::between(std::uint64_t lo, std::uint64_t hi) noexcept {
+  return lo + below(hi - lo + 1);
+}
+
+double Rng::uniform01() noexcept {
+  // 53 random bits into the mantissa.
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+}  // namespace dapsp

@@ -1,0 +1,237 @@
+// Algorithm 1 (pebble APSP) and its applications (Lemmas 2-7), validated
+// against the sequential oracle on the whole suite, plus the paper's
+// complexity and congestion claims as checked invariants.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/apsp_applications.h"
+#include "core/pebble_apsp.h"
+#include "core/tree_check.h"
+#include "graph/generators.h"
+#include "seq/apsp.h"
+#include "seq/bfs.h"
+#include "seq/properties.h"
+#include "testing/suite.h"
+
+namespace dapsp::core {
+namespace {
+
+TEST(PebbleApsp, MatchesOracleOnSuite) {
+  for (const auto& [name, g] : testing::small_suite()) {
+    const ApspResult r = run_pebble_apsp(g);
+    const DistanceMatrix want = seq::apsp(g);
+    EXPECT_EQ(r.dist, want) << name;
+  }
+}
+
+TEST(PebbleApsp, MatchesOracleOnMediumSuite) {
+  for (const auto& [name, g] : testing::medium_suite()) {
+    const ApspResult r = run_pebble_apsp(g);
+    EXPECT_EQ(r.dist, seq::apsp(g)) << name;
+  }
+}
+
+TEST(PebbleApsp, MatchesOracleUnderRelabeling) {
+  // The algorithm must not depend on generator id structure.
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const Graph g = gen::random_connected(60, 50, seed).relabeled(seed * 7);
+    EXPECT_EQ(run_pebble_apsp(g).dist, seq::apsp(g)) << seed;
+  }
+}
+
+TEST(PebbleApsp, AggregatesMatchOracle) {
+  for (const auto& [name, g] : testing::small_suite()) {
+    const ApspResult r = run_pebble_apsp(g);
+    EXPECT_EQ(r.diameter, seq::diameter(g)) << name;
+    EXPECT_EQ(r.radius, seq::radius(g)) << name;
+    EXPECT_EQ(r.ecc, seq::eccentricities(g)) << name;
+    EXPECT_EQ(r.girth, seq::girth(g)) << name;
+    std::vector<NodeId> ctr, per;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (r.is_center[v]) ctr.push_back(v);
+      if (r.is_peripheral[v]) per.push_back(v);
+    }
+    EXPECT_EQ(ctr, seq::center(g)) << name;
+    EXPECT_EQ(per, seq::peripheral_vertices(g)) << name;
+  }
+}
+
+TEST(PebbleApsp, TreeCycleEvidenceMatchesClaimOne) {
+  for (const auto& [name, g] : testing::small_suite()) {
+    const ApspResult r = run_pebble_apsp(g);
+    EXPECT_EQ(r.tree_cycle_evidence, !seq::is_tree(g)) << name;
+  }
+}
+
+// Theorem 1: O(n) rounds. With our constants: T1 build (<= 2 ecc + 4) +
+// traversal (< 3n) + last flood (<= 2 ecc) + aggregation (~4 ecc + 4).
+TEST(PebbleApsp, LinearRoundBound) {
+  for (const auto& [name, g] : testing::small_suite()) {
+    const ApspResult r = run_pebble_apsp(g);
+    const std::uint64_t n = g.num_nodes();
+    const std::uint64_t ecc = r.leader_ecc;
+    EXPECT_LE(r.stats.rounds, 3 * n + 10 * ecc + 16) << name;
+  }
+  for (const auto& [name, g] : testing::medium_suite()) {
+    const ApspResult r = run_pebble_apsp(g);
+    EXPECT_LE(r.stats.rounds,
+              3 * std::uint64_t{g.num_nodes()} + 10 * r.leader_ecc + 16)
+        << name;
+  }
+}
+
+// Lemma 1, as a checked invariant: no congestion. At most one flood message
+// plus the pebble ever share a directed edge in a round, so the observed
+// worst per-edge load stays within B even though the engine would allow
+// multiple messages.
+TEST(PebbleApsp, NoCongestion) {
+  for (const auto& [name, g] : testing::medium_suite()) {
+    ApspOptions opt;
+    opt.aggregate = false;  // isolate the flood phase
+    const ApspResult r = run_pebble_apsp(g, opt);
+    EXPECT_LE(r.stats.max_edge_messages, 2u) << name;  // flood + pebble
+    EXPECT_LE(r.stats.max_edge_bits, r.stats.bandwidth_bits) << name;
+  }
+}
+
+TEST(PebbleApsp, WithoutAggregationStillApsp) {
+  const Graph g = gen::random_connected(40, 35, 9);
+  ApspOptions opt;
+  opt.aggregate = false;
+  const ApspResult r = run_pebble_apsp(g, opt);
+  EXPECT_EQ(r.dist, seq::apsp(g));
+}
+
+TEST(PebbleApsp, SingleNode) {
+  const ApspResult r = run_pebble_apsp(gen::path(1));
+  EXPECT_EQ(r.dist.at(0, 0), 0u);
+  EXPECT_EQ(r.diameter, 0u);
+  EXPECT_EQ(r.radius, 0u);
+  EXPECT_EQ(r.girth, seq::kInfGirth);
+}
+
+TEST(PebbleApsp, TwoNodes) {
+  const ApspResult r = run_pebble_apsp(gen::path(2));
+  EXPECT_EQ(r.dist.at(0, 1), 1u);
+  EXPECT_EQ(r.diameter, 1u);
+}
+
+TEST(PebbleApsp, LeaderEccIsExact) {
+  for (const auto& [name, g] : testing::small_suite()) {
+    const ApspResult r = run_pebble_apsp(g);
+    EXPECT_EQ(r.leader_ecc, seq::bfs(g, 0).ecc) << name;
+  }
+}
+
+TEST(PebbleApsp, DeterministicRounds) {
+  const Graph g = gen::random_connected(50, 40, 21);
+  const ApspResult a = run_pebble_apsp(g);
+  const ApspResult b = run_pebble_apsp(g);
+  EXPECT_EQ(a.stats.rounds, b.stats.rounds);
+  EXPECT_EQ(a.stats.messages, b.stats.messages);
+}
+
+TEST(PebbleApsp, DisconnectedThrows) {
+  const Graph g(4, {{0, 1}, {2, 3}});
+  EXPECT_THROW(run_pebble_apsp(g), congest::RoundLimitError);
+}
+
+// Message complexity: Algorithm 1 sends O((n + D) * m) flood messages.
+TEST(PebbleApsp, MessageComplexityBound) {
+  for (const auto& [name, g] : testing::small_suite()) {
+    const ApspResult r = run_pebble_apsp(g);
+    const std::uint64_t n = g.num_nodes();
+    const std::uint64_t m = g.num_edges();
+    // Floods: <= 2m per root; tree build <= 4m + 2n; pebble <= 3n;
+    // aggregation <= 6n.
+    EXPECT_LE(r.stats.messages, 2 * m * n + 4 * m + 12 * n + 16) << name;
+  }
+}
+
+// ---- Remark 4: routing tables --------------------------------------------
+
+TEST(PebbleApsp, NextHopsLieOnShortestPaths) {
+  for (const auto& [name, g] : testing::small_suite()) {
+    const ApspResult r = run_pebble_apsp(g);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        if (u == v) {
+          EXPECT_EQ(r.next_hop[v][u], kNoNextHop) << name;
+          continue;
+        }
+        const NodeId nh = r.next_hop[v][u];
+        ASSERT_NE(nh, kNoNextHop) << name << " v=" << v << " u=" << u;
+        EXPECT_TRUE(g.has_edge(v, nh)) << name;
+        EXPECT_EQ(r.dist.at(nh, u) + 1, r.dist.at(v, u))
+            << name << " v=" << v << " u=" << u;
+      }
+    }
+  }
+}
+
+TEST(PebbleApsp, ExtractRouteIsShortest) {
+  const Graph g = gen::random_connected(50, 40, 77);
+  const ApspResult r = run_pebble_apsp(g);
+  for (NodeId v = 0; v < 50; v += 7) {
+    for (NodeId u = 0; u < 50; u += 5) {
+      const auto route = extract_route(r, v, u);
+      EXPECT_EQ(route.size(), r.dist.at(v, u) + 1) << v << "->" << u;
+      EXPECT_EQ(route.front(), v);
+      EXPECT_EQ(route.back(), u);
+      for (std::size_t i = 0; i + 1 < route.size(); ++i) {
+        EXPECT_TRUE(g.has_edge(route[i], route[i + 1]));
+      }
+    }
+  }
+}
+
+// ---- Applications (Lemmas 2-6 wrappers) ------------------------------------
+
+TEST(Applications, DiameterRadiusCenterPeripheral) {
+  const Graph g = gen::lollipop(7, 8);
+  EXPECT_EQ(distributed_diameter(g).value, seq::diameter(g));
+  EXPECT_EQ(distributed_radius(g).value, seq::radius(g));
+  EXPECT_EQ(distributed_center(g).members, seq::center(g));
+  EXPECT_EQ(distributed_peripheral(g).members, seq::peripheral_vertices(g));
+  EXPECT_EQ(distributed_eccentricities(g).ecc, seq::eccentricities(g));
+}
+
+// Remark 1: the (x,2)-approximation runs in O(D) and satisfies
+// D <= estimate <= 2D.
+TEST(Applications, TwoApproxDiameter) {
+  for (const auto& [name, g] : testing::small_suite()) {
+    const PropertyRun r = distributed_diameter_2approx(g);
+    const std::uint32_t diam = seq::diameter(g);
+    EXPECT_GE(r.value, diam) << name;
+    EXPECT_LE(r.value, 2 * diam) << name;
+    // O(D) rounds: tree build + broadcast.
+    EXPECT_LE(r.stats.rounds, 4 * std::uint64_t{diam} + 12) << name;
+  }
+}
+
+// ---- Claim 1 (tree check) ---------------------------------------------------
+
+TEST(TreeCheck, MatchesOracle) {
+  for (const auto& [name, g] : testing::small_suite()) {
+    const TreeCheckRun r = run_tree_check(g);
+    EXPECT_EQ(r.is_tree, seq::is_tree(g)) << name;
+  }
+}
+
+TEST(TreeCheck, RunsInDiameterTime) {
+  for (const auto& [name, g] : testing::medium_suite()) {
+    const TreeCheckRun r = run_tree_check(g);
+    const std::uint64_t diam = seq::diameter(g);
+    EXPECT_LE(r.stats.rounds, 4 * diam + 12) << name;
+  }
+}
+
+TEST(TreeCheck, LeaderEccReported) {
+  const Graph g = gen::path(30);
+  const TreeCheckRun r = run_tree_check(g);
+  EXPECT_EQ(r.leader_ecc, 29u);
+}
+
+}  // namespace
+}  // namespace dapsp::core

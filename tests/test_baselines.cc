@@ -1,0 +1,133 @@
+// Baselines from Section 3.1: naive n-fold BFS, serialized distance-vector,
+// serialized link-state — correctness vs the oracle plus the cost shapes the
+// paper attributes to them. Also the PRT-style diameter arm.
+#include <gtest/gtest.h>
+
+#include "baselines/distance_vector.h"
+#include "baselines/link_state.h"
+#include "baselines/naive_apsp.h"
+#include "baselines/prt_diameter.h"
+#include "core/pebble_apsp.h"
+#include "graph/generators.h"
+#include "seq/apsp.h"
+#include "seq/properties.h"
+#include "testing/suite.h"
+
+namespace dapsp::baselines {
+namespace {
+
+TEST(NaiveApsp, MatchesOracle) {
+  for (const auto& [name, g] : testing::small_suite()) {
+    const NaiveApspResult r = run_naive_apsp(g);
+    EXPECT_EQ(r.dist, seq::apsp(g)) << name;
+  }
+}
+
+TEST(NaiveApsp, RoundsAreNTimesD) {
+  // The point of the baseline: Theta(n * D) rounds.
+  const Graph g = gen::path(64);
+  const NaiveApspResult r = run_naive_apsp(g);
+  EXPECT_GE(r.stats.rounds, std::uint64_t{63} * 64);  // ~ n * (n-1)
+  // Compare with Algorithm 1 on the same graph: linear.
+  const core::ApspResult fast = core::run_pebble_apsp(g);
+  EXPECT_LT(fast.stats.rounds * 8, r.stats.rounds);
+}
+
+TEST(NaiveApsp, SlotIsolation) {
+  // One flood at a time: never more than one flood message (plus nothing
+  // else) per edge per round.
+  const Graph g = gen::grid(6, 6);
+  const NaiveApspResult r = run_naive_apsp(g);
+  EXPECT_EQ(r.slot_len, r.d0 + 2);
+  EXPECT_LE(r.stats.max_edge_messages, 1u);
+}
+
+TEST(DistanceVector, MatchesOracle) {
+  for (const auto& [name, g] : testing::small_suite()) {
+    const DistanceVectorResult r = run_distance_vector(g);
+    EXPECT_EQ(r.dist, seq::apsp(g)) << name;
+  }
+}
+
+TEST(DistanceVector, SerializedUpdatesRespectBandwidth) {
+  const Graph g = gen::random_connected(60, 60, 9);
+  const DistanceVectorResult r = run_distance_vector(g);
+  EXPECT_LE(r.stats.max_edge_messages, 1u);
+  EXPECT_LE(r.stats.max_edge_bits, r.stats.bandwidth_bits);
+}
+
+TEST(DistanceVector, SuperlinearOnDenseGraphs) {
+  // Section 3.1: with B-bit messages, distance-vector needs far more than
+  // D rounds — every node must serialize ~n entries per edge.
+  const Graph g = gen::complete(48);
+  const DistanceVectorResult r = run_distance_vector(g);
+  EXPECT_GE(r.stats.rounds, 40u);  // D = 1, rounds >> D
+}
+
+TEST(LinkState, MatchesOracleAndCompletes) {
+  for (const auto& [name, g] : testing::small_suite()) {
+    const LinkStateResult r = run_link_state(g);
+    EXPECT_TRUE(r.all_views_complete) << name;
+    EXPECT_EQ(r.dist, seq::apsp(g)) << name;
+  }
+}
+
+TEST(LinkState, RoundsScaleWithEdges) {
+  // Serialized link-state floods m edge records over each link: Omega(m).
+  const Graph sparse = gen::cycle(64);                 // m = 64
+  const Graph dense = gen::random_connected(64, 600, 3);  // m = 663
+  const auto rs = run_link_state(sparse);
+  const auto rd = run_link_state(dense);
+  EXPECT_GE(rd.stats.rounds, rs.stats.rounds);
+  EXPECT_GE(rd.stats.rounds, dense.num_edges() / 4);
+}
+
+TEST(LinkState, MessageComplexityQuadraticInEdges) {
+  const Graph g = gen::random_connected(40, 100, 1);
+  const LinkStateResult r = run_link_state(g);
+  // Every node forwards ~every edge on ~every incident link once: Theta(m^2)
+  // messages on dense-ish graphs (here just a sanity lower bound).
+  EXPECT_GE(r.stats.messages, g.num_edges() * 20);
+}
+
+TEST(PrtDiameter, EstimateBounds) {
+  for (const auto& [name, g] : testing::small_suite()) {
+    if (g.num_nodes() < 3) continue;
+    const PrtDiameterResult r = run_prt_diameter(g);
+    const std::uint32_t diam = seq::diameter(g);
+    EXPECT_LE(r.estimate, diam) << name;           // eccs never exceed D
+    EXPECT_GE(2 * r.estimate, diam) << name;       // Fact 1: ecc >= D/2
+    EXPECT_GE(r.sample_size, 1u) << name;          // leader always sampled
+  }
+}
+
+TEST(PrtDiameter, EmpiricallyNearExactOnSuite) {
+  // The 3/2-arm quality check: max(ecc over sample+farthest) >= 2D/3 on the
+  // bench suite (heuristic arm; see DESIGN.md).
+  for (const auto& [name, g] : testing::medium_suite()) {
+    const PrtDiameterResult r = run_prt_diameter(g);
+    const std::uint32_t diam = seq::diameter(g);
+    EXPECT_GE(3 * r.estimate + 3, 2 * diam) << name;
+  }
+}
+
+TEST(PrtDiameter, RoundShapeSampleTimesD) {
+  const Graph g = gen::grid(10, 10);
+  const PrtDiameterResult r = run_prt_diameter(g);
+  const std::uint64_t d0 = 2u * 18u;  // 2 * ecc(corner)
+  // Dominated by sample_size sequential BFS slots.
+  EXPECT_LE(r.stats.rounds, (r.sample_size + 4) * (d0 + 2) + 8 * d0 + 64);
+}
+
+TEST(PrtDiameter, DeterministicPerSeed) {
+  const Graph g = gen::random_connected(70, 50, 4);
+  PrtDiameterOptions opt;
+  opt.seed = 5;
+  const auto a = run_prt_diameter(g, opt);
+  const auto b = run_prt_diameter(g, opt);
+  EXPECT_EQ(a.estimate, b.estimate);
+  EXPECT_EQ(a.stats.rounds, b.stats.rounds);
+}
+
+}  // namespace
+}  // namespace dapsp::baselines

@@ -1,0 +1,73 @@
+// Section 8: the two-hop census (|N2(v)| for every node), the task
+// Theorem 8 proves Omega(n/B)-hard on the gadget family.
+#include <gtest/gtest.h>
+
+#include "core/neighborhood_census.h"
+#include "graph/generators.h"
+#include "graph/hard_instances.h"
+#include "seq/properties.h"
+#include "testing/suite.h"
+
+namespace dapsp::core {
+namespace {
+
+TEST(Census, MatchesOracleOnSuite) {
+  for (const auto& [name, g] : testing::small_suite()) {
+    const CensusResult r = run_two_hop_census(g);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_EQ(r.n2[v], seq::count_within(g, v, 2)) << name << " v=" << v;
+    }
+  }
+}
+
+TEST(Census, KnownValues) {
+  // Path: interior nodes see 5 nodes within 2 hops.
+  const CensusResult path = run_two_hop_census(gen::path(10));
+  EXPECT_EQ(path.n2[0], 3u);
+  EXPECT_EQ(path.n2[5], 5u);
+  // Star: everyone sees everyone within 2 hops.
+  const CensusResult star = run_two_hop_census(gen::star(12));
+  for (const std::uint32_t c : star.n2) EXPECT_EQ(c, 12u);
+}
+
+TEST(Census, DiameterTwoMeansFullCensus) {
+  // |N2(v)| = n for all v iff diameter <= 2 — the reduction in Theorem 8.
+  const Graph g2 = hard::diameter_2_vs_3(5, false, 3).graph;
+  const CensusResult r2 = run_two_hop_census(g2);
+  for (const std::uint32_t c : r2.n2) EXPECT_EQ(c, g2.num_nodes());
+
+  const Graph g3 = hard::diameter_2_vs_3(5, true, 3).graph;
+  const CensusResult r3 = run_two_hop_census(g3);
+  bool some_incomplete = false;
+  for (const std::uint32_t c : r3.n2) {
+    some_incomplete |= c < g3.num_nodes();
+  }
+  EXPECT_TRUE(some_incomplete);
+}
+
+TEST(Census, RoundsScaleWithMaxDegree) {
+  // Bounded degree: cheap. Gadgets (degree ~ n): Theta(n), per Theorem 8.
+  const CensusResult cheap = run_two_hop_census(gen::grid(12, 12));
+  EXPECT_LE(cheap.stats.rounds, 150u);  // Delta = 4, D = 22
+
+  const Graph gadget = hard::diameter_2_vs_3(24, true, 1).graph;  // n = 99
+  const CensusResult hard_case = run_two_hop_census(gadget);
+  EXPECT_GE(hard_case.max_degree, 24u);
+  EXPECT_GE(hard_case.stats.rounds, hard_case.max_degree);
+}
+
+TEST(Census, RespectsBandwidth) {
+  const Graph g = gen::random_connected(80, 200, 5);
+  const CensusResult r = run_two_hop_census(g);
+  EXPECT_LE(r.stats.max_edge_bits, r.stats.bandwidth_bits);
+}
+
+TEST(Census, SingleNodeAndEdge) {
+  EXPECT_EQ(run_two_hop_census(gen::path(1)).n2[0], 1u);
+  const CensusResult r = run_two_hop_census(gen::path(2));
+  EXPECT_EQ(r.n2[0], 2u);
+  EXPECT_EQ(r.n2[1], 2u);
+}
+
+}  // namespace
+}  // namespace dapsp::core

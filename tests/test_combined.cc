@@ -1,0 +1,70 @@
+// Corollary 1: the (x,3/2) diameter min-selector.
+#include <gtest/gtest.h>
+
+#include "core/combined.h"
+#include "graph/generators.h"
+#include "seq/properties.h"
+#include "testing/suite.h"
+
+namespace dapsp::core {
+namespace {
+
+TEST(CombinedDiameter, WithinRatioOnSuite) {
+  for (const auto& [name, g] : testing::small_suite()) {
+    if (g.num_nodes() < 3) continue;
+    const CombinedDiameterResult r = run_combined_diameter_approx(g);
+    const std::uint32_t diam = seq::diameter(g);
+    EXPECT_GE(r.estimate, diam) << name;
+    EXPECT_LE(r.estimate, 1.5 * diam + 1.0) << name;
+  }
+}
+
+TEST(CombinedDiameter, PicksPrtOnShallowGraphs) {
+  // Corollary 1's crossover: for D <= ~n^(1/4), D*sqrt(n) beats n/D + D.
+  // dense_diameter2(64): D = 2, cost_prt ~ 2*8 = 16 < cost_ours ~ 48.
+  const Graph g = gen::dense_diameter2(64);
+  const CombinedDiameterResult r = run_combined_diameter_approx(g);
+  EXPECT_EQ(r.arm, DiameterArm::kPrt);
+}
+
+TEST(CombinedDiameter, PicksOursOnDeepGraphs) {
+  // On a path D ~ n >> n^(1/4): cost_ours ~ 8D ~ 950 beats
+  // cost_prt ~ D*sqrt(n) ~ 1190.
+  const Graph g = gen::path(120);
+  const CombinedDiameterResult r = run_combined_diameter_approx(g);
+  EXPECT_EQ(r.arm, DiameterArm::kOurs);
+  const std::uint32_t diam = seq::diameter(g);
+  EXPECT_GE(r.estimate, diam);
+  EXPECT_LE(r.estimate, 1.5 * diam + 1.0);
+}
+
+TEST(CombinedDiameter, PrtArmTriggersInCrossover) {
+  // Medium D and large n: D*sqrt(n) < n/D + 8D requires
+  // D^2 sqrt(n) < n + 8 D^2, i.e. small D but not too small... construct
+  // n = 400, D = 4: cost_ours = 100 + 32 = 132, cost_prt = 2*20 = 40.
+  const Graph g = gen::path_of_cliques(2, 200);
+  const CombinedDiameterResult r = run_combined_diameter_approx(g);
+  EXPECT_EQ(r.arm, DiameterArm::kPrt);
+  const std::uint32_t diam = seq::diameter(g);
+  EXPECT_GE(r.estimate, diam);
+  EXPECT_LE(r.estimate, 1.5 * diam + 1.0);
+}
+
+TEST(CombinedDiameter, MediumSuiteRatio) {
+  for (const auto& [name, g] : testing::medium_suite()) {
+    const CombinedDiameterResult r = run_combined_diameter_approx(g);
+    const std::uint32_t diam = seq::diameter(g);
+    EXPECT_GE(r.estimate, diam) << name;
+    EXPECT_LE(r.estimate, 1.5 * diam + 1.0) << name;
+  }
+}
+
+TEST(CombinedDiameter, ReportsProbe) {
+  const Graph g = gen::grid(8, 8);
+  const CombinedDiameterResult r = run_combined_diameter_approx(g);
+  EXPECT_GE(r.d0, seq::diameter(g));
+  EXPECT_LE(r.d0, 2 * seq::diameter(g));
+}
+
+}  // namespace
+}  // namespace dapsp::core

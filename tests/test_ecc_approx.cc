@@ -1,0 +1,123 @@
+// Theorem 4 / Corollary 4: (x,1+eps)-approximation of eccentricities,
+// diameter, radius, center, peripheral vertices — guarantee properties and
+// the O(n/D + D) round shape.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/ecc_approx.h"
+#include "graph/generators.h"
+#include "seq/properties.h"
+#include "testing/suite.h"
+
+namespace dapsp::core {
+namespace {
+
+void expect_guarantees(const Graph& g, double eps, const char* label) {
+  EccApproxOptions opt;
+  opt.epsilon = eps;
+  const EccApproxResult r = run_ecc_approx(g, opt);
+  const auto ecc = seq::eccentricities(g);
+  const std::uint32_t diam = *std::max_element(ecc.begin(), ecc.end());
+  const std::uint32_t rad = *std::min_element(ecc.begin(), ecc.end());
+
+  // Slack calibration: k <= eps * D0 / 8 <= eps * D / 4.
+  EXPECT_LE(r.k, eps * r.d0 / 8.0 + 1e-9) << label;
+
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_GE(r.ecc_estimate[v], ecc[v]) << label << " v=" << v;
+    EXPECT_LE(r.ecc_estimate[v], ecc[v] + r.k) << label << " v=" << v;
+    // (x,1+eps): k <= eps*D/4 <= eps*ecc(v)/2.
+    EXPECT_LE(r.ecc_estimate[v],
+              static_cast<double>(ecc[v]) * (1.0 + eps) + 1e-9)
+        << label << " v=" << v;
+  }
+  EXPECT_GE(r.diameter_estimate, diam) << label;
+  EXPECT_LE(r.diameter_estimate, diam + r.k) << label;
+  EXPECT_GE(r.radius_estimate, rad) << label;
+  EXPECT_LE(r.radius_estimate, rad + r.k) << label;
+
+  // Set approximations (Definition 5 extended to sets): the true center /
+  // peripheral vertices are contained, and every member is within 2k of
+  // qualifying.
+  const auto true_center = seq::center(g);
+  const auto true_periph = seq::peripheral_vertices(g);
+  for (const NodeId c : true_center) {
+    EXPECT_TRUE(std::binary_search(r.center_approx.begin(),
+                                   r.center_approx.end(), c))
+        << label << " center node " << c << " missing";
+  }
+  for (const NodeId p : true_periph) {
+    EXPECT_TRUE(std::binary_search(r.peripheral_approx.begin(),
+                                   r.peripheral_approx.end(), p))
+        << label << " peripheral node " << p << " missing";
+  }
+  for (const NodeId v : r.center_approx) {
+    EXPECT_LE(ecc[v], rad + 2 * r.k) << label << " center approx " << v;
+  }
+  for (const NodeId v : r.peripheral_approx) {
+    EXPECT_GE(ecc[v] + 2 * r.k, diam) << label << " periph approx " << v;
+  }
+}
+
+TEST(EccApprox, GuaranteesOnSmallSuite) {
+  for (const auto& [name, g] : testing::small_suite()) {
+    expect_guarantees(g, 0.5, name.c_str());
+  }
+}
+
+TEST(EccApprox, GuaranteesOnMediumSuite) {
+  for (const auto& [name, g] : testing::medium_suite()) {
+    expect_guarantees(g, 0.5, name.c_str());
+  }
+}
+
+TEST(EccApprox, EpsilonSweep) {
+  const Graph g = gen::path(150);
+  for (const double eps : {0.1, 0.25, 1.0, 2.0}) {
+    expect_guarantees(g, eps, "path150");
+  }
+}
+
+TEST(EccApprox, SmallDiameterFallsBackToExact) {
+  // D0 small => k = 0 => DOM = V, estimates are exact.
+  const Graph g = gen::complete(20);
+  const EccApproxResult r = run_ecc_approx(g);
+  EXPECT_EQ(r.k, 0u);
+  EXPECT_EQ(r.diameter_estimate, 1u);
+  EXPECT_EQ(r.radius_estimate, 1u);
+}
+
+TEST(EccApprox, DomSizeShrinksWithDiameter) {
+  // Fixed n, growing D: |DOM| ~ n/(k+1) ~ n/(eps*D) shrinks.
+  const EccApproxResult shallow = run_ecc_approx(gen::path_of_cliques(4, 32));
+  const EccApproxResult deep = run_ecc_approx(gen::path(128));
+  EXPECT_GT(shallow.dom_size, deep.dom_size);
+}
+
+TEST(EccApprox, RoundShape) {
+  // O(n/D + D): on a long path (D = n-1) the whole run is O(D) = O(n);
+  // crucially |DOM| stays tiny so the loop is not n long.
+  const Graph g = gen::path(200);
+  const EccApproxResult r = run_ecc_approx(g);
+  EXPECT_LT(r.dom_size, 30u);
+  EXPECT_LE(r.stats.rounds, 24 * 200u);  // a few D's worth of phases
+}
+
+TEST(EccApprox, InvalidEpsilonThrows) {
+  EXPECT_THROW(run_ecc_approx(gen::path(4), {.epsilon = 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(run_ecc_approx(gen::path(4), {.epsilon = -1.0}),
+               std::invalid_argument);
+}
+
+TEST(EccApprox, Deterministic) {
+  const Graph g = gen::random_connected(100, 60, 5);
+  const EccApproxResult a = run_ecc_approx(g);
+  const EccApproxResult b = run_ecc_approx(g);
+  EXPECT_EQ(a.ecc_estimate, b.ecc_estimate);
+  EXPECT_EQ(a.stats.rounds, b.stats.rounds);
+}
+
+}  // namespace
+}  // namespace dapsp::core

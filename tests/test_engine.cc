@@ -1,0 +1,298 @@
+// The CONGEST kernel: delivery semantics, bandwidth enforcement, stats,
+// determinism, quiescence, and failure modes.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "congest/engine.h"
+#include "graph/generators.h"
+
+namespace dapsp::congest {
+namespace {
+
+// Sends one message with `fields` payload fields from node 0 to node 1 in
+// round `when`, `count` times.
+class SenderProcess final : public Process {
+ public:
+  SenderProcess(NodeId id, int count, std::uint8_t fields)
+      : id_(id), count_(count), fields_(fields) {}
+
+  void on_round(RoundCtx& ctx) override {
+    for (const Received& r : ctx.inbox()) {
+      received_.push_back(r.msg);
+      from_.push_back(r.from_index);
+      recv_round_ = ctx.round();
+    }
+    if (id_ == 0 && ctx.round() == 0) {
+      for (int i = 0; i < count_; ++i) {
+        Message m;
+        m.kind = static_cast<std::uint8_t>(10 + i);
+        m.num_fields = fields_;
+        for (int f = 0; f < fields_; ++f) {
+          m.f[static_cast<std::size_t>(f)] = static_cast<std::uint32_t>(f + 1);
+        }
+        ctx.send(0, m);
+      }
+      sent_ = true;
+    }
+    done_ = id_ != 0 || sent_;
+  }
+
+  bool done() const override { return done_; }
+
+  std::vector<Message> received_;
+  std::vector<std::uint32_t> from_;
+  std::uint64_t recv_round_ = 0;
+
+ private:
+  NodeId id_;
+  int count_;
+  std::uint8_t fields_;
+  bool sent_ = false;
+  bool done_ = false;
+};
+
+TEST(Engine, DeliversNextRound) {
+  const Graph g = gen::path(2);
+  Engine e(g);
+  e.init([](NodeId v) { return std::make_unique<SenderProcess>(v, 1, 2); });
+  const RunStats stats = e.run();
+  auto& p1 = e.process_as<SenderProcess>(1);
+  ASSERT_EQ(p1.received_.size(), 1u);
+  EXPECT_EQ(p1.recv_round_, 1u);  // sent in round 0, received in round 1
+  EXPECT_EQ(p1.received_[0].kind, 10);
+  EXPECT_EQ(p1.received_[0].f[0], 1u);
+  EXPECT_EQ(p1.received_[0].f[1], 2u);
+  EXPECT_EQ(p1.from_[0], 0u);  // node 0 is neighbor index 0 of node 1
+  EXPECT_EQ(stats.messages, 1u);
+}
+
+TEST(Engine, BandwidthEnforced) {
+  const Graph g = gen::path(2);
+  Engine e(g);  // default budget: 4 ids
+  // Three 2-field messages on one edge in one round exceed B.
+  e.init([](NodeId v) { return std::make_unique<SenderProcess>(v, 3, 2); });
+  EXPECT_THROW(e.run(), CongestionError);
+}
+
+TEST(Engine, TwoSmallMessagesFit) {
+  const Graph g = gen::path(2);
+  Engine e(g);
+  e.init([](NodeId v) { return std::make_unique<SenderProcess>(v, 2, 1); });
+  const RunStats stats = e.run();
+  EXPECT_EQ(e.process_as<SenderProcess>(1).received_.size(), 2u);
+  EXPECT_EQ(stats.max_edge_messages, 2u);
+  EXPECT_LE(stats.max_edge_bits, stats.bandwidth_bits);
+}
+
+TEST(Engine, BandwidthDisabled) {
+  const Graph g = gen::path(2);
+  EngineConfig cfg;
+  cfg.enforce_bandwidth = false;
+  Engine e(g, cfg);
+  e.init([](NodeId v) { return std::make_unique<SenderProcess>(v, 8, 4); });
+  const RunStats stats = e.run();
+  EXPECT_EQ(e.process_as<SenderProcess>(1).received_.size(), 8u);
+  EXPECT_GT(stats.max_edge_bits, stats.bandwidth_bits);
+}
+
+TEST(Engine, FieldWidthEnforced) {
+  const Graph g = gen::path(2);
+
+  class BadField final : public Process {
+   public:
+    explicit BadField(NodeId id) : id_(id) {}
+    void on_round(RoundCtx& ctx) override {
+      if (id_ == 0 && ctx.round() == 0) {
+        ctx.send(0, Message::make(1, 0xffffffffu));  // exceeds value width
+      }
+      done_ = true;
+    }
+    bool done() const override { return done_; }
+
+   private:
+    NodeId id_;
+    bool done_ = false;
+  };
+
+  Engine e(g);
+  e.init([](NodeId v) { return std::make_unique<BadField>(v); });
+  EXPECT_THROW(e.run(), CongestionError);
+}
+
+TEST(Engine, RoundLimit) {
+  const Graph g = gen::path(2);
+
+  // Ping-pong forever.
+  class Chatter final : public Process {
+   public:
+    explicit Chatter(NodeId id) : id_(id) {}
+    void on_round(RoundCtx& ctx) override {
+      if (id_ == 0 || !ctx.inbox().empty()) ctx.send(0, Message::make(1));
+    }
+    bool done() const override { return false; }
+
+   private:
+    NodeId id_;
+  };
+
+  EngineConfig cfg;
+  cfg.max_rounds = 100;
+  Engine e(g, cfg);
+  e.init([](NodeId v) { return std::make_unique<Chatter>(v); });
+  EXPECT_THROW(e.run(), RoundLimitError);
+}
+
+TEST(Engine, RunRoundsExact) {
+  const Graph g = gen::path(3);
+  class Idle final : public Process {
+   public:
+    void on_round(RoundCtx&) override { ++rounds_seen_; }
+    bool done() const override { return true; }
+    int rounds_seen_ = 0;
+  };
+  Engine e(g);
+  e.init([](NodeId) { return std::make_unique<Idle>(); });
+  const RunStats stats = e.run_rounds(5);
+  EXPECT_EQ(stats.rounds, 5u);
+  EXPECT_EQ(e.process_as<Idle>(0).rounds_seen_, 5);
+}
+
+TEST(Engine, QuiescenceStopsImmediately) {
+  const Graph g = gen::path(3);
+  class Idle final : public Process {
+   public:
+    void on_round(RoundCtx&) override {}
+    bool done() const override { return true; }
+  };
+  Engine e(g);
+  e.init([](NodeId) { return std::make_unique<Idle>(); });
+  const RunStats stats = e.run();
+  EXPECT_EQ(stats.rounds, 0u);
+}
+
+TEST(Engine, SendToBadNeighborThrows) {
+  const Graph g = gen::path(2);
+  class Bad final : public Process {
+   public:
+    explicit Bad(NodeId id) : id_(id) {}
+    void on_round(RoundCtx& ctx) override {
+      if (id_ == 0) ctx.send(5, Message::make(1));
+    }
+    bool done() const override { return false; }
+
+   private:
+    NodeId id_;
+  };
+  Engine e(g);
+  e.init([](NodeId v) { return std::make_unique<Bad>(v); });
+  EXPECT_THROW(e.run(), std::out_of_range);
+}
+
+TEST(Engine, ValueBitsScaleWithN) {
+  const Graph small = gen::path(8);
+  const Graph big = gen::path(1024);
+  Engine es(small), eb(big);
+  EXPECT_LT(es.value_bits(), eb.value_bits());
+  EXPECT_EQ(eb.value_bits(), 12u);  // bits_for(2048)
+  EXPECT_EQ(eb.bandwidth_bits(), 8u + 4 * 12u);
+}
+
+TEST(Engine, StatsCountBits) {
+  const Graph g = gen::path(2);
+  Engine e(g);
+  e.init([](NodeId v) { return std::make_unique<SenderProcess>(v, 1, 2); });
+  const RunStats stats = e.run();
+  EXPECT_EQ(stats.total_bits, 8u + 2 * e.value_bits());
+  EXPECT_EQ(stats.max_edge_bits, stats.total_bits);
+}
+
+TEST(Engine, AccumulateStats) {
+  RunStats a{.rounds = 10,
+             .messages = 5,
+             .total_bits = 100,
+             .max_edge_bits = 30,
+             .max_edge_messages = 2,
+             .max_node_bits = 90,
+             .bandwidth_bits = 40};
+  const RunStats b{.rounds = 20,
+                   .messages = 7,
+                   .total_bits = 50,
+                   .max_edge_bits = 60,
+                   .max_edge_messages = 1,
+                   .max_node_bits = 80,
+                   .bandwidth_bits = 40};
+  accumulate(a, b);
+  EXPECT_EQ(a.rounds, 30u);
+  EXPECT_EQ(a.messages, 12u);
+  EXPECT_EQ(a.total_bits, 150u);
+  EXPECT_EQ(a.max_edge_bits, 60u);
+  EXPECT_EQ(a.max_edge_messages, 2u);
+  EXPECT_EQ(a.max_node_bits, 90u);
+  EXPECT_EQ(a.bandwidth_bits, 40u);
+}
+
+TEST(Engine, PerNodeLoadTracked) {
+  // A star hub sending to all leaves in one round accumulates deg * message
+  // cost on the node counter while each edge sees only one message.
+  const Graph g = gen::star(9);
+  class HubBlast final : public Process {
+   public:
+    explicit HubBlast(NodeId id) : id_(id) {}
+    void on_round(RoundCtx& ctx) override {
+      if (id_ == 0 && ctx.round() == 0) ctx.send_all(Message::make(1, 3));
+      done_ = true;
+    }
+    bool done() const override { return done_; }
+
+   private:
+    NodeId id_;
+    bool done_ = false;
+  };
+  Engine e(g);
+  e.init([](NodeId v) { return std::make_unique<HubBlast>(v); });
+  const RunStats s = e.run();
+  const std::uint64_t per_msg = 8 + e.value_bits();
+  EXPECT_EQ(s.max_node_bits, 8 * per_msg);
+  EXPECT_EQ(s.max_edge_bits, per_msg);
+}
+
+TEST(Engine, WireInfinityFitsFieldWidth) {
+  for (NodeId n : {2u, 8u, 100u, 1000u}) {
+    const Graph g = gen::path(n);
+    Engine e(g);
+    EXPECT_LT(std::uint64_t{wire_infinity(std::max<NodeId>(n, 8))} >>
+                  e.value_bits(),
+              1u);
+  }
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  const Graph g = gen::random_connected(20, 15, 3);
+  auto run_once = [&g] {
+    Engine e(g);
+    e.init([](NodeId v) { return std::make_unique<SenderProcess>(v, 1, 1); });
+    return e.run();
+  };
+  const RunStats a = run_once();
+  const RunStats b = run_once();
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.total_bits, b.total_bits);
+}
+
+TEST(Message, DebugString) {
+  const Message m = Message::make(3, 7, 9);
+  const std::string s = m.debug_string();
+  EXPECT_NE(s.find("kind=3"), std::string::npos);
+  EXPECT_NE(s.find("7, 9"), std::string::npos);
+}
+
+TEST(Message, BitCost) {
+  EXPECT_EQ(Message::make(1).bit_cost(10), 8u);
+  EXPECT_EQ(Message::make(1, 2).bit_cost(10), 18u);
+  EXPECT_EQ(Message::make(1, 2, 3, 4, 5).bit_cost(10), 48u);
+}
+
+}  // namespace
+}  // namespace dapsp::congest

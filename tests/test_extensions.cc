@@ -1,0 +1,158 @@
+// Extensions built from the paper's machinery: leader election (Section 2's
+// "node with ID 1" assumption made concrete) and distance labels
+// (Section 3.2's APASP connection).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/distance_labels.h"
+#include "core/leader_election.h"
+#include "core/pebble_apsp.h"
+#include "graph/generators.h"
+#include "seq/apsp.h"
+#include "seq/properties.h"
+#include "testing/suite.h"
+#include "util/rng.h"
+
+namespace dapsp::core {
+namespace {
+
+std::vector<std::uint32_t> shuffled_labels(NodeId n, std::uint64_t seed) {
+  std::vector<std::uint32_t> labels(n);
+  std::iota(labels.begin(), labels.end(), 1u);  // labels 1..n, like the paper
+  Rng rng(seed);
+  shuffle(labels, rng);
+  return labels;
+}
+
+TEST(LeaderElection, FindsMinimumLabelEverywhere) {
+  for (const auto& [name, g] : testing::small_suite()) {
+    const auto labels = shuffled_labels(g.num_nodes(), 42);
+    const LeaderElectionResult r = run_leader_election(g, labels);
+    EXPECT_EQ(r.leader_label, 1u) << name;
+    EXPECT_EQ(labels[r.leader], 1u) << name;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_EQ(r.believed_label[v], 1u) << name << " node " << v;
+    }
+  }
+}
+
+TEST(LeaderElection, DiameterHintShortensRun) {
+  const Graph g = gen::grid(10, 10);
+  const auto labels = shuffled_labels(100, 7);
+  const auto full = run_leader_election(g, labels);
+  LeaderElectionOptions opt;
+  opt.diameter_hint = 18;  // exact diameter of the 10x10 grid
+  const auto hinted = run_leader_election(g, labels, opt);
+  EXPECT_EQ(hinted.leader, full.leader);
+  EXPECT_LT(hinted.stats.rounds, full.stats.rounds);
+  for (const std::uint32_t b : hinted.believed_label) EXPECT_EQ(b, 1u);
+}
+
+TEST(LeaderElection, MessageCountsReflectImprovementCascades) {
+  // Min-flood re-announces on every improvement. A sorted path is the worst
+  // case (node i improves ~i times, Theta(n^2) messages); a star with the
+  // minimum at the hub is the best case (every leaf improves exactly once).
+  const Graph path = gen::path(50);
+  std::vector<std::uint32_t> sorted(50);
+  std::iota(sorted.begin(), sorted.end(), 1u);
+  const auto worst = run_leader_election(path, sorted);
+  EXPECT_GE(worst.stats.messages, 50u * 20u);
+
+  const Graph star = gen::star(50);
+  const auto best = run_leader_election(star, sorted);  // hub holds label 1
+  EXPECT_LE(best.stats.messages, 4u * 50u);
+  EXPECT_EQ(best.leader, 0u);
+}
+
+TEST(LeaderElection, LabelCountMismatchThrows) {
+  const Graph g = gen::path(4);
+  const std::vector<std::uint32_t> labels{1, 2};
+  EXPECT_THROW(run_leader_election(g, labels), std::invalid_argument);
+}
+
+TEST(LeaderElection, RelabelLeaderFirstIsConsistent) {
+  const Graph g = gen::random_connected(30, 20, 3);
+  std::vector<NodeId> perm;
+  const Graph h = relabel_leader_first(g, 17, &perm);
+  EXPECT_EQ(perm[17], 0u);
+  for (const Edge& e : g.edges()) {
+    EXPECT_TRUE(h.has_edge(perm[e.u], perm[e.v]));
+  }
+  // Permutation is a bijection.
+  std::vector<NodeId> sorted = perm;
+  std::sort(sorted.begin(), sorted.end());
+  for (NodeId v = 0; v < 30; ++v) EXPECT_EQ(sorted[v], v);
+}
+
+TEST(LeaderElection, EndToEndApspWithoutAnchoredLeader) {
+  // The full Section 2 reduction: arbitrary labels -> elect -> rename the
+  // winner to node 0 -> run Algorithm 1.
+  const Graph g = gen::random_connected(40, 30, 9);
+  const auto labels = shuffled_labels(40, 13);
+  const auto election = run_leader_election(g, labels);
+  std::vector<NodeId> perm;
+  const Graph anchored = relabel_leader_first(g, election.leader, &perm);
+  const ApspResult apsp = run_pebble_apsp(anchored);
+  const DistanceMatrix want = seq::apsp(g);
+  for (NodeId u = 0; u < 40; ++u) {
+    for (NodeId v = 0; v < 40; ++v) {
+      EXPECT_EQ(apsp.dist.at(perm[u], perm[v]), want.at(u, v));
+    }
+  }
+}
+
+// ---- Distance labels (APASP) ----------------------------------------------
+
+TEST(DistanceLabels, AdditiveGuaranteeOnSuite) {
+  for (const auto& [name, g] : testing::small_suite()) {
+    for (const std::uint32_t k : {1u, 3u}) {
+      const DistanceLabeling labels = build_distance_labels(g, k);
+      const DistanceMatrix want = seq::apsp(g);
+      for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        for (NodeId v = 0; v < g.num_nodes(); ++v) {
+          const std::uint32_t est = labels.estimate(u, v);
+          EXPECT_GE(est, want.at(u, v)) << name << " k=" << k;
+          EXPECT_LE(est, want.at(u, v) + 2 * k) << name << " k=" << k;
+        }
+      }
+    }
+  }
+}
+
+TEST(DistanceLabels, ZeroSlackIsExact) {
+  const Graph g = gen::grid(5, 6);
+  const DistanceLabeling labels = build_distance_labels(g, 0);
+  const DistanceMatrix want = seq::apsp(g);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_EQ(labels.estimate(u, v), want.at(u, v));
+    }
+  }
+}
+
+TEST(DistanceLabels, LabelSizeBound) {
+  const Graph g = gen::path(200);
+  for (const std::uint32_t k : {1u, 4u, 9u, 19u}) {
+    const DistanceLabeling labels = build_distance_labels(g, k);
+    EXPECT_LE(labels.label_entries(), 200u / (k + 1) + 1) << k;
+  }
+}
+
+TEST(DistanceLabels, ConstructionCheaperThanApspWhenNdominatesD) {
+  // n >> D is where the O(n/k + D + k) construction beats Theta(n) APSP.
+  const Graph g = gen::path_of_cliques(12, 50);  // n = 600, D ~ 35
+  const DistanceLabeling labels = build_distance_labels(g, 8);
+  const ApspResult exact = run_pebble_apsp(g);
+  EXPECT_LT(labels.stats().rounds, exact.stats.rounds / 2);
+}
+
+TEST(DistanceLabels, SelfDistanceZero) {
+  const Graph g = gen::cycle(12);
+  const DistanceLabeling labels = build_distance_labels(g, 2);
+  for (NodeId v = 0; v < 12; ++v) EXPECT_EQ(labels.estimate(v, v), 0u);
+}
+
+}  // namespace
+}  // namespace dapsp::core

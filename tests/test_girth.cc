@@ -1,0 +1,131 @@
+// Lemma 7 (exact girth), Theorem 5 ((x,1+eps)-girth) and the Corollary 2
+// selector.
+#include <gtest/gtest.h>
+
+#include "core/combined.h"
+#include "core/girth.h"
+#include "core/girth_approx.h"
+#include "graph/generators.h"
+#include "seq/properties.h"
+#include "testing/suite.h"
+
+namespace dapsp::core {
+namespace {
+
+TEST(GirthExact, MatchesOracleOnSuite) {
+  for (const auto& [name, g] : testing::small_suite()) {
+    const GirthRun r = run_girth(g);
+    EXPECT_EQ(r.girth, seq::girth(g)) << name;
+    EXPECT_EQ(r.was_tree, seq::is_tree(g)) << name;
+  }
+}
+
+TEST(GirthExact, KnownGirths) {
+  EXPECT_EQ(run_girth(gen::cycle(9)).girth, 9u);
+  EXPECT_EQ(run_girth(gen::petersen()).girth, 5u);
+  EXPECT_EQ(run_girth(gen::complete_bipartite(3, 4)).girth, 4u);
+  EXPECT_EQ(run_girth(gen::hypercube(4)).girth, 4u);
+  EXPECT_EQ(run_girth(gen::complete(5)).girth, 3u);
+}
+
+TEST(GirthExact, TreesShortCircuitInDiameterTime) {
+  const Graph g = gen::balanced_tree(127, 2);
+  const GirthRun r = run_girth(g);
+  EXPECT_EQ(r.girth, seq::kInfGirth);
+  EXPECT_TRUE(r.was_tree);
+  // Only the Claim 1 check ran: O(D), far below the O(n) of Algorithm 1.
+  EXPECT_LE(r.stats.rounds, 80u);
+}
+
+TEST(GirthExact, GirthControlledFamily) {
+  for (const NodeId girth : {3u, 4u, 6u, 9u, 12u}) {
+    const Graph g = gen::tree_with_cycle(80, girth, 1);
+    EXPECT_EQ(run_girth(g).girth, girth) << girth;
+  }
+}
+
+TEST(GirthApprox, WithinRatioOnSuite) {
+  const double eps = 0.5;
+  for (const auto& [name, g] : testing::small_suite()) {
+    GirthApproxOptions opt;
+    opt.epsilon = eps;
+    const GirthApproxResult r = run_girth_approx(g, opt);
+    const std::uint32_t truth = seq::girth(g);
+    if (truth == seq::kInfGirth) {
+      EXPECT_TRUE(r.was_tree) << name;
+      continue;
+    }
+    EXPECT_GE(r.girth_estimate, truth) << name;
+    EXPECT_LE(r.girth_estimate, static_cast<double>(truth) * (1.0 + eps) + 1e-9)
+        << name;
+  }
+}
+
+TEST(GirthApprox, MediumSuite) {
+  for (const auto& [name, g] : testing::medium_suite()) {
+    const GirthApproxResult r = run_girth_approx(g);
+    const std::uint32_t truth = seq::girth(g);
+    if (truth == seq::kInfGirth) {
+      EXPECT_TRUE(r.was_tree) << name;
+      continue;
+    }
+    EXPECT_GE(r.girth_estimate, truth) << name;
+    EXPECT_LE(r.girth_estimate, 1.5 * truth + 1e-9) << name;
+  }
+}
+
+TEST(GirthApprox, TightEpsilon) {
+  const Graph g = gen::tree_with_cycle(150, 9, 2);
+  GirthApproxOptions opt;
+  opt.epsilon = 0.12;
+  const GirthApproxResult r = run_girth_approx(g, opt);
+  EXPECT_GE(r.girth_estimate, 9u);
+  EXPECT_LE(r.girth_estimate, 10u);  // 9 * 1.12
+}
+
+TEST(GirthApprox, IterationsRefine) {
+  // Large diameter, small girth: several refinement iterations expected,
+  // with weakly decreasing estimates.
+  const Graph g = gen::tree_with_cycle(200, 4, 3);
+  const GirthApproxResult r = run_girth_approx(g);
+  EXPECT_GE(r.iterations.size(), 1u);
+  for (std::size_t i = 1; i < r.iterations.size(); ++i) {
+    EXPECT_LE(r.iterations[i].witness, r.iterations[i - 1].witness + 0u);
+  }
+}
+
+TEST(GirthApprox, TreeDetectedCheaply) {
+  const GirthApproxResult r = run_girth_approx(gen::path(100));
+  EXPECT_TRUE(r.was_tree);
+  EXPECT_EQ(r.girth_estimate, seq::kInfGirth);
+  EXPECT_TRUE(r.iterations.empty());
+}
+
+TEST(GirthApprox, InvalidEpsilonThrows) {
+  EXPECT_THROW(run_girth_approx(gen::cycle(5), {.epsilon = 0.0}),
+               std::invalid_argument);
+}
+
+TEST(CombinedGirth, SelectorCorrectOnSuite) {
+  for (const auto& [name, g] : testing::small_suite()) {
+    const CombinedGirthResult r = run_combined_girth_approx(g);
+    const std::uint32_t truth = seq::girth(g);
+    if (truth == seq::kInfGirth) {
+      EXPECT_EQ(r.estimate, seq::kInfGirth) << name;
+      continue;
+    }
+    EXPECT_GE(r.estimate, truth) << name;
+    EXPECT_LE(r.estimate, 1.5 * truth + 1e-9) << name;
+  }
+}
+
+TEST(CombinedGirth, TotalRoundsLinear) {
+  for (const auto& [name, g] : testing::medium_suite()) {
+    const CombinedGirthResult r = run_combined_girth_approx(g);
+    // O(min{n/g + D log(D/g), n}) <= O(n) with bounded constants.
+    EXPECT_LE(r.stats.rounds, 30 * std::uint64_t{g.num_nodes()} + 512) << name;
+  }
+}
+
+}  // namespace
+}  // namespace dapsp::core

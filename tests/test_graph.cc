@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/io.h"
+#include "seq/properties.h"
+#include "testing/suite.h"
+
+namespace dapsp {
+namespace {
+
+TEST(Graph, EmptyDefault) {
+  Graph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Graph, BasicConstruction) {
+  Graph g(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.max_degree(), 2u);
+}
+
+TEST(Graph, DuplicateEdgesCollapse) {
+  Graph g(3, {{0, 1}, {1, 0}, {0, 1}, {1, 2}});
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 2u);
+}
+
+TEST(Graph, RejectsSelfLoop) {
+  EXPECT_THROW(Graph(3, {{1, 1}}), std::invalid_argument);
+}
+
+TEST(Graph, RejectsOutOfRange) {
+  EXPECT_THROW(Graph(3, {{0, 3}}), std::invalid_argument);
+}
+
+TEST(Graph, NeighborsSorted) {
+  Graph g(5, {{2, 4}, {2, 0}, {2, 3}, {2, 1}});
+  const auto nb = g.neighbors(2);
+  EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+  EXPECT_EQ(nb.size(), 4u);
+}
+
+TEST(Graph, NeighborIndex) {
+  Graph g(5, {{2, 4}, {2, 0}, {2, 3}});
+  EXPECT_EQ(g.neighbor_index(2, 0).value(), 0u);
+  EXPECT_EQ(g.neighbor_index(2, 3).value(), 1u);
+  EXPECT_EQ(g.neighbor_index(2, 4).value(), 2u);
+  EXPECT_FALSE(g.neighbor_index(2, 1).has_value());
+}
+
+TEST(Graph, EdgesNormalized) {
+  Graph g(4, {{3, 1}, {2, 0}});
+  for (const Edge& e : g.edges()) EXPECT_LT(e.u, e.v);
+}
+
+TEST(Graph, RelabeledIsIsomorphic) {
+  const Graph g = gen::random_connected(30, 25, 5);
+  std::vector<NodeId> perm;
+  const Graph h = g.relabeled(123, &perm);
+  EXPECT_EQ(h.num_nodes(), g.num_nodes());
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  for (const Edge& e : g.edges()) {
+    EXPECT_TRUE(h.has_edge(perm[e.u], perm[e.v]));
+  }
+  // Degree multiset preserved.
+  std::vector<std::uint32_t> dg, dh;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    dg.push_back(g.degree(v));
+    dh.push_back(h.degree(v));
+  }
+  std::sort(dg.begin(), dg.end());
+  std::sort(dh.begin(), dh.end());
+  EXPECT_EQ(dg, dh);
+}
+
+// ---- Generators: known analytic properties --------------------------------
+
+TEST(Generators, Path) {
+  const Graph g = gen::path(10);
+  EXPECT_EQ(g.num_edges(), 9u);
+  EXPECT_TRUE(seq::is_tree(g));
+  EXPECT_EQ(seq::diameter(g), 9u);
+  EXPECT_EQ(seq::radius(g), 5u);  // ceil(9/2)
+}
+
+TEST(Generators, Cycle) {
+  for (NodeId n : {3u, 4u, 9u, 16u}) {
+    const Graph g = gen::cycle(n);
+    EXPECT_EQ(g.num_edges(), n);
+    EXPECT_EQ(seq::diameter(g), n / 2);
+    EXPECT_EQ(seq::girth(g), n);
+  }
+}
+
+TEST(Generators, Complete) {
+  const Graph g = gen::complete(7);
+  EXPECT_EQ(g.num_edges(), 21u);
+  EXPECT_EQ(seq::diameter(g), 1u);
+  EXPECT_EQ(seq::girth(g), 3u);
+}
+
+TEST(Generators, Star) {
+  const Graph g = gen::star(12);
+  EXPECT_EQ(seq::diameter(g), 2u);
+  EXPECT_EQ(seq::radius(g), 1u);
+  EXPECT_EQ(seq::center(g), std::vector<NodeId>{0});
+}
+
+TEST(Generators, CompleteBipartite) {
+  const Graph g = gen::complete_bipartite(4, 5);
+  EXPECT_EQ(g.num_edges(), 20u);
+  EXPECT_EQ(seq::diameter(g), 2u);
+  EXPECT_EQ(seq::girth(g), 4u);
+}
+
+TEST(Generators, BalancedTreeIsTree) {
+  for (std::uint32_t arity : {1u, 2u, 3u, 5u}) {
+    const Graph g = gen::balanced_tree(40, arity);
+    EXPECT_TRUE(seq::is_tree(g)) << "arity " << arity;
+    EXPECT_EQ(seq::girth(g), seq::kInfGirth);
+  }
+}
+
+TEST(Generators, Grid) {
+  const Graph g = gen::grid(4, 7);
+  EXPECT_EQ(g.num_nodes(), 28u);
+  EXPECT_EQ(seq::diameter(g), 3u + 6u);
+  EXPECT_EQ(seq::girth(g), 4u);
+}
+
+TEST(Generators, Torus) {
+  const Graph g = gen::torus(4, 6);
+  EXPECT_EQ(seq::diameter(g), 2u + 3u);
+  EXPECT_EQ(seq::girth(g), 4u);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) EXPECT_EQ(g.degree(v), 4u);
+}
+
+TEST(Generators, Hypercube) {
+  const Graph g = gen::hypercube(5);
+  EXPECT_EQ(g.num_nodes(), 32u);
+  EXPECT_EQ(seq::diameter(g), 5u);
+  EXPECT_EQ(seq::girth(g), 4u);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) EXPECT_EQ(g.degree(v), 5u);
+}
+
+TEST(Generators, Petersen) {
+  const Graph g = gen::petersen();
+  EXPECT_EQ(g.num_nodes(), 10u);
+  EXPECT_EQ(g.num_edges(), 15u);
+  EXPECT_EQ(seq::diameter(g), 2u);
+  EXPECT_EQ(seq::girth(g), 5u);
+  for (NodeId v = 0; v < 10; ++v) EXPECT_EQ(g.degree(v), 3u);
+}
+
+TEST(Generators, Barbell) {
+  const Graph g = gen::barbell(5, 4);
+  EXPECT_TRUE(seq::is_connected(g));
+  EXPECT_EQ(seq::diameter(g), 4u + 2u);
+  EXPECT_EQ(seq::girth(g), 3u);
+}
+
+TEST(Generators, Lollipop) {
+  const Graph g = gen::lollipop(6, 7);
+  EXPECT_TRUE(seq::is_connected(g));
+  EXPECT_EQ(g.num_nodes(), 13u);
+  EXPECT_EQ(seq::diameter(g), 8u);
+}
+
+TEST(Generators, ErdosRenyiExtremes) {
+  const Graph empty = gen::erdos_renyi(10, 0.0, 1);
+  EXPECT_EQ(empty.num_edges(), 0u);
+  const Graph full = gen::erdos_renyi(10, 1.0, 1);
+  EXPECT_EQ(full.num_edges(), 45u);
+}
+
+TEST(Generators, RandomConnectedIsConnected) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Graph g = gen::random_connected(50, 30, seed);
+    EXPECT_TRUE(seq::is_connected(g));
+    EXPECT_EQ(g.num_edges(), 49u + 30u);
+  }
+}
+
+TEST(Generators, CycleWithChords) {
+  const Graph g = gen::cycle_with_chords(30, 10, 3);
+  EXPECT_TRUE(seq::is_connected(g));
+  EXPECT_EQ(g.num_edges(), 40u);
+  EXPECT_LE(seq::girth(g), 30u);
+}
+
+TEST(Generators, TreeWithCycleGirth) {
+  for (NodeId girth : {3u, 5u, 8u, 13u}) {
+    const Graph g = gen::tree_with_cycle(60, girth, 1);
+    EXPECT_TRUE(seq::is_connected(g));
+    EXPECT_EQ(seq::girth(g), girth) << "g=" << girth;
+  }
+}
+
+TEST(Generators, DenseDiameter2) {
+  const Graph g = gen::dense_diameter2(12);
+  EXPECT_EQ(seq::diameter(g), 2u);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) EXPECT_EQ(g.degree(v), 10u);
+}
+
+TEST(Generators, Diameter4) {
+  const Graph g = gen::diameter4(5);
+  EXPECT_EQ(seq::diameter(g), 4u);
+}
+
+TEST(Generators, PathOfCliquesShape) {
+  const Graph g = gen::path_of_cliques(5, 6);
+  EXPECT_EQ(g.num_nodes(), 30u);
+  EXPECT_TRUE(seq::is_connected(g));
+  EXPECT_EQ(seq::girth(g), 3u);
+  // Diameter grows linearly in the number of cliques.
+  const Graph h = gen::path_of_cliques(10, 6);
+  EXPECT_GT(seq::diameter(h), seq::diameter(g));
+}
+
+TEST(Generators, SuiteAllConnected) {
+  for (const auto& [name, g] : testing::small_suite()) {
+    EXPECT_TRUE(seq::is_connected(g)) << name;
+  }
+  for (const auto& [name, g] : testing::medium_suite()) {
+    EXPECT_TRUE(seq::is_connected(g)) << name;
+  }
+}
+
+// ---- IO --------------------------------------------------------------------
+
+TEST(Io, RoundTrip) {
+  const Graph g = gen::random_connected(25, 20, 99);
+  const std::string text = io::to_edge_list(g);
+  const Graph h = io::from_edge_list(text);
+  EXPECT_EQ(h.num_nodes(), g.num_nodes());
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  for (const Edge& e : g.edges()) EXPECT_TRUE(h.has_edge(e.u, e.v));
+}
+
+TEST(Io, CommentsAndBlanksIgnored) {
+  const std::string text =
+      "# a comment\n\n3 2 # header\n0 1\n\n# another\n1 2\n";
+  const Graph g = io::from_edge_list(text);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(Io, TruncatedThrows) {
+  EXPECT_THROW(io::from_edge_list("3 2\n0 1\n"), std::invalid_argument);
+  EXPECT_THROW(io::from_edge_list(""), std::invalid_argument);
+}
+
+TEST(Io, DotOutputContainsEdges) {
+  const Graph g = gen::path(3);
+  const std::string dot = io::to_dot(g);
+  EXPECT_NE(dot.find("0 -- 1"), std::string::npos);
+  EXPECT_NE(dot.find("1 -- 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dapsp

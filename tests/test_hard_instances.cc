@@ -1,0 +1,134 @@
+// Oracle verification of the lower-bound instance families (Theorems 2/6/8):
+// the gadget diameters must be exactly what the construction promises, for
+// many random inputs — this is what makes the lower-bound benches meaningful.
+#include <gtest/gtest.h>
+
+#include "graph/hard_instances.h"
+#include "seq/properties.h"
+
+namespace dapsp::hard {
+namespace {
+
+TEST(BitMatrix, Basics) {
+  BitMatrix m(3);
+  EXPECT_EQ(m.popcount(), 0u);
+  m.set(0, 1);
+  m.set(2, 2);
+  EXPECT_TRUE(m.at(0, 1));
+  EXPECT_FALSE(m.at(1, 0));
+  EXPECT_EQ(m.popcount(), 2u);
+  m.set(0, 1, false);
+  EXPECT_EQ(m.popcount(), 1u);
+  m.fill(true);
+  EXPECT_EQ(m.popcount(), 9u);
+}
+
+TEST(BitMatrix, Intersects) {
+  BitMatrix a(2), b(2);
+  a.set(0, 0);
+  b.set(1, 1);
+  EXPECT_FALSE(a.intersects(b));
+  b.set(0, 0);
+  EXPECT_TRUE(a.intersects(b));
+}
+
+TEST(Gadget, NodeCountMatches) {
+  for (std::uint32_t k : {1u, 2u, 5u}) {
+    for (std::uint32_t len : {1u, 2u, 4u}) {
+      BitMatrix sa(k), sb(k);
+      const TwoPartyGadget g = two_party_gadget(len, sa, sb);
+      EXPECT_EQ(g.graph.num_nodes(), gadget_num_nodes(k, len));
+    }
+  }
+}
+
+// Theorem 6 family: diameter 2 vs 3, over many random inputs.
+TEST(Gadget, DiameterTwoVsThree) {
+  for (std::uint32_t k : {2u, 3u, 5u, 8u}) {
+    for (std::uint64_t seed = 0; seed < 6; ++seed) {
+      const TwoPartyGadget g2 = diameter_2_vs_3(k, false, seed);
+      EXPECT_EQ(seq::diameter(g2.graph), 2u) << "k=" << k << " seed=" << seed;
+      EXPECT_EQ(g2.expected_diameter, 2u);
+      const TwoPartyGadget g3 = diameter_2_vs_3(k, true, seed);
+      EXPECT_EQ(seq::diameter(g3.graph), 3u) << "k=" << k << " seed=" << seed;
+      EXPECT_EQ(g3.expected_diameter, 3u);
+    }
+  }
+}
+
+// The scaled gap-1 family: diameter L+1 vs L+2.
+TEST(Gadget, ScaledGapOne) {
+  for (std::uint32_t len : {2u, 3u, 5u}) {
+    for (std::uint64_t seed = 0; seed < 4; ++seed) {
+      const TwoPartyGadget far =
+          random_gadget(4, len, GadgetCase::kDisjoint, seed);
+      EXPECT_EQ(seq::diameter(far.graph), len + 1) << "L=" << len;
+      const TwoPartyGadget near =
+          random_gadget(4, len, GadgetCase::kIntersecting, seed);
+      EXPECT_EQ(seq::diameter(near.graph), len + 2) << "L=" << len;
+    }
+  }
+}
+
+// Theorem 2 family (wide gap): diameter d vs d+2 with d = L+2 — exactly the
+// paper's promise gap.
+TEST(Gadget, WideGapFamily) {
+  for (std::uint32_t len : {3u, 4u, 6u}) {
+    for (std::uint32_t k : {2u, 4u}) {
+      const TwoPartyGadget small = diameter_wide_gap(k, len, false, 77);
+      EXPECT_EQ(seq::diameter(small.graph), len + 2)
+          << "k=" << k << " L=" << len;
+      EXPECT_EQ(small.expected_diameter, len + 2);
+      const TwoPartyGadget large = diameter_wide_gap(k, len, true, 77);
+      EXPECT_EQ(seq::diameter(large.graph), len + 4)
+          << "k=" << k << " L=" << len;
+      EXPECT_EQ(large.expected_diameter, len + 4);
+    }
+  }
+}
+
+// Theorem 8 family: the gadgets have girth 3 for k >= 3 (the cliques), so
+// they double as the "computing all 2-BFS trees is hard" family.
+TEST(Gadget, GirthThree) {
+  const TwoPartyGadget g = diameter_2_vs_3(4, false, 5);
+  EXPECT_EQ(seq::girth(g.graph), 3u);
+}
+
+TEST(Gadget, CutAudit) {
+  const TwoPartyGadget g = diameter_2_vs_3(8, true, 1);
+  EXPECT_EQ(g.cut_edge_count, 2u * 8 + 1);
+  EXPECT_EQ(g.input_bits(), 64u);
+  // ceil(64 / (17 * B))
+  EXPECT_EQ(g.certified_min_rounds(1), (64 + 16) / 17);
+  EXPECT_GE(g.certified_min_rounds(4), 1u);
+}
+
+TEST(Gadget, MaxKForNodes) {
+  const std::uint32_t k = max_k_for_nodes(200, 1);
+  EXPECT_GT(k, 0u);
+  EXPECT_LE(gadget_num_nodes(k, 1), 200u);
+  EXPECT_GT(gadget_num_nodes(k + 1, 1), 200u);
+}
+
+TEST(Gadget, IntersectingRequiresWitness) {
+  // random_gadget(kIntersecting) must really produce intersecting inputs:
+  // verified indirectly through the diameter, and directly here.
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const TwoPartyGadget g = random_gadget(3, 1, GadgetCase::kIntersecting, seed);
+    EXPECT_EQ(g.expected_diameter, 3u);
+  }
+}
+
+TEST(Gadget, DegenerateKOne) {
+  // k = 1: a single input bit per side still yields the right diameters.
+  BitMatrix sa(1), sb(1);
+  const TwoPartyGadget far = two_party_gadget(1, sa, sb);
+  EXPECT_EQ(seq::diameter(far.graph), 2u);
+  sa.set(0, 0);
+  sb.set(0, 0);
+  const TwoPartyGadget near = two_party_gadget(1, sa, sb);
+  EXPECT_EQ(seq::diameter(near.graph), 3u);
+}
+
+}  // namespace
+}  // namespace dapsp::hard

@@ -1,0 +1,99 @@
+// k-dominating set construction (Lemma 10 substitute): domination, size
+// bound floor(n/(k+1)) + 1, and O(D + k) rounds.
+#include <gtest/gtest.h>
+
+#include "core/kdom.h"
+#include "graph/generators.h"
+#include "seq/properties.h"
+#include "testing/suite.h"
+
+namespace dapsp::core {
+namespace {
+
+TEST(Kdom, DominatesOnSuite) {
+  for (const auto& [name, g] : testing::small_suite()) {
+    for (const std::uint32_t k : {0u, 1u, 2u, 5u}) {
+      const KdomResult r = run_kdom(g, k);
+      EXPECT_TRUE(seq::is_k_dominating(g, r.dom, k))
+          << name << " k=" << k;
+    }
+  }
+}
+
+TEST(Kdom, SizeBound) {
+  for (const auto& [name, g] : testing::small_suite()) {
+    for (const std::uint32_t k : {1u, 2u, 4u, 8u}) {
+      const KdomResult r = run_kdom(g, k);
+      EXPECT_LE(r.dom.size(), g.num_nodes() / (k + 1) + 1)
+          << name << " k=" << k;
+      EXPECT_EQ(r.dom.size(), r.dom_size) << name << " k=" << k;
+    }
+  }
+}
+
+TEST(Kdom, ZeroKIsAllNodes) {
+  const Graph g = gen::grid(4, 5);
+  const KdomResult r = run_kdom(g, 0);
+  EXPECT_EQ(r.dom.size(), g.num_nodes());
+}
+
+TEST(Kdom, PathStructure) {
+  // On a path rooted at an end, residue classes are contiguous samples;
+  // |DOM| must be about n/(k+1).
+  const Graph g = gen::path(60);
+  const KdomResult r = run_kdom(g, 5);
+  EXPECT_LE(r.dom.size(), 60u / 6 + 1);
+  EXPECT_GE(r.dom.size(), 60u / 6 - 1);
+  EXPECT_TRUE(seq::is_k_dominating(g, r.dom, 5));
+}
+
+TEST(Kdom, RoundsLinearInDepthPlusK) {
+  for (const auto& [name, g] : testing::medium_suite()) {
+    for (const std::uint32_t k : {2u, 10u}) {
+      const KdomResult r = run_kdom(g, k);
+      // Tree build (~2 ecc) + count pipeline (~ecc + k) + two broadcasts.
+      EXPECT_LE(r.stats.rounds, 8 * std::uint64_t{r.leader_ecc} + 2 * k + 32)
+          << name << " k=" << k;
+    }
+  }
+}
+
+TEST(Kdom, LargeKGivesTinySet) {
+  const Graph g = gen::path(100);
+  const KdomResult r = run_kdom(g, 99);
+  EXPECT_LE(r.dom.size(), 2u);
+  EXPECT_TRUE(seq::is_k_dominating(g, r.dom, 99));
+}
+
+TEST(Kdom, RootAlwaysMember) {
+  for (const auto& [name, g] : testing::small_suite()) {
+    const KdomResult r = run_kdom(g, 3);
+    ASSERT_FALSE(r.dom.empty()) << name;
+    EXPECT_EQ(r.dom.front(), 0u) << name;  // node 0 always joins
+  }
+}
+
+TEST(Kdom, Deterministic) {
+  const Graph g = gen::random_connected(80, 60, 77);
+  const KdomResult a = run_kdom(g, 4);
+  const KdomResult b = run_kdom(g, 4);
+  EXPECT_EQ(a.dom, b.dom);
+  EXPECT_EQ(a.stats.rounds, b.stats.rounds);
+}
+
+TEST(Kdom, SingleNode) {
+  const KdomResult r = run_kdom(gen::path(1), 3);
+  EXPECT_EQ(r.dom, std::vector<NodeId>{0});
+}
+
+TEST(Kdom, ResidueIsMinimumClass) {
+  // On a star rooted at the hub: depth 0 = {hub}, depth 1 = leaves. With
+  // k = 1, residue classes mod 2 have sizes {1, n-1}; class 0 must win.
+  const Graph g = gen::star(20);
+  const KdomResult r = run_kdom(g, 1);
+  EXPECT_EQ(r.residue, 0u);
+  EXPECT_EQ(r.dom, std::vector<NodeId>{0});
+}
+
+}  // namespace
+}  // namespace dapsp::core

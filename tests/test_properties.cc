@@ -1,0 +1,196 @@
+// Parameterized property sweeps (TEST_P): every protocol invariant checked
+// across a grid of (graph family, size, seed) configurations. These are the
+// "many random instances" guarantees that the targeted unit tests cannot
+// cover by enumeration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "core/ecc_approx.h"
+#include "core/girth_approx.h"
+#include "core/kdom.h"
+#include "core/pebble_apsp.h"
+#include "core/ssp.h"
+#include "core/tree_check.h"
+#include "graph/generators.h"
+#include "graph/hard_instances.h"
+#include "seq/apsp.h"
+#include "seq/properties.h"
+#include "util/bits.h"
+#include "util/rng.h"
+
+namespace dapsp::core {
+namespace {
+
+enum class Family {
+  kRandomSparse,
+  kRandomDense,
+  kCycleChords,
+  kTree,
+  kCliqueChain,
+  kGadget2v3,
+  kShuffledGrid,
+};
+
+struct Config {
+  Family family;
+  NodeId size;
+  std::uint64_t seed;
+
+  friend std::ostream& operator<<(std::ostream& os, const Config& c) {
+    const char* names[] = {"RandomSparse", "RandomDense", "CycleChords",
+                           "Tree",         "CliqueChain", "Gadget2v3",
+                           "ShuffledGrid"};
+    return os << names[static_cast<int>(c.family)] << "_n" << c.size << "_s"
+              << c.seed;
+  }
+};
+
+Graph build(const Config& c) {
+  switch (c.family) {
+    case Family::kRandomSparse:
+      return gen::random_connected(c.size, c.size / 4, c.seed);
+    case Family::kRandomDense:
+      return gen::random_connected(c.size, 3 * c.size, c.seed);
+    case Family::kCycleChords:
+      return gen::cycle_with_chords(c.size, c.size / 5, c.seed);
+    case Family::kTree:
+      return gen::random_connected(c.size, 0, c.seed);
+    case Family::kCliqueChain:
+      return gen::path_of_cliques(std::max<NodeId>(c.size / 8, 1), 8)
+          .relabeled(c.seed);
+    case Family::kGadget2v3:
+      return hard::diameter_2_vs_3(std::max<NodeId>((c.size - 3) / 4, 2),
+                                   c.seed % 2 == 0, c.seed)
+          .graph;
+    case Family::kShuffledGrid: {
+      const auto side = static_cast<NodeId>(isqrt(c.size));
+      return gen::grid(side, side).relabeled(c.seed);
+    }
+  }
+  return gen::path(2);
+}
+
+class ProtocolProperty : public ::testing::TestWithParam<Config> {};
+
+// Property 1: Algorithm 1 computes the exact distance matrix, its next hops
+// lie on shortest paths, and its derived quantities match the oracle.
+TEST_P(ProtocolProperty, PebbleApspExact) {
+  const Graph g = build(GetParam());
+  const ApspResult r = run_pebble_apsp(g);
+  const DistanceMatrix want = seq::apsp(g);
+  ASSERT_EQ(r.dist, want);
+  EXPECT_EQ(r.diameter, seq::diameter(g));
+  EXPECT_EQ(r.radius, seq::radius(g));
+  EXPECT_EQ(r.girth, seq::girth(g));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (u == v) continue;
+      const NodeId nh = r.next_hop[v][u];
+      ASSERT_NE(nh, kNoNextHop);
+      ASSERT_EQ(want.at(nh, u) + 1, want.at(v, u));
+    }
+  }
+}
+
+// Property 2: Theorem 1's linear round bound and Lemma 1's congestion
+// freedom hold with explicit constants.
+TEST_P(ProtocolProperty, PebbleApspComplexityAndCongestion) {
+  const Graph g = build(GetParam());
+  ApspOptions opt;
+  opt.aggregate = false;
+  const ApspResult r = run_pebble_apsp(g, opt);
+  EXPECT_LE(r.stats.rounds,
+            3 * std::uint64_t{g.num_nodes()} + 10 * r.leader_ecc + 16);
+  EXPECT_LE(r.stats.max_edge_messages, 2u);  // one flood + the pebble
+  EXPECT_LE(r.stats.max_edge_bits, r.stats.bandwidth_bits);
+}
+
+// Property 3: Algorithm 2 computes exact distances to a random source set
+// within its schedule, for every graph in the grid.
+TEST_P(ProtocolProperty, SspExact) {
+  const Graph g = build(GetParam());
+  const NodeId n = g.num_nodes();
+  std::vector<NodeId> sources;
+  Rng rng(GetParam().seed ^ 0xabcdef);
+  for (NodeId v = 0; v < n; ++v) {
+    if (rng.chance(0.15)) sources.push_back(v);
+  }
+  if (sources.empty()) sources.push_back(static_cast<NodeId>(rng.below(n)));
+  const SspResult r = run_ssp(g, sources);
+  const DistanceMatrix want = seq::apsp(g);
+  for (NodeId v = 0; v < n; ++v) {
+    for (const NodeId s : sources) {
+      ASSERT_EQ(r.delta[v][s], want.at(v, s))
+          << "v=" << v << " s=" << s;
+    }
+  }
+  EXPECT_LE(r.stats.max_edge_bits, r.stats.bandwidth_bits);
+}
+
+// Property 4: Claim 1 decides tree-ness in O(D).
+TEST_P(ProtocolProperty, TreeCheck) {
+  const Graph g = build(GetParam());
+  const TreeCheckRun r = run_tree_check(g);
+  EXPECT_EQ(r.is_tree, seq::is_tree(g));
+  EXPECT_LE(r.stats.rounds, 6 * std::uint64_t{seq::diameter(g)} + 16);
+}
+
+// Property 5: the k-dominating set dominates within the size bound.
+TEST_P(ProtocolProperty, KdomInvariant) {
+  const Graph g = build(GetParam());
+  const std::uint32_t k = 1 + static_cast<std::uint32_t>(GetParam().seed % 5);
+  const KdomResult r = run_kdom(g, k);
+  EXPECT_TRUE(seq::is_k_dominating(g, r.dom, k));
+  EXPECT_LE(r.dom.size(), g.num_nodes() / (k + 1) + 1);
+}
+
+// Property 6: Theorem 4's eccentricity estimates are sandwiched.
+TEST_P(ProtocolProperty, EccApproxSandwich) {
+  const Graph g = build(GetParam());
+  const EccApproxResult r = run_ecc_approx(g, {.epsilon = 0.5});
+  const auto ecc = seq::eccentricities(g);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_GE(r.ecc_estimate[v], ecc[v]);
+    ASSERT_LE(r.ecc_estimate[v], ecc[v] + r.k);
+  }
+}
+
+// Property 7: Theorem 5's girth estimate is within (x,1+eps).
+TEST_P(ProtocolProperty, GirthApproxRatio) {
+  const Graph g = build(GetParam());
+  const GirthApproxResult r = run_girth_approx(g, {.epsilon = 0.5});
+  const std::uint32_t truth = seq::girth(g);
+  if (truth == seq::kInfGirth) {
+    EXPECT_TRUE(r.was_tree);
+  } else {
+    EXPECT_GE(r.girth_estimate, truth);
+    EXPECT_LE(r.girth_estimate, 1.5 * truth + 1e-9);
+  }
+}
+
+std::vector<Config> grid() {
+  std::vector<Config> cs;
+  for (const Family f :
+       {Family::kRandomSparse, Family::kRandomDense, Family::kCycleChords,
+        Family::kTree, Family::kCliqueChain, Family::kGadget2v3,
+        Family::kShuffledGrid}) {
+    for (const NodeId n : {24u, 60u, 96u}) {
+      for (const std::uint64_t seed : {1u, 2u, 3u}) {
+        cs.push_back({f, n, seed});
+      }
+    }
+  }
+  return cs;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ProtocolProperty, ::testing::ValuesIn(grid()),
+                         [](const ::testing::TestParamInfo<Config>& param_info) {
+                           std::ostringstream os;
+                           os << param_info.param;
+                           return os.str();
+                         });
+
+}  // namespace
+}  // namespace dapsp::core

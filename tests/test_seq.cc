@@ -1,0 +1,242 @@
+// The sequential oracles themselves, checked on graphs with analytically
+// known properties plus brute-force cross-checks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.h"
+#include "seq/aingworth.h"
+#include "seq/apsp.h"
+#include "seq/bfs.h"
+#include "seq/properties.h"
+#include "testing/suite.h"
+
+namespace dapsp::seq {
+namespace {
+
+TEST(Bfs, PathDistances) {
+  const Graph g = gen::path(6);
+  const BfsResult r = bfs(g, 0);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(r.dist[v], v);
+  EXPECT_EQ(r.ecc, 5u);
+  EXPECT_EQ(r.parent[0], BfsResult::kInfParent);
+  for (NodeId v = 1; v < 6; ++v) EXPECT_EQ(r.parent[v], v - 1);
+}
+
+TEST(Bfs, DisconnectedInfinity) {
+  const Graph g(4, {{0, 1}, {2, 3}});
+  const BfsResult r = bfs(g, 0);
+  EXPECT_EQ(r.dist[1], 1u);
+  EXPECT_EQ(r.dist[2], kInfDist);
+  EXPECT_EQ(r.dist[3], kInfDist);
+}
+
+TEST(Bfs, LimitedDepth) {
+  const Graph g = gen::path(10);
+  const BfsResult r = bfs_limited(g, 0, 3);
+  EXPECT_EQ(r.dist[3], 3u);
+  EXPECT_EQ(r.dist[4], kInfDist);
+  EXPECT_EQ(r.ecc, 3u);
+}
+
+TEST(Bfs, ParentIsShortestPredecessor) {
+  const Graph g = gen::grid(4, 4);
+  const BfsResult r = bfs(g, 0);
+  for (NodeId v = 1; v < g.num_nodes(); ++v) {
+    const NodeId p = r.parent[v];
+    ASSERT_NE(p, BfsResult::kInfParent);
+    EXPECT_EQ(r.dist[v], r.dist[p] + 1);
+    EXPECT_TRUE(g.has_edge(p, v));
+  }
+}
+
+TEST(Apsp, MatchesBfsRows) {
+  const Graph g = gen::random_connected(30, 25, 3);
+  const DistanceMatrix m = apsp(g);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const BfsResult r = bfs(g, u);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_EQ(m.at(u, v), r.dist[v]);
+    }
+  }
+}
+
+TEST(Apsp, Symmetric) {
+  for (const auto& [name, g] : testing::small_suite()) {
+    const DistanceMatrix m = apsp(g);
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      for (NodeId v = u + 1; v < g.num_nodes(); ++v) {
+        EXPECT_EQ(m.at(u, v), m.at(v, u)) << name;
+      }
+    }
+  }
+}
+
+TEST(Apsp, TriangleInequality) {
+  const Graph g = gen::random_connected(25, 30, 7);
+  const DistanceMatrix m = apsp(g);
+  const NodeId n = g.num_nodes();
+  for (NodeId a = 0; a < n; ++a)
+    for (NodeId b = 0; b < n; ++b)
+      for (NodeId c = 0; c < n; ++c)
+        EXPECT_LE(m.at(a, c), m.at(a, b) + m.at(b, c));
+}
+
+TEST(Properties, EccentricityFactsHold) {
+  // Fact 1: ecc(u) <= D <= 2 ecc(u) for every u; rad <= D <= 2 rad.
+  for (const auto& [name, g] : testing::small_suite()) {
+    const auto ecc = eccentricities(g);
+    const std::uint32_t diam = *std::max_element(ecc.begin(), ecc.end());
+    const std::uint32_t rad = *std::min_element(ecc.begin(), ecc.end());
+    EXPECT_EQ(diam, diameter(g)) << name;
+    EXPECT_EQ(rad, radius(g)) << name;
+    for (const std::uint32_t e : ecc) {
+      EXPECT_LE(e, diam) << name;
+      EXPECT_LE(diam, 2 * e) << name;
+    }
+    EXPECT_LE(rad, diam) << name;
+    EXPECT_LE(diam, 2 * rad) << name;
+  }
+}
+
+TEST(Properties, CenterAndPeripheralConsistent) {
+  for (const auto& [name, g] : testing::small_suite()) {
+    const auto ecc = eccentricities(g);
+    const std::uint32_t diam = diameter(g);
+    const std::uint32_t rad = radius(g);
+    const auto c = center(g);
+    const auto p = peripheral_vertices(g);
+    EXPECT_FALSE(c.empty()) << name;
+    EXPECT_FALSE(p.empty()) << name;
+    for (const NodeId v : c) EXPECT_EQ(ecc[v], rad) << name;
+    for (const NodeId v : p) EXPECT_EQ(ecc[v], diam) << name;
+  }
+}
+
+TEST(Properties, CenterOfPathIsMiddle) {
+  const Graph g = gen::path(9);
+  EXPECT_EQ(center(g), std::vector<NodeId>{4});
+  const Graph h = gen::path(10);
+  EXPECT_EQ(center(h), (std::vector<NodeId>{4, 5}));
+}
+
+TEST(Properties, GirthKnownValues) {
+  EXPECT_EQ(girth(gen::cycle(5)), 5u);
+  EXPECT_EQ(girth(gen::cycle(12)), 12u);
+  EXPECT_EQ(girth(gen::complete(4)), 3u);
+  EXPECT_EQ(girth(gen::complete_bipartite(3, 3)), 4u);
+  EXPECT_EQ(girth(gen::petersen()), 5u);
+  EXPECT_EQ(girth(gen::hypercube(3)), 4u);
+  EXPECT_EQ(girth(gen::path(7)), kInfGirth);
+  EXPECT_EQ(girth(gen::balanced_tree(20, 2)), kInfGirth);
+}
+
+TEST(Properties, GirthBruteForceCrossCheck) {
+  // Compare the BFS-witness girth against an independent per-edge
+  // computation: remove each edge, girth = min over edges of
+  // (1 + shortest path between endpoints without the edge).
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Graph g = gen::random_connected(18, 12, seed);
+    std::uint32_t brute = kInfGirth;
+    for (std::size_t skip = 0; skip < g.num_edges(); ++skip) {
+      const Edge removed = g.edges()[skip];
+      std::vector<Edge> rest;
+      for (std::size_t i = 0; i < g.num_edges(); ++i) {
+        if (i != skip) rest.push_back(g.edges()[i]);
+      }
+      const Graph h(g.num_nodes(), rest);
+      const BfsResult r = bfs(h, removed.u);
+      if (r.dist[removed.v] != kInfDist) {
+        brute = std::min(brute, r.dist[removed.v] + 1);
+      }
+    }
+    EXPECT_EQ(girth(g), brute) << "seed=" << seed;
+  }
+}
+
+TEST(Properties, IsTree) {
+  EXPECT_TRUE(is_tree(gen::path(5)));
+  EXPECT_TRUE(is_tree(gen::balanced_tree(17, 3)));
+  EXPECT_TRUE(is_tree(gen::star(9)));
+  EXPECT_FALSE(is_tree(gen::cycle(5)));
+  EXPECT_FALSE(is_tree(Graph(4, {{0, 1}, {2, 3}})));  // disconnected forest
+}
+
+TEST(Properties, CountWithin) {
+  const Graph g = gen::path(10);
+  EXPECT_EQ(count_within(g, 0, 0), 1u);
+  EXPECT_EQ(count_within(g, 0, 3), 4u);
+  EXPECT_EQ(count_within(g, 5, 2), 5u);
+  EXPECT_EQ(count_within(g, 0, 100), 10u);
+}
+
+TEST(Properties, KDominating) {
+  const Graph g = gen::path(10);
+  const std::vector<NodeId> mid{5};
+  EXPECT_TRUE(is_k_dominating(g, mid, 5));
+  EXPECT_FALSE(is_k_dominating(g, mid, 4));
+  const std::vector<NodeId> two{2, 7};
+  EXPECT_TRUE(is_k_dominating(g, two, 2));
+  EXPECT_FALSE(is_k_dominating(g, two, 1));
+  const std::vector<NodeId> none{};
+  EXPECT_FALSE(is_k_dominating(g, none, 100));
+}
+
+TEST(Properties, EccentricitiesFromMatrixAgree) {
+  const Graph g = gen::random_connected(40, 20, 2);
+  EXPECT_EQ(eccentricities(g), eccentricities(apsp(g)));
+}
+
+TEST(Properties, DisconnectedThrows) {
+  const Graph g(4, {{0, 1}, {2, 3}});
+  EXPECT_THROW(eccentricities(g), std::invalid_argument);
+}
+
+// ---- Sequential 2-vs-4 (Algorithm 3 reference) -----------------------------
+
+TEST(Aingworth, LowDegreeBranchOnStar) {
+  // A big star has diameter 2 and (many) low-degree nodes.
+  const auto r = two_vs_four(gen::star(64), 1);
+  EXPECT_EQ(r.answer, 2u);
+  EXPECT_TRUE(r.used_low_degree_branch);
+}
+
+TEST(Aingworth, Diameter4Detected) {
+  const auto r = two_vs_four(gen::diameter4(20), 1);
+  EXPECT_EQ(r.answer, 4u);
+}
+
+TEST(Aingworth, HighDegreeBranchOnDense) {
+  // Complement of a perfect matching: diameter 2, all degrees n-2 >= s.
+  const Graph g = gen::dense_diameter2(64);
+  const auto r = two_vs_four(g, 1);
+  EXPECT_EQ(r.answer, 2u);
+  EXPECT_FALSE(r.used_low_degree_branch);
+  // The number of BFS runs should be well below n.
+  EXPECT_LT(r.bfs_performed, 40u);
+}
+
+TEST(Aingworth, ManySeedsConsistent) {
+  const Graph g2 = gen::dense_diameter2(32);
+  const Graph g4 = gen::diameter4(14);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    EXPECT_EQ(two_vs_four(g2, seed).answer, 2u) << seed;
+    EXPECT_EQ(two_vs_four(g4, seed).answer, 4u) << seed;
+  }
+}
+
+TEST(Aingworth, ThresholdMonotone) {
+  EXPECT_LT(aingworth_threshold(16), aingworth_threshold(256));
+  EXPECT_GE(aingworth_threshold(2), 1u);
+}
+
+TEST(Aingworth, LowDegreeSetDefinition) {
+  const Graph g = gen::star(10);  // hub degree 9, leaves degree 1
+  const auto low = low_degree_nodes(g, 5);
+  // Leaves have |N1| = 2 < 5; hub has |N1| = 10.
+  EXPECT_EQ(low.size(), 9u);
+  EXPECT_TRUE(std::find(low.begin(), low.end(), 0) == low.end());
+}
+
+}  // namespace
+}  // namespace dapsp::seq

@@ -1,0 +1,180 @@
+// Algorithm 2 (S-SP): exact distances to every source, within the
+// |S| + D0 loop bound of Theorem 3, on many graphs and source sets.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/ssp.h"
+#include "graph/generators.h"
+#include "seq/apsp.h"
+#include "seq/properties.h"
+#include "testing/suite.h"
+#include "util/rng.h"
+
+namespace dapsp::core {
+namespace {
+
+std::vector<NodeId> random_sources(NodeId n, std::size_t count,
+                                   std::uint64_t seed) {
+  std::vector<NodeId> all(n);
+  for (NodeId v = 0; v < n; ++v) all[v] = v;
+  Rng rng(seed);
+  shuffle(all, rng);
+  all.resize(std::min<std::size_t>(count, n));
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+void expect_ssp_correct(const Graph& g, std::span<const NodeId> sources,
+                        const char* label) {
+  const SspResult r = run_ssp(g, sources);
+  const DistanceMatrix want = seq::apsp(g);
+  std::vector<std::uint8_t> in_s(g.num_nodes(), 0);
+  for (const NodeId s : sources) in_s[s] = 1;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (in_s[u]) {
+        EXPECT_EQ(r.delta[v][u], want.at(v, u))
+            << label << " v=" << v << " u=" << u;
+      } else {
+        EXPECT_EQ(r.delta[v][u], kInfDist) << label << " v=" << v << " u=" << u;
+      }
+    }
+  }
+}
+
+TEST(Ssp, SingleSourceEverywhere) {
+  for (const auto& [name, g] : testing::small_suite()) {
+    const std::vector<NodeId> s{0};
+    expect_ssp_correct(g, s, name.c_str());
+  }
+}
+
+TEST(Ssp, RandomSourceSets) {
+  for (const auto& [name, g] : testing::small_suite()) {
+    if (g.num_nodes() < 4) continue;
+    for (const std::size_t count : {2u, 5u}) {
+      const auto s = random_sources(g.num_nodes(), count, 17 + count);
+      expect_ssp_correct(g, s, name.c_str());
+    }
+  }
+}
+
+TEST(Ssp, AllNodesAsSourcesIsApsp) {
+  // S = V turns Algorithm 2 into an (alternative) APSP algorithm.
+  for (const auto& [name, g] : testing::small_suite()) {
+    std::vector<NodeId> all(g.num_nodes());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) all[v] = v;
+    const SspResult r = run_ssp(g, all);
+    const DistanceMatrix want = seq::apsp(g);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        EXPECT_EQ(r.delta[v][u], want.at(v, u)) << name;
+      }
+    }
+  }
+}
+
+TEST(Ssp, MediumSuiteSpotChecks) {
+  for (const auto& [name, g] : testing::medium_suite()) {
+    const auto s = random_sources(g.num_nodes(), 8, 5);
+    expect_ssp_correct(g, s, name.c_str());
+  }
+}
+
+// Theorem 3: O(|S| + D) rounds. Our constants: tree build + params
+// broadcast (<= 4 ecc + 8) + loop 2(|S| + 2 ecc) + 4 + trailing round.
+TEST(Ssp, RoundBound) {
+  for (const auto& [name, g] : testing::medium_suite()) {
+    const auto s = random_sources(g.num_nodes(), 10, 3);
+    const SspResult r = run_ssp(g, s);
+    const std::uint64_t bound =
+        2 * s.size() + 12 * std::uint64_t{r.leader_ecc} + 40;
+    EXPECT_LE(r.stats.rounds, bound) << name;
+  }
+}
+
+// The loop is the documented schedule 2(|S| + D0) + 4 (see SspMachine).
+TEST(Ssp, LoopLengthMatchesSchedule) {
+  const Graph g = gen::grid(8, 8);
+  const auto s = random_sources(g.num_nodes(), 6, 9);
+  const SspResult r = run_ssp(g, s);
+  EXPECT_EQ(r.d0, 2 * r.leader_ecc);
+  EXPECT_EQ(r.loop_rounds, 2 * (s.size() + r.d0) + 4);
+}
+
+// Bandwidth: Algorithm 2 sends at most one (id, distance) token per edge per
+// round, plus nothing else during the loop.
+TEST(Ssp, RespectsBandwidth) {
+  for (const auto& [name, g] : testing::medium_suite()) {
+    const auto s = random_sources(g.num_nodes(), 12, 29);
+    const SspResult r = run_ssp(g, s);
+    EXPECT_LE(r.stats.max_edge_bits, r.stats.bandwidth_bits) << name;
+  }
+}
+
+TEST(Ssp, EmptySourceSet) {
+  const Graph g = gen::path(10);
+  const SspResult r = run_ssp(g, {});
+  for (NodeId v = 0; v < 10; ++v) {
+    for (NodeId u = 0; u < 10; ++u) EXPECT_EQ(r.delta[v][u], kInfDist);
+  }
+}
+
+TEST(Ssp, SourceOutOfRangeThrows) {
+  const Graph g = gen::path(4);
+  const std::vector<NodeId> bad{7};
+  EXPECT_THROW(run_ssp(g, bad), std::invalid_argument);
+}
+
+TEST(Ssp, DuplicateSourcesDeduplicated) {
+  const Graph g = gen::cycle(8);
+  const std::vector<NodeId> dup{3, 3, 5, 5, 5};
+  const SspResult r = run_ssp(g, dup);
+  EXPECT_EQ(r.sources, (std::vector<NodeId>{3, 5}));
+  EXPECT_EQ(r.delta[0][3], 3u);
+  EXPECT_EQ(r.delta[0][5], 3u);
+}
+
+// Lemma-7-style witnesses collected during S-SP floods bound the girth:
+// girth <= witness <= girth + 2 * max distance from a source to the minimum
+// cycle (coarsely: + 2D).
+TEST(Ssp, GirthWitnessSoundness) {
+  for (const auto& [name, g] : testing::small_suite()) {
+    if (seq::is_tree(g)) continue;
+    std::vector<NodeId> all(g.num_nodes());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) all[v] = v;
+    const SspResult r = run_ssp(g, all);
+    // With S = V, some source lies on the minimum cycle: witness is exact.
+    EXPECT_EQ(r.min_girth_witness, seq::girth(g)) << name;
+  }
+}
+
+TEST(Ssp, GirthWitnessOnTreeIsInfinite) {
+  const Graph g = gen::balanced_tree(25, 2);
+  std::vector<NodeId> all(25);
+  for (NodeId v = 0; v < 25; ++v) all[v] = v;
+  const SspResult r = run_ssp(g, all);
+  EXPECT_EQ(r.min_girth_witness, kInfDist);
+}
+
+TEST(Ssp, SparseSourceWitnessIsUpperBoundOnly) {
+  const Graph g = gen::tree_with_cycle(60, 5, 1);
+  const std::vector<NodeId> s{0};
+  const SspResult r = run_ssp(g, s);
+  if (r.min_girth_witness != kInfDist) {
+    EXPECT_GE(r.min_girth_witness, seq::girth(g));
+  }
+}
+
+TEST(Ssp, Deterministic) {
+  const Graph g = gen::random_connected(60, 60, 31);
+  const auto s = random_sources(60, 7, 4);
+  const SspResult a = run_ssp(g, s);
+  const SspResult b = run_ssp(g, s);
+  EXPECT_EQ(a.stats.rounds, b.stats.rounds);
+  EXPECT_EQ(a.delta, b.delta);
+}
+
+}  // namespace
+}  // namespace dapsp::core

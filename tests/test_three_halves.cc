@@ -1,0 +1,202 @@
+// The (x,3/2) diameter machinery: sequential ACIM reference (Section 3.3),
+// truncated source detection (SspMachine cap), and the distributed
+// O~(sqrt(n)+D) estimator built on it.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "congest/engine.h"
+#include "core/ssp.h"
+#include "core/three_halves.h"
+#include "graph/generators.h"
+#include "seq/aingworth.h"
+#include "seq/apsp.h"
+#include "seq/bfs.h"
+#include "seq/properties.h"
+#include "testing/suite.h"
+
+namespace dapsp::core {
+namespace {
+
+// ---- Sequential ACIM reference ---------------------------------------------
+
+TEST(SeqThreeHalves, GuaranteeOnSuite) {
+  for (const auto& [name, g] : testing::small_suite()) {
+    if (g.num_nodes() < 2) continue;
+    const auto r = seq::three_halves_diameter(g);
+    const std::uint32_t diam = seq::diameter(g);
+    EXPECT_LE(r.estimate, diam) << name;
+    EXPECT_GE(3 * r.estimate + 2, 2 * diam) << name;  // est >= floor(2D/3)
+  }
+}
+
+TEST(SeqThreeHalves, GuaranteeOnRandoms) {
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    const Graph g = gen::random_connected(70, 30 + 5 * seed, seed);
+    const auto r = seq::three_halves_diameter(g);
+    const std::uint32_t diam = seq::diameter(g);
+    EXPECT_LE(r.estimate, diam) << seed;
+    EXPECT_GE(3 * r.estimate + 2, 2 * diam) << seed;
+  }
+}
+
+TEST(SeqThreeHalves, CostSubQuadratic) {
+  // #BFS = 1 + s + |hitting set| ~ sqrt(n log n) + (n/s) log n << n.
+  const Graph g = gen::random_connected(300, 400, 5);
+  const auto r = seq::three_halves_diameter(g);
+  EXPECT_LT(r.bfs_performed, 200u);
+}
+
+TEST(SeqPartialBfs, NearestAreNearest) {
+  const Graph g = gen::grid(6, 6);
+  const DistanceMatrix d = seq::apsp(g);
+  for (const NodeId v : {0u, 17u, 35u}) {
+    const auto p = seq::partial_bfs(g, v, 7);
+    ASSERT_EQ(p.nearest.size(), 7u);
+    EXPECT_EQ(p.nearest.front(), v);  // self at distance 0
+    // Every non-member is at least as far as the ball radius.
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (std::find(p.nearest.begin(), p.nearest.end(), u) !=
+          p.nearest.end()) {
+        EXPECT_LE(d.at(v, u), p.radius);
+      } else {
+        EXPECT_GE(d.at(v, u), p.radius);
+      }
+    }
+  }
+}
+
+// ---- Truncated source detection ---------------------------------------------
+
+// The cap-s detection must deliver exactly the s lexicographically smallest
+// (distance, id) sources at every node. Validated through the distributed
+// machinery by comparing with the sequential partial BFS.
+TEST(TruncatedDetection, MatchesSequentialPartialBfs) {
+  for (const auto& [name, g] : testing::small_suite()) {
+    if (g.num_nodes() < 4) continue;
+    const std::uint32_t cap = 5;
+    ThreeHalvesOptions opt;
+    opt.s = cap;
+    // Reuse the full protocol; its phase-1 result is validated indirectly by
+    // the estimate below, but here check the primitive head-on with a
+    // bespoke driver: run_three_halves already exercises it, so instead we
+    // verify via the w/ball outputs: r_w must equal the oracle's partial-BFS
+    // radius of the elected node.
+    const ThreeHalvesRun r = run_three_halves_diameter(g, opt);
+    const auto oracle = seq::partial_bfs(g, r.deepest, cap);
+    EXPECT_EQ(r.ball_radius, oracle.radius) << name;
+  }
+}
+
+TEST(TruncatedDetection, DeepestBallIsGlobalArgmax) {
+  const Graph g = gen::lollipop(12, 40);
+  const std::uint32_t cap = 6;
+  ThreeHalvesOptions opt;
+  opt.s = cap;
+  const ThreeHalvesRun r = run_three_halves_diameter(g, opt);
+  std::uint32_t best = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    best = std::max(best, seq::partial_bfs(g, v, cap).radius);
+  }
+  EXPECT_EQ(r.ball_radius, best);
+}
+
+// Head-on check of the primitive: a bespoke driver runs cap-s detection with
+// S = V and every node's learned set is compared with the oracle's s nearest.
+class DetectOnly final : public congest::Process {
+ public:
+  DetectOnly(NodeId id, NodeId n, std::uint32_t cap, std::uint64_t start,
+             std::uint64_t loop)
+      : ssp_(id, n, /*in_s=*/true), id_(id) {
+    ssp_.set_cap(cap);
+    ssp_.configure(start, loop);
+  }
+  void on_round(congest::RoundCtx& ctx) override {
+    for (const congest::Received& r : ctx.inbox()) ssp_.handle(ctx, r);
+    ssp_.advance(ctx);
+    done_ = ssp_.finished(ctx.round());
+  }
+  bool done() const override { return done_; }
+  SspMachine ssp_;
+
+ private:
+  NodeId id_;
+  bool done_ = false;
+};
+
+TEST(TruncatedDetection, EveryNodeLearnsItsNearest) {
+  for (const auto& [name, g] : testing::small_suite()) {
+    if (g.num_nodes() < 3) continue;
+    const std::uint32_t cap = 4;
+    const std::uint32_t d0 = 2 * seq::diameter(g);
+    const std::uint64_t loop = SspMachine::schedule_length(cap, d0);
+    congest::Engine e(g);
+    e.init([&](NodeId v) {
+      return std::make_unique<DetectOnly>(v, g.num_nodes(), cap, 1, loop);
+    });
+    e.run();
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      const auto got = e.process_as<DetectOnly>(v).ssp_.nearest_sources();
+      const auto want = seq::partial_bfs(g, v, cap);
+      ASSERT_EQ(got.size(), want.nearest.size()) << name << " v=" << v;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].second, want.nearest[i]) << name << " v=" << v;
+        EXPECT_EQ(got[i].first,
+                  seq::bfs(g, v).dist[want.nearest[i]])
+            << name << " v=" << v;
+      }
+    }
+  }
+}
+
+// ---- Distributed estimator ---------------------------------------------------
+
+TEST(ThreeHalves, GuaranteeOnSuite) {
+  for (const auto& [name, g] : testing::small_suite()) {
+    if (g.num_nodes() < 2) continue;
+    const ThreeHalvesRun r = run_three_halves_diameter(g);
+    const std::uint32_t diam = seq::diameter(g);
+    EXPECT_LE(r.estimate, diam) << name;
+    EXPECT_GE(3 * r.estimate + 2, 2 * diam) << name;
+    EXPECT_GE(r.answer, diam) << name;
+    EXPECT_LE(r.answer, (3 * diam + 1) / 2 + 1) << name;
+  }
+}
+
+TEST(ThreeHalves, GuaranteeOnMediumSuite) {
+  for (const auto& [name, g] : testing::medium_suite()) {
+    const ThreeHalvesRun r = run_three_halves_diameter(g);
+    const std::uint32_t diam = seq::diameter(g);
+    EXPECT_LE(r.estimate, diam) << name;
+    EXPECT_GE(3 * r.estimate + 2, 2 * diam) << name;
+  }
+}
+
+TEST(ThreeHalves, SublinearOnShallowGraphs) {
+  // O~(sqrt(n) + D): on a 576-node torus (D = 24) the run must be well
+  // below the ~1800 rounds of exact APSP.
+  const Graph g = gen::torus(24, 24);
+  const ThreeHalvesRun r = run_three_halves_diameter(g);
+  EXPECT_LT(r.stats.rounds, 1300u);  // exact APSP takes ~1800 here
+  EXPECT_GT(r.num_sources, 0u);
+  EXPECT_LT(r.num_sources, g.num_nodes() / 2);
+}
+
+TEST(ThreeHalves, DeterministicPerSeed) {
+  const Graph g = gen::random_connected(80, 70, 3);
+  ThreeHalvesOptions opt;
+  opt.seed = 9;
+  const auto a = run_three_halves_diameter(g, opt);
+  const auto b = run_three_halves_diameter(g, opt);
+  EXPECT_EQ(a.estimate, b.estimate);
+  EXPECT_EQ(a.stats.rounds, b.stats.rounds);
+}
+
+TEST(ThreeHalves, RespectsBandwidth) {
+  const Graph g = gen::random_connected(100, 150, 4);
+  const ThreeHalvesRun r = run_three_halves_diameter(g);
+  EXPECT_LE(r.stats.max_edge_bits, r.stats.bandwidth_bits);
+}
+
+}  // namespace
+}  // namespace dapsp::core

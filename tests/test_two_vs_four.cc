@@ -1,0 +1,87 @@
+// Algorithm 3 (Theorem 7): distinguishing diameter-2 from diameter-4 graphs
+// in O(sqrt(n log n)) rounds.
+#include <gtest/gtest.h>
+
+#include "core/two_vs_four.h"
+#include "graph/generators.h"
+#include "seq/properties.h"
+
+namespace dapsp::core {
+namespace {
+
+TEST(TwoVsFour, LowDegreeBranchStar) {
+  // Stars have diameter 2 and low-degree leaves.
+  for (const NodeId n : {8u, 32u, 100u}) {
+    const TwoVsFourResult r = run_two_vs_four(gen::star(n));
+    EXPECT_EQ(r.answer, 2u) << n;
+    EXPECT_TRUE(r.used_low_degree_branch) << n;
+  }
+}
+
+TEST(TwoVsFour, LowDegreeBranchDiameter4) {
+  for (const NodeId leaves : {4u, 16u, 50u}) {
+    const TwoVsFourResult r = run_two_vs_four(gen::diameter4(leaves));
+    EXPECT_EQ(r.answer, 4u) << leaves;
+    EXPECT_TRUE(r.used_low_degree_branch) << leaves;
+  }
+}
+
+TEST(TwoVsFour, HighDegreeBranchDense) {
+  // Complement of a perfect matching: diameter 2, all degrees n-2.
+  for (const NodeId n : {32u, 64u, 128u}) {
+    const TwoVsFourResult r = run_two_vs_four(gen::dense_diameter2(n));
+    EXPECT_EQ(r.answer, 2u) << n;
+    EXPECT_FALSE(r.used_low_degree_branch) << n;
+    // The sampled source set is ~sqrt(n log n), well below n.
+    EXPECT_LT(r.num_sources, n / 2) << n;
+    EXPECT_GT(r.num_sources, 0u) << n;
+  }
+}
+
+TEST(TwoVsFour, PetersenIsDiameter2) {
+  const TwoVsFourResult r = run_two_vs_four(gen::petersen());
+  EXPECT_EQ(r.answer, 2u);
+}
+
+TEST(TwoVsFour, ManySeedsStable) {
+  const Graph g2 = gen::dense_diameter2(48);
+  const Graph g4 = gen::diameter4(20);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    TwoVsFourOptions opt;
+    opt.seed = seed;
+    EXPECT_EQ(run_two_vs_four(g2, opt).answer, 2u) << seed;
+    EXPECT_EQ(run_two_vs_four(g4, opt).answer, 4u) << seed;
+  }
+}
+
+TEST(TwoVsFour, CompleteBipartiteDiameter2) {
+  const TwoVsFourResult r = run_two_vs_four(gen::complete_bipartite(20, 20));
+  EXPECT_EQ(r.answer, 2u);
+}
+
+TEST(TwoVsFour, RoundsSublinearOnDense) {
+  // Theorem 7: O(sqrt(n log n)) rounds whp. The dense family exercises the
+  // sampled branch; rounds must be well below n.
+  const NodeId n = 256;
+  const TwoVsFourResult r = run_two_vs_four(gen::dense_diameter2(n));
+  EXPECT_EQ(r.answer, 2u);
+  EXPECT_LE(r.stats.rounds, 4 * std::uint64_t{r.s_threshold} + 64);
+  EXPECT_LT(r.stats.rounds, n);
+}
+
+TEST(TwoVsFour, RelabeledStar) {
+  // Shuffled ids: the elected low-degree node is not node 0.
+  const Graph g = gen::star(50).relabeled(99);
+  const TwoVsFourResult r = run_two_vs_four(g);
+  EXPECT_EQ(r.answer, 2u);
+}
+
+TEST(TwoVsFour, LowBranchSourceCount) {
+  // In the low branch, |S| = |N1(v*)| = deg(v*) + 1; for a star leaf = 2.
+  const TwoVsFourResult r = run_two_vs_four(gen::star(30));
+  EXPECT_TRUE(r.used_low_degree_branch);
+  EXPECT_EQ(r.num_sources, 2u);
+}
+
+}  // namespace
+}  // namespace dapsp::core

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "util/bits.h"
+#include "util/rng.h"
+
+namespace dapsp {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowCoversRange) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng rng(11);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.between(3, 6);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 6u);
+    hit_lo |= v == 3;
+    hit_hi |= v == 6;
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(15);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceRoughlyCalibrated) {
+  Rng rng(17);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(Rng, ShufflePermutes) {
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto w = v;
+  Rng rng(19);
+  shuffle(w, rng);
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), w.begin()));
+}
+
+TEST(Bits, BitsFor) {
+  EXPECT_EQ(bits_for(0), 1);
+  EXPECT_EQ(bits_for(1), 1);
+  EXPECT_EQ(bits_for(2), 2);
+  EXPECT_EQ(bits_for(3), 2);
+  EXPECT_EQ(bits_for(4), 3);
+  EXPECT_EQ(bits_for(255), 8);
+  EXPECT_EQ(bits_for(256), 9);
+  EXPECT_EQ(bits_for((1ull << 40) - 1), 40);
+}
+
+TEST(Bits, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(4), 2);
+  EXPECT_EQ(ceil_log2(5), 3);
+  EXPECT_EQ(ceil_log2(1024), 10);
+  EXPECT_EQ(ceil_log2(1025), 11);
+}
+
+TEST(Bits, Isqrt) {
+  EXPECT_EQ(isqrt(0), 0u);
+  EXPECT_EQ(isqrt(1), 1u);
+  EXPECT_EQ(isqrt(3), 1u);
+  EXPECT_EQ(isqrt(4), 2u);
+  EXPECT_EQ(isqrt(15), 3u);
+  EXPECT_EQ(isqrt(16), 4u);
+  EXPECT_EQ(isqrt(1000000), 1000u);
+  EXPECT_EQ(isqrt(999999), 999u);
+}
+
+TEST(Bits, IsqrtExhaustiveSmall) {
+  for (std::uint64_t n = 0; n < 5000; ++n) {
+    const std::uint64_t r = isqrt(n);
+    EXPECT_LE(r * r, n);
+    EXPECT_GT((r + 1) * (r + 1), n);
+  }
+}
+
+TEST(Bits, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 3), 0u);
+  EXPECT_EQ(ceil_div(1, 3), 1u);
+  EXPECT_EQ(ceil_div(3, 3), 1u);
+  EXPECT_EQ(ceil_div(4, 3), 2u);
+  EXPECT_EQ(ceil_div(9, 3), 3u);
+}
+
+}  // namespace
+}  // namespace dapsp

@@ -1,0 +1,69 @@
+// Shared test fixtures: a named suite of connected graphs spanning the
+// shapes that matter for the paper (paths: huge D; cliques: D=1; expanders;
+// trees: infinite girth; cycles: girth = n; gadgets: adversarial).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/graph.h"
+
+namespace dapsp::testing {
+
+struct NamedGraph {
+  std::string name;
+  Graph graph;
+};
+
+// Small connected graphs for exhaustive oracle comparison (n <= ~80).
+inline std::vector<NamedGraph> small_suite() {
+  using namespace dapsp::gen;
+  std::vector<NamedGraph> s;
+  s.push_back({"single", path(1)});
+  s.push_back({"edge", path(2)});
+  s.push_back({"path16", path(16)});
+  s.push_back({"path61", path(61)});
+  s.push_back({"cycle3", cycle(3)});
+  s.push_back({"cycle17", cycle(17)});
+  s.push_back({"cycle32", cycle(32)});
+  s.push_back({"complete8", complete(8)});
+  s.push_back({"complete25", complete(25)});
+  s.push_back({"star20", star(20)});
+  s.push_back({"bipartite5x7", complete_bipartite(5, 7)});
+  s.push_back({"btree31", balanced_tree(31, 2)});
+  s.push_back({"ternary40", balanced_tree(40, 3)});
+  s.push_back({"grid5x8", grid(5, 8)});
+  s.push_back({"torus4x5", torus(4, 5)});
+  s.push_back({"hypercube4", hypercube(4)});
+  s.push_back({"petersen", petersen()});
+  s.push_back({"barbell6", barbell(6, 3)});
+  s.push_back({"lollipop8", lollipop(8, 9)});
+  s.push_back({"caterpillar", caterpillar(8, 3)});
+  s.push_back({"cliquepath4x5", path_of_cliques(4, 5)});
+  s.push_back({"chords40", cycle_with_chords(40, 12, 7)});
+  s.push_back({"treecycle", tree_with_cycle(48, 7, 3)});
+  s.push_back({"dense_d2", dense_diameter2(12)});
+  s.push_back({"diam4", diameter4(6)});
+  s.push_back({"rand40a", random_connected(40, 30, 11)});
+  s.push_back({"rand64b", random_connected(64, 64, 13)});
+  s.push_back({"rand50sparse", random_connected(50, 5, 17)});
+  return s;
+}
+
+// Medium graphs for scaling-sensitive tests (n up to ~300).
+inline std::vector<NamedGraph> medium_suite() {
+  using namespace dapsp::gen;
+  std::vector<NamedGraph> s;
+  s.push_back({"path200", path(200)});
+  s.push_back({"cycle201", cycle(201)});
+  s.push_back({"grid12x16", grid(12, 16)});
+  s.push_back({"btree255", balanced_tree(255, 2)});
+  s.push_back({"cliquepath10x8", path_of_cliques(10, 8)});
+  s.push_back({"rand200", random_connected(200, 220, 19)});
+  s.push_back({"rand300sparse", random_connected(300, 40, 23)});
+  s.push_back({"hypercube8", hypercube(8)});
+  return s;
+}
+
+}  // namespace dapsp::testing
