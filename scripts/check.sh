@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Full local check: build + test in the default (RelWithDebInfo) config and
+# under ASan+UBSan. Usage: scripts/check.sh [extra ctest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+run_config() {
+  local dir="$1" type="$2"
+  echo "== ${type} (${dir}) =="
+  cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE="${type}" >/dev/null
+  cmake --build "${dir}" -j "${JOBS}"
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" "$@"
+}
+
+run_config build RelWithDebInfo "${@:1}"
+run_config build-asan Asan "${@:1}"
+
+echo "All checks passed."

@@ -1,6 +1,8 @@
 #include "congest/engine.h"
 
 #include <algorithm>
+#include <ostream>
+#include <sstream>
 
 #include "util/bits.h"
 
@@ -15,30 +17,86 @@ void accumulate(RunStats& into, const RunStats& from) {
       std::max(into.max_edge_messages, from.max_edge_messages);
   into.max_node_bits = std::max(into.max_node_bits, from.max_node_bits);
   into.bandwidth_bits = std::max(into.bandwidth_bits, from.bandwidth_bits);
+  into.messages_dropped += from.messages_dropped;
+  into.messages_delayed += from.messages_delayed;
+  into.messages_duplicated += from.messages_duplicated;
+  into.nodes_crashed += from.nodes_crashed;
 }
 
-NodeId RoundCtx::n() const noexcept { return engine_.graph().num_nodes(); }
-std::uint64_t RoundCtx::round() const noexcept { return engine_.current_round(); }
-std::uint32_t RoundCtx::degree() const noexcept {
-  return engine_.graph().degree(id_);
+std::string RunStats::debug_string() const {
+  std::ostringstream os;
+  os << "rounds=" << rounds << " messages=" << messages
+     << " bits=" << total_bits << " max_edge_bits=" << max_edge_bits << "/B="
+     << bandwidth_bits << " max_edge_msgs=" << max_edge_messages
+     << " max_node_bits=" << max_node_bits;
+  if (messages_dropped || messages_delayed || messages_duplicated ||
+      nodes_crashed) {
+    os << " dropped=" << messages_dropped << " delayed=" << messages_delayed
+       << " duplicated=" << messages_duplicated
+       << " crashed=" << nodes_crashed;
+  }
+  return std::move(os).str();
 }
-NodeId RoundCtx::neighbor(std::uint32_t index) const {
-  return engine_.graph().neighbors(id_)[index];
+
+std::ostream& operator<<(std::ostream& os, const RunStats& s) {
+  return os << s.debug_string();
 }
-std::span<const Received> RoundCtx::inbox() const noexcept {
-  return engine_.inboxes_[id_];
+
+const char* to_string(RunStatus s) noexcept {
+  switch (s) {
+    case RunStatus::kCompleted:
+      return "completed";
+    case RunStatus::kRoundLimit:
+      return "round-limit";
+    case RunStatus::kCongestion:
+      return "congestion";
+  }
+  return "?";
 }
-void RoundCtx::send(std::uint32_t index, const Message& m) {
-  engine_.queue_message(id_, index, m);
-}
+
 void RoundCtx::send_all(const Message& m) {
   const std::uint32_t d = degree();
   for (std::uint32_t i = 0; i < d; ++i) send(i, m);
 }
 
+// The engine-backed round context: the real graph, the real round number,
+// the engine's inboxes and bandwidth-accounted sends.
+class Engine::Ctx final : public RoundCtx {
+ public:
+  Ctx(Engine& engine, NodeId id) noexcept : RoundCtx(id), engine_(engine) {}
+
+  NodeId n() const noexcept override { return engine_.graph().num_nodes(); }
+  std::uint64_t round() const noexcept override {
+    return engine_.current_round();
+  }
+  std::uint32_t degree() const noexcept override {
+    return engine_.graph().degree(id_);
+  }
+  NodeId neighbor(std::uint32_t index) const override {
+    return engine_.graph().neighbors(id_)[index];
+  }
+  std::span<const Received> inbox() const noexcept override {
+    return engine_.inboxes_[id_];
+  }
+  void send(std::uint32_t index, const Message& m) override {
+    engine_.queue_message(id_, index, m);
+  }
+
+ private:
+  Engine& engine_;
+};
+
 Engine::Engine(const Graph& g, EngineConfig config)
-    : graph_(&g), config_(config) {
+    : graph_(&g), config_(std::move(config)) {
   const NodeId n = g.num_nodes();
+  if (n == 0) {
+    throw std::invalid_argument(
+        "Engine: empty graph (0 nodes); nothing to simulate");
+  }
+  if (config_.bandwidth_ids == 0) {
+    throw std::invalid_argument(
+        "Engine: bandwidth_ids must be >= 1 (B would admit no payload)");
+  }
   // All transported values (ids, distances, 2*ecc estimates, counts,
   // sub-protocol tags) are < max(2n, 256); size the field width accordingly.
   // This is Theta(log n) with an 8-bit floor so that protocol tag constants
@@ -62,6 +120,12 @@ Engine::Engine(const Graph& g, EngineConfig config)
   edge_stamp_.assign(directed_edges, ~std::uint64_t{0});
   node_bits_.assign(n, 0);
   node_stamp_.assign(n, ~std::uint64_t{0});
+
+  if (config_.faults) {
+    faults_ = std::make_unique<FaultInjector>(g, *config_.faults);
+    delay_ring_.resize(std::size_t{faults_->max_extra_delay()} + 2);
+  }
+  crashed_.assign(n, 0);
 }
 
 void Engine::init(
@@ -69,13 +133,35 @@ void Engine::init(
   const NodeId n = graph_->num_nodes();
   processes_.clear();
   processes_.reserve(n);
-  for (NodeId v = 0; v < n; ++v) processes_.push_back(factory(v));
+  for (NodeId v = 0; v < n; ++v) {
+    auto p = factory(v);
+    if (config_.process_wrapper) p = config_.process_wrapper(v, std::move(p));
+    processes_.push_back(std::move(p));
+  }
   round_ = 0;
   stats_ = RunStats{};
   stats_.bandwidth_bits = bandwidth_bits_;
   pending_messages_ = 0;
   for (auto& box : inboxes_) box.clear();
   for (auto& box : next_inboxes_) box.clear();
+  if (faults_) faults_->reset();
+  crashed_.assign(n, 0);
+  for (auto& slot : delay_ring_) slot.clear();
+  delayed_pending_ = 0;
+  // Crash-at-round-0 nodes never execute at all.
+  apply_crashes();
+}
+
+void Engine::deliver(NodeId to, const Received& r, std::uint32_t extra_delay) {
+  if (extra_delay == 0) {
+    next_inboxes_[to].push_back(r);
+    ++pending_messages_;
+    return;
+  }
+  ++stats_.messages_delayed;
+  const std::uint64_t due = round_ + 1 + extra_delay;
+  delay_ring_[due % delay_ring_.size()].push_back({to, r});
+  ++delayed_pending_;
 }
 
 void Engine::queue_message(NodeId from, std::uint32_t neighbor_index,
@@ -130,8 +216,45 @@ void Engine::queue_message(NodeId from, std::uint32_t neighbor_index,
 
   // Index of `from` in `to`'s adjacency list.
   const auto back = graph_->neighbor_index(to, from);
-  next_inboxes_[to].push_back(Received{*back, m});
+  const Received rec{*back, m};
+
+  if (faults_) {
+    // The message was sent (and charged) — now the wire decides its fate.
+    if (faults_->link_down(edge, round_)) {
+      ++stats_.messages_dropped;
+      return;
+    }
+    const FaultDecision d = faults_->decide(edge);
+    if (d.dropped) {
+      ++stats_.messages_dropped;
+      return;
+    }
+    if (d.copies > 1) ++stats_.messages_duplicated;
+    for (std::uint32_t c = 0; c < d.copies; ++c) {
+      deliver(to, rec, d.extra_delay[c]);
+    }
+    return;
+  }
+
+  next_inboxes_[to].push_back(rec);
   ++pending_messages_;
+}
+
+void Engine::apply_crashes() {
+  if (!faults_) return;
+  const NodeId n = graph_->num_nodes();
+  for (NodeId v = 0; v < n; ++v) {
+    if (crashed_[v] == 0 && faults_->crashed(v, round_)) {
+      crashed_[v] = 1;
+      ++stats_.nodes_crashed;
+    }
+    if (crashed_[v] != 0 && !inboxes_[v].empty()) {
+      // Deliveries to a crashed node vanish.
+      stats_.messages_dropped += inboxes_[v].size();
+      pending_messages_ -= inboxes_[v].size();
+      inboxes_[v].clear();
+    }
+  }
 }
 
 void Engine::step() {
@@ -142,7 +265,8 @@ void Engine::step() {
   }
   const NodeId n = graph_->num_nodes();
   for (NodeId v = 0; v < n; ++v) {
-    RoundCtx ctx(*this, v);
+    if (crashed_[v] != 0) continue;  // crash-stop: no execution, no sends
+    Ctx ctx(*this, v);
     processes_[v]->on_round(ctx);
   }
   // Deliver: what was queued this round becomes next round's inboxes.
@@ -154,12 +278,29 @@ void Engine::step() {
   for (NodeId v = 0; v < n; ++v) pending_messages_ += inboxes_[v].size();
   ++round_;
   stats_.rounds = round_;
+
+  if (faults_) {
+    // Delayed copies whose delivery round has come join the new inboxes.
+    auto& due = delay_ring_[round_ % delay_ring_.size()];
+    for (auto& [to, rec] : due) {
+      --delayed_pending_;
+      inboxes_[to].push_back(rec);
+      ++pending_messages_;
+    }
+    due.clear();
+    // Crashes scheduled for the new round silence the node before it runs,
+    // and absorb anything addressed to it (normal or delayed).
+    apply_crashes();
+  }
 }
 
 bool Engine::quiescent() const {
-  if (pending_messages_ > 0) return false;
-  return std::all_of(processes_.begin(), processes_.end(),
-                     [](const auto& p) { return p->done(); });
+  if (pending_messages_ > 0 || delayed_pending_ > 0) return false;
+  const NodeId n = graph_->num_nodes();
+  for (NodeId v = 0; v < n; ++v) {
+    if (crashed_[v] == 0 && !processes_[v]->done()) return false;
+  }
+  return true;
 }
 
 RunStats Engine::run() {
@@ -170,6 +311,23 @@ RunStats Engine::run() {
 RunStats Engine::run_rounds(std::uint64_t rounds) {
   for (std::uint64_t i = 0; i < rounds; ++i) step();
   return stats_;
+}
+
+Outcome Engine::run_bounded() {
+  Outcome out;
+  try {
+    out.stats = run();
+    out.status = RunStatus::kCompleted;
+  } catch (const RoundLimitError& e) {
+    out.status = RunStatus::kRoundLimit;
+    out.stats = stats_;
+    out.message = e.what();
+  } catch (const CongestionError& e) {
+    out.status = RunStatus::kCongestion;
+    out.stats = stats_;
+    out.message = e.what();
+  }
+  return out;
 }
 
 }  // namespace dapsp::congest

@@ -15,14 +15,26 @@
 //     messages are in flight;
 //   * reports RunStats (rounds, message count, total bits, worst per-edge
 //     load) — the paper's cost measures.
+//
+// Beyond the idealized model, an optional FaultPlan (congest/faults.h)
+// perturbs the transport deterministically: messages may be dropped,
+// duplicated or delayed, links may fail at scheduled rounds, and nodes may
+// crash-stop. Faulty runs that stall are better driven through
+// run_bounded(), which reports an Outcome with partial stats instead of
+// throwing. The reliable-delivery adapter (congest/reliable.h) restores the
+// synchronous abstraction for unmodified protocols on top of lossy links.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <memory>
+#include <optional>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "congest/faults.h"
 #include "congest/message.h"
 #include "graph/graph.h"
 
@@ -30,30 +42,32 @@ namespace dapsp::congest {
 
 class Engine;
 
-// Per-round view handed to a Process. Valid only during on_round().
+// Per-round view handed to a Process. Valid only during on_round(). Abstract
+// so that delivery layers (e.g. the ReliableAdapter) can interpose a virtual
+// round context between the engine and a wrapped process.
 class RoundCtx {
  public:
+  virtual ~RoundCtx() = default;
+
   NodeId id() const noexcept { return id_; }
-  NodeId n() const noexcept;
-  std::uint64_t round() const noexcept;
-  std::uint32_t degree() const noexcept;
-  NodeId neighbor(std::uint32_t index) const;
+  virtual NodeId n() const noexcept = 0;
+  virtual std::uint64_t round() const noexcept = 0;
+  virtual std::uint32_t degree() const noexcept = 0;
+  virtual NodeId neighbor(std::uint32_t index) const = 0;
 
   // Messages delivered this round (sent by neighbors last round), ordered by
   // sender index, then by send order.
-  std::span<const Received> inbox() const noexcept;
+  virtual std::span<const Received> inbox() const noexcept = 0;
 
   // Queues a message to neighbor `index` for delivery next round. Multiple
   // sends to the same neighbor in one round are allowed as long as their
   // total bit cost fits the bandwidth B.
-  void send(std::uint32_t index, const Message& m);
+  virtual void send(std::uint32_t index, const Message& m) = 0;
   // Convenience: send to every neighbor.
   void send_all(const Message& m);
 
- private:
-  friend class Engine;
-  RoundCtx(Engine& engine, NodeId id) : engine_(engine), id_(id) {}
-  Engine& engine_;
+ protected:
+  explicit RoundCtx(NodeId id) noexcept : id_(id) {}
   NodeId id_;
 };
 
@@ -69,13 +83,21 @@ class Process {
   // send anything unless a future message wakes it. The engine stops when
   // every process is done and no messages are in flight.
   virtual bool done() const = 0;
+
+  // The algorithm process results are harvested from. Delivery-layer
+  // wrappers (ReliableAdapter) override this to return the wrapped process,
+  // so Engine::process_as<T>() works unchanged on wrapped runs.
+  virtual Process& underlying() { return *this; }
+  const Process& underlying() const {
+    return const_cast<Process*>(this)->underlying();
+  }
 };
 
 struct EngineConfig {
   // Per-edge per-round budget B = kTagBits + bandwidth_ids * value_bits,
   // where value_bits = bits needed for values in [0, 2n). The default allows
   // one (id, distance) payload plus one small control message per edge per
-  // round — a constant number of ids, as the paper assumes.
+  // round — a constant number of ids, as the paper assumes. Must be >= 1.
   std::uint32_t bandwidth_ids = 4;
   bool enforce_bandwidth = true;
   // Safety valve: run() throws RoundLimitError beyond this many rounds.
@@ -83,20 +105,48 @@ struct EngineConfig {
   // Record the number of messages sent in each round (round_activity()),
   // e.g. to plot a protocol's phase structure.
   bool record_activity = false;
+
+  // Optional transport faults, injected deterministically from the plan's
+  // seed (see congest/faults.h). Absent = the idealized model. A trivial
+  // (all-default) plan leaves delivery — and round counts — bit-identical
+  // to a run without one.
+  std::optional<FaultPlan> faults;
+
+  // Optional hook wrapping every process installed by init(), e.g.
+  // reliable_wrapper() from congest/reliable.h. The wrapper's underlying()
+  // must expose the inner process for harvesting.
+  using ProcessWrapper =
+      std::function<std::unique_ptr<Process>(NodeId, std::unique_ptr<Process>)>;
+  ProcessWrapper process_wrapper;
 };
 
 struct RunStats {
   std::uint64_t rounds = 0;       // rounds executed until quiescence
-  std::uint64_t messages = 0;     // total messages delivered
-  std::uint64_t total_bits = 0;   // total bits delivered
+  std::uint64_t messages = 0;     // total messages sent (incl. later-dropped)
+  std::uint64_t total_bits = 0;   // total bits sent
   std::uint32_t max_edge_bits = 0;      // worst (directed edge, round) load
   std::uint32_t max_edge_messages = 0;  // worst message count per edge-round
   std::uint64_t max_node_bits = 0;      // worst per-(node, round) outgoing load
   std::uint32_t bandwidth_bits = 0;     // the enforced budget B
+
+  // Fault accounting (all zero in fault-free runs). Dropped counts messages
+  // lost to drop probability, failed links, and deliveries to crashed nodes;
+  // duplicated counts the extra copies; delayed counts copies held back
+  // beyond the normal one-round latency.
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t messages_delayed = 0;
+  std::uint64_t messages_duplicated = 0;
+  std::uint32_t nodes_crashed = 0;
+
+  // One-line human-readable rendering, e.g. for benches and examples.
+  std::string debug_string() const;
 };
 
+std::ostream& operator<<(std::ostream& os, const RunStats& s);
+
 // Accumulates statistics across the phases of a multi-run protocol:
-// rounds/messages/bits add, per-edge loads take the maximum.
+// rounds/messages/bits and fault counters add, per-edge loads take the
+// maximum.
 void accumulate(RunStats& into, const RunStats& from);
 
 class CongestionError : public std::runtime_error {
@@ -108,12 +158,33 @@ class RoundLimitError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+// How a bounded run ended.
+enum class RunStatus {
+  kCompleted,   // global quiescence
+  kRoundLimit,  // the configured round limit was hit (stall / livelock)
+  kCongestion,  // a bandwidth or field-width violation
+};
+
+// Result of Engine::run_bounded(): status plus the stats accumulated up to
+// the stop, so stalled faulty runs yield diagnostics instead of an abort.
+struct Outcome {
+  RunStatus status = RunStatus::kCompleted;
+  RunStats stats;
+  std::string message;  // the error text for non-completed outcomes
+
+  bool ok() const noexcept { return status == RunStatus::kCompleted; }
+};
+
+const char* to_string(RunStatus s) noexcept;
+
 class Engine {
  public:
-  // The graph must outlive the engine.
+  // The graph must outlive the engine. Throws std::invalid_argument on an
+  // empty graph, a zero bandwidth budget, or an invalid fault plan.
   Engine(const Graph& g, EngineConfig config = {});
 
-  // Installs processes: factory(v) creates node v's process.
+  // Installs processes: factory(v) creates node v's process (wrapped by
+  // config.process_wrapper when set). Resets round/stat/fault state.
   void init(const std::function<std::unique_ptr<Process>(NodeId)>& factory);
 
   const Graph& graph() const noexcept { return *graph_; }
@@ -130,27 +201,41 @@ class Engine {
   // round bound), regardless of done() flags.
   RunStats run_rounds(std::uint64_t rounds);
 
+  // Like run(), but never throws the engine errors: stalls (round limit) and
+  // congestion violations are reported as an Outcome carrying the partial
+  // stats. The engine is left at the round where the run stopped.
+  Outcome run_bounded();
+
   // Messages sent per round (only populated with config.record_activity).
   const std::vector<std::uint64_t>& round_activity() const {
     return activity_;
   }
 
-  // Access to a node's process after the run (to harvest results).
+  // Access to a node's process after the run (to harvest results). Returns
+  // the outermost process; process_as<T>() sees through delivery wrappers
+  // via Process::underlying().
   Process& process(NodeId v) { return *processes_[v]; }
   const Process& process(NodeId v) const { return *processes_[v]; }
 
   // Typed harvest helper.
   template <typename T>
   T& process_as(NodeId v) {
-    return dynamic_cast<T&>(*processes_[v]);
+    return dynamic_cast<T&>(processes_[v]->underlying());
+  }
+
+  // True once v has crash-stopped (per the fault plan).
+  bool crashed(NodeId v) const noexcept {
+    return !crashed_.empty() && crashed_[v] != 0;
   }
 
  private:
-  friend class RoundCtx;
+  class Ctx;  // the engine-backed RoundCtx implementation
 
   void step();  // executes one round
   void queue_message(NodeId from, std::uint32_t neighbor_index,
                      const Message& m);
+  void deliver(NodeId to, const Received& r, std::uint32_t extra_delay);
+  void apply_crashes();
   bool quiescent() const;
 
   const Graph* graph_;
@@ -175,6 +260,14 @@ class Engine {
   std::vector<std::uint64_t> edge_stamp_;
   std::vector<std::uint64_t> node_bits_;
   std::vector<std::uint64_t> node_stamp_;
+
+  // Fault state (engaged only when config_.faults is set).
+  std::unique_ptr<FaultInjector> faults_;
+  std::vector<std::uint8_t> crashed_;  // crash-stop applied
+  // Ring of future deliveries for delayed messages, indexed by absolute
+  // delivery round modulo the ring size.
+  std::vector<std::vector<std::pair<NodeId, Received>>> delay_ring_;
+  std::uint64_t delayed_pending_ = 0;
 
   std::uint64_t round_ = 0;
   RunStats stats_;

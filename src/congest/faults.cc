@@ -1,0 +1,103 @@
+#include "congest/faults.h"
+
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace dapsp::congest {
+
+namespace {
+
+void check_prob(double p, const char* what) {
+  // Also rejects NaN (comparisons are false).
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw std::invalid_argument(std::string("FaultPlan: ") + what +
+                                " must lie in [0, 1]");
+  }
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const Graph& g, const FaultPlan& plan)
+    : plan_(plan), rng_(plan.seed) {
+  check_prob(plan.drop_prob, "drop_prob");
+  check_prob(plan.duplicate_prob, "duplicate_prob");
+  check_prob(plan.delay_prob, "delay_prob");
+  if (plan.delay_prob > 0.0 && plan.max_extra_delay == 0) {
+    throw std::invalid_argument(
+        "FaultPlan: delay_prob > 0 requires max_extra_delay >= 1");
+  }
+  if (plan.max_extra_delay > kMaxExtraDelay) {
+    throw std::invalid_argument(
+        "FaultPlan: max_extra_delay exceeds the supported bound (" +
+        std::to_string(kMaxExtraDelay) +
+        "); the reliable layer's sequence window assumes bounded reordering");
+  }
+
+  const NodeId n = g.num_nodes();
+  std::vector<std::size_t> offsets(n + 1, 0);
+  for (NodeId v = 0; v < n; ++v) offsets[v + 1] = offsets[v] + g.degree(v);
+  const std::size_t directed_edges = offsets[n];
+
+  drop_prob_.assign(directed_edges, plan.drop_prob);
+  link_down_round_.assign(directed_edges,
+                          std::numeric_limits<std::uint64_t>::max());
+  crash_round_.assign(n, std::numeric_limits<std::uint64_t>::max());
+
+  const auto directed_index = [&](NodeId from, NodeId to) -> std::size_t {
+    if (from >= n || to >= n) {
+      throw std::invalid_argument("FaultPlan: node id " +
+                                  std::to_string(std::max(from, to)) +
+                                  " out of range (n=" + std::to_string(n) +
+                                  ")");
+    }
+    const auto idx = g.neighbor_index(from, to);
+    if (!idx) {
+      throw std::invalid_argument("FaultPlan: no edge " +
+                                  std::to_string(from) + "->" +
+                                  std::to_string(to) + " in the graph");
+    }
+    return offsets[from] + *idx;
+  };
+
+  for (const EdgeDropRate& e : plan.edge_drop_overrides) {
+    check_prob(e.drop_prob, "edge_drop_overrides[].drop_prob");
+    drop_prob_[directed_index(e.from, e.to)] = e.drop_prob;
+  }
+  for (const LinkFailure& f : plan.link_failures) {
+    // A failed link is dead in both directions.
+    const std::size_t fwd = directed_index(f.u, f.v);
+    const std::size_t bwd = directed_index(f.v, f.u);
+    link_down_round_[fwd] = std::min(link_down_round_[fwd], f.round);
+    link_down_round_[bwd] = std::min(link_down_round_[bwd], f.round);
+  }
+  for (const NodeCrash& c : plan.crashes) {
+    if (c.v >= n) {
+      throw std::invalid_argument("FaultPlan: crash node " +
+                                  std::to_string(c.v) + " out of range (n=" +
+                                  std::to_string(n) + ")");
+    }
+    crash_round_[c.v] = std::min(crash_round_[c.v], c.round);
+  }
+}
+
+FaultDecision FaultInjector::decide(std::size_t directed_edge) {
+  FaultDecision d;
+  // Fixed draw order (drop, duplicate, per-copy delay) keeps runs
+  // reproducible: Rng::chance(0) returns without consuming state, so a plan
+  // field left at zero influences neither the outcome nor the stream.
+  if (rng_.chance(drop_prob_[directed_edge])) {
+    d.dropped = true;
+    return d;
+  }
+  if (rng_.chance(plan_.duplicate_prob)) d.copies = 2;
+  for (std::uint32_t c = 0; c < d.copies; ++c) {
+    if (rng_.chance(plan_.delay_prob)) {
+      d.extra_delay[c] =
+          static_cast<std::uint32_t>(rng_.between(1, plan_.max_extra_delay));
+    }
+  }
+  return d;
+}
+
+}  // namespace dapsp::congest

@@ -1,0 +1,138 @@
+// Deterministic, seeded fault injection for the CONGEST engine.
+//
+// The paper's model is idealized: every message sent in round r arrives in
+// round r+1 and no node ever fails. A FaultPlan perturbs that transport —
+// message drops, duplication, bounded extra delivery delay, scheduled link
+// failures and crash-stop node failures — while keeping every run exactly
+// reproducible: all randomness flows from the plan's seed through the
+// library's SplitMix64 generator (util/rng.h), and decisions are drawn in
+// the engine's deterministic send order. Running the same plan twice yields
+// bit-identical traces and RunStats (including the fault counters).
+//
+// Faults model the *network*, not the algorithm: a dropped message was sent
+// (it is charged bandwidth and counted in RunStats::messages) but never
+// arrives. The companion reliable-delivery layer (congest/reliable.h) makes
+// the paper's algorithms survive such transports unchanged.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace dapsp::congest {
+
+// Per-directed-edge override of the base drop probability.
+struct EdgeDropRate {
+  NodeId from = 0;
+  NodeId to = 0;
+  double drop_prob = 0.0;
+};
+
+// From `round` on, the (undirected) link u—v delivers nothing in either
+// direction. Messages sent across it are counted as dropped.
+struct LinkFailure {
+  NodeId u = 0;
+  NodeId v = 0;
+  std::uint64_t round = 0;
+};
+
+// Crash-stop: from the start of `round` on, node v executes no rounds,
+// sends nothing, and every message addressed to it is dropped. Messages it
+// sent before crashing are still delivered (they were already on the wire).
+struct NodeCrash {
+  NodeId v = 0;
+  std::uint64_t round = 0;
+};
+
+// A complete description of the faults injected into one run. Value type;
+// carried inside EngineConfig. An all-default plan injects nothing and the
+// engine's delivery behaviour (and round counts) are bit-identical to a run
+// without a plan.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+
+  // Base per-message probabilities, applied to every directed edge unless
+  // overridden. All probabilities must lie in [0, 1].
+  double drop_prob = 0.0;       // message vanishes
+  double duplicate_prob = 0.0;  // a second copy is delivered
+  double delay_prob = 0.0;      // delivery is late by 1..max_extra_delay
+
+  // Extra delivery latency (in rounds, beyond the normal one round) drawn
+  // uniformly from [1, max_extra_delay] for delayed messages. Must be >= 1
+  // when delay_prob > 0, and <= kMaxExtraDelay (the reliable layer's
+  // sequence-number window assumes a bounded reordering horizon).
+  std::uint32_t max_extra_delay = 0;
+
+  std::vector<EdgeDropRate> edge_drop_overrides;
+  std::vector<LinkFailure> link_failures;
+  std::vector<NodeCrash> crashes;
+
+  // True when the plan can affect delivery at all (used by tests/benches to
+  // label runs; the engine injects faults whenever a plan is present).
+  bool trivial() const noexcept {
+    return drop_prob == 0.0 && duplicate_prob == 0.0 && delay_prob == 0.0 &&
+           edge_drop_overrides.empty() && link_failures.empty() &&
+           crashes.empty();
+  }
+};
+
+inline constexpr std::uint32_t kMaxExtraDelay = 64;
+
+// The fate of one sent message, drawn from the plan's RNG.
+struct FaultDecision {
+  bool dropped = false;
+  std::uint32_t copies = 1;  // 2 when duplicated (and not dropped)
+  // Extra delivery delay per copy (0 = deliver next round as usual).
+  std::uint32_t extra_delay[2] = {0, 0};
+};
+
+// Compiled form of a FaultPlan against a concrete graph: per-directed-edge
+// probabilities and failure rounds, per-node crash rounds, and the run's
+// fault RNG. Owned by the Engine; reset() at every init() so repeated runs
+// of one engine are identical.
+class FaultInjector {
+ public:
+  // Validates the plan against the graph; throws std::invalid_argument on
+  // out-of-range probabilities/delays, unknown edges or nodes.
+  FaultInjector(const Graph& g, const FaultPlan& plan);
+
+  // Restores the RNG to the plan's seed (start of a run).
+  void reset() noexcept { rng_ = Rng(plan_.seed); }
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+
+  // Largest extra delay any message can incur (sizes the delivery ring).
+  std::uint32_t max_extra_delay() const noexcept {
+    return plan_.max_extra_delay;
+  }
+
+  // Crash round of v (UINT64_MAX if v never crashes).
+  std::uint64_t crash_round(NodeId v) const noexcept {
+    return crash_round_[v];
+  }
+  bool crashed(NodeId v, std::uint64_t round) const noexcept {
+    return round >= crash_round_[v];
+  }
+
+  // True when the directed edge (indexed as graph offsets[u] + neighbor
+  // index, the engine's numbering) is failed at `round`.
+  bool link_down(std::size_t directed_edge, std::uint64_t round) const noexcept {
+    return round >= link_down_round_[directed_edge];
+  }
+
+  // Draws this message's fate. Consumes RNG state; call exactly once per
+  // sent message, in send order, for reproducibility.
+  FaultDecision decide(std::size_t directed_edge);
+
+ private:
+  FaultPlan plan_;
+  Rng rng_;
+  std::vector<double> drop_prob_;            // per directed edge
+  std::vector<std::uint64_t> link_down_round_;  // per directed edge
+  std::vector<std::uint64_t> crash_round_;      // per node
+};
+
+}  // namespace dapsp::congest

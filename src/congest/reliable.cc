@@ -1,0 +1,387 @@
+#include "congest/reliable.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dapsp::congest {
+
+// ---------------------------------------------------------------------------
+// Per-edge state
+
+// Sender half of one directed-edge stream (us -> neighbor e).
+struct ReliableAdapter::EdgeTx {
+  std::deque<Message> queue;           // encoded frames awaiting first send
+  std::optional<Message> outstanding;  // stop-and-wait: one frame in flight
+  std::uint64_t last_send = 0;         // real round of last (re)transmission
+  std::uint32_t next_seq = 0;
+  // Highest virtual round whose closing marker has been enqueued. Markers of
+  // passive (inner-done, no-data) rounds are withheld until demanded, so a
+  // globally quiescent protocol also quiesces on the wire.
+  std::int64_t marker_enqueued = -1;
+};
+
+// Receiver half (neighbor e -> us).
+struct ReliableAdapter::EdgeRx {
+  std::uint32_t expected_seq = 0;
+  // Highest virtual round the peer has evidently executed (any accepted
+  // frame of bucket b proves the peer ran round b).
+  std::int64_t peer_exec = -1;
+  std::uint64_t buckets_completed = 0;  // markers received = index now filling
+  std::vector<Message> filling;         // decoded inner messages, open bucket
+  // Closed buckets not yet consumed; front() is the batch of virtual round
+  // (buckets_completed - completed.size()), which the synchronizer keeps
+  // equal to our executed_ round.
+  std::deque<std::vector<Message>> completed;
+  bool frag_pending = false;
+  Message frag;  // first half of a fragmented inner message
+  // At most one ack per edge per round (bandwidth discipline).
+  bool ack_due = false;
+  bool ack_accept = false;  // the due ack is for a newly accepted frame
+  std::uint32_t ack_seq = 0;
+};
+
+// The synchronous world presented to the inner process: virtual round
+// number, exactly-once inbox, captured sends.
+class ReliableAdapter::VirtualCtx final : public RoundCtx {
+ public:
+  VirtualCtx(RoundCtx& real, std::uint64_t vround,
+             std::span<const Received> inbox,
+             std::vector<std::vector<Message>>& outboxes) noexcept
+      : RoundCtx(real.id()),
+        real_(real),
+        vround_(vround),
+        inbox_(inbox),
+        outboxes_(outboxes) {}
+
+  NodeId n() const noexcept override { return real_.n(); }
+  std::uint64_t round() const noexcept override { return vround_; }
+  std::uint32_t degree() const noexcept override { return real_.degree(); }
+  NodeId neighbor(std::uint32_t index) const override {
+    return real_.neighbor(index);
+  }
+  std::span<const Received> inbox() const noexcept override { return inbox_; }
+  void send(std::uint32_t index, const Message& m) override {
+    if (index >= outboxes_.size()) {
+      throw std::out_of_range("send: bad neighbor index");
+    }
+    outboxes_[index].push_back(m);
+  }
+
+ private:
+  RoundCtx& real_;
+  std::uint64_t vround_;
+  std::span<const Received> inbox_;
+  std::vector<std::vector<Message>>& outboxes_;
+};
+
+// ---------------------------------------------------------------------------
+
+ReliableAdapter::ReliableAdapter(std::unique_ptr<Process> inner,
+                                 ReliableConfig config)
+    : inner_(std::move(inner)), config_(config) {
+  if (config_.retransmit_after < 2) {
+    throw std::invalid_argument(
+        "ReliableConfig: retransmit_after must cover the 2-round trip");
+  }
+}
+
+ReliableAdapter::~ReliableAdapter() = default;
+
+void ReliableAdapter::ensure_edges(RoundCtx& ctx) {
+  if (edges_ready_) return;
+  edges_ready_ = true;
+  tx_.resize(ctx.degree());
+  rx_.resize(ctx.degree());
+  outboxes_.resize(ctx.degree());
+}
+
+std::uint32_t ReliableAdapter::take_seq(std::uint32_t e) {
+  const std::uint32_t s = tx_[e].next_seq;
+  tx_[e].next_seq = (s + 1) % kRelSeqMod;
+  return s;
+}
+
+void ReliableAdapter::process_inbox(RoundCtx& ctx) {
+  for (const Received& r : ctx.inbox()) {
+    const std::uint32_t e = r.from_index;
+    const Message& m = r.msg;
+    if (m.kind == kRelAck) {
+      EdgeTx& tx = tx_[e];
+      if (tx.outstanding && tx.outstanding->f[0] == m.f[0]) {
+        tx.outstanding.reset();  // frame crossed; next one may go this round
+      }
+      continue;
+    }
+    if (m.kind < kRelMark || m.kind > kRelFragBLast) {
+      throw std::logic_error(
+          "ReliableAdapter: non-reliable frame on the wire: " +
+          m.debug_string());
+    }
+    EdgeRx& rx = rx_[e];
+    const std::uint32_t seq = m.f[0];
+    if (seq == rx.expected_seq) {
+      rx.expected_seq = (rx.expected_seq + 1) % kRelSeqMod;
+      accept_frame(e, m);
+      rx.ack_due = true;
+      rx.ack_accept = true;
+      rx.ack_seq = seq;
+    } else {
+      // Stale duplicate (our ack was lost, or a delayed copy): discard, but
+      // re-ack so the sender stops retransmitting. Never shadow an accept.
+      ++stats_.stale_frames;
+      if (!rx.ack_accept) {
+        rx.ack_due = true;
+        rx.ack_seq = seq;
+      }
+    }
+  }
+}
+
+void ReliableAdapter::accept_frame(std::uint32_t e, const Message& m) {
+  EdgeRx& rx = rx_[e];
+  rx.peer_exec =
+      std::max(rx.peer_exec, static_cast<std::int64_t>(rx.buckets_completed));
+  bool closes = false;
+  switch (m.kind) {
+    case kRelMark:
+      closes = true;
+      break;
+    case kRelData0:
+    case kRelData1:
+    case kRelData2:
+    case kRelData0Last:
+    case kRelData1Last:
+    case kRelData2Last: {
+      const bool last = m.kind >= kRelData0Last;
+      const std::uint8_t nf = static_cast<std::uint8_t>(
+          m.kind - (last ? kRelData0Last : kRelData0));
+      if (rx.frag_pending) {
+        throw std::logic_error("ReliableAdapter: data frame inside fragment");
+      }
+      Message inner;
+      inner.kind = static_cast<std::uint8_t>(m.f[1]);
+      inner.num_fields = nf;
+      for (std::uint8_t i = 0; i < nf; ++i) inner.f[i] = m.f[2 + i];
+      rx.filling.push_back(inner);
+      closes = last;
+      break;
+    }
+    case kRelFragA3:
+    case kRelFragA4: {
+      if (rx.frag_pending) {
+        throw std::logic_error("ReliableAdapter: fragment inside fragment");
+      }
+      rx.frag = Message{};
+      rx.frag.kind = static_cast<std::uint8_t>(m.f[1]);
+      rx.frag.num_fields = m.kind == kRelFragA3 ? 3 : 4;
+      rx.frag.f[0] = m.f[2];
+      rx.frag.f[1] = m.f[3];
+      rx.frag_pending = true;
+      break;
+    }
+    case kRelFragB:
+    case kRelFragBLast: {
+      if (!rx.frag_pending) {
+        throw std::logic_error("ReliableAdapter: dangling second fragment");
+      }
+      rx.frag.f[2] = m.f[1];
+      if (rx.frag.num_fields == 4) rx.frag.f[3] = m.f[2];
+      rx.filling.push_back(rx.frag);
+      rx.frag_pending = false;
+      closes = m.kind == kRelFragBLast;
+      break;
+    }
+    default:
+      throw std::logic_error("ReliableAdapter: unknown frame kind");
+  }
+  if (closes) {
+    rx.completed.push_back(std::move(rx.filling));
+    rx.filling.clear();
+    ++rx.buckets_completed;
+  }
+}
+
+void ReliableAdapter::enqueue_markers_upto(std::uint32_t e,
+                                           std::int64_t round) {
+  EdgeTx& tx = tx_[e];
+  while (tx.marker_enqueued < round) {
+    ++tx.marker_enqueued;
+    tx.queue.push_back(Message::make(kRelMark, take_seq(e)));
+  }
+}
+
+void ReliableAdapter::encode(std::uint32_t e, const Message& inner,
+                             bool last) {
+  ++stats_.inner_messages;
+  EdgeTx& tx = tx_[e];
+  const std::uint8_t nf = inner.num_fields;
+  if (nf <= 2) {
+    Message f;
+    f.kind = static_cast<std::uint8_t>((last ? kRelData0Last : kRelData0) + nf);
+    f.num_fields = static_cast<std::uint8_t>(2 + nf);
+    f.f[0] = take_seq(e);
+    f.f[1] = inner.kind;
+    for (std::uint8_t i = 0; i < nf; ++i) f.f[2 + i] = inner.f[i];
+    tx.queue.push_back(f);
+    return;
+  }
+  Message a;
+  a.kind = nf == 3 ? kRelFragA3 : kRelFragA4;
+  a.num_fields = 4;
+  a.f[0] = take_seq(e);
+  a.f[1] = inner.kind;
+  a.f[2] = inner.f[0];
+  a.f[3] = inner.f[1];
+  tx.queue.push_back(a);
+  Message b;
+  b.kind = last ? kRelFragBLast : kRelFragB;
+  b.num_fields = static_cast<std::uint8_t>(nf - 1);  // seq + 1 or 2 fields
+  b.f[0] = take_seq(e);
+  b.f[1] = inner.f[2];
+  if (nf == 4) b.f[2] = inner.f[3];
+  tx.queue.push_back(b);
+}
+
+void ReliableAdapter::enqueue_round_output(std::uint32_t e,
+                                           const std::vector<Message>& outbox) {
+  EdgeTx& tx = tx_[e];
+  if (outbox.empty()) {
+    tx.queue.push_back(Message::make(kRelMark, take_seq(e)));
+  } else {
+    for (std::size_t i = 0; i < outbox.size(); ++i) {
+      encode(e, outbox[i], /*last=*/i + 1 == outbox.size());
+    }
+  }
+  tx.marker_enqueued = executed_;
+}
+
+bool ReliableAdapter::undelivered_data() const {
+  for (const EdgeRx& rx : rx_) {
+    if (!rx.filling.empty() || rx.frag_pending) return true;
+    for (const auto& bucket : rx.completed) {
+      if (!bucket.empty()) return true;
+    }
+  }
+  return false;
+}
+
+bool ReliableAdapter::peer_ahead() const {
+  for (const EdgeRx& rx : rx_) {
+    if (rx.peer_exec > executed_) return true;
+  }
+  return false;
+}
+
+bool ReliableAdapter::buckets_ready() const {
+  if (executed_ < 0) return true;  // virtual round 0 needs no input
+  for (const EdgeRx& rx : rx_) {
+    if (rx.completed.empty()) return false;
+  }
+  return true;
+}
+
+void ReliableAdapter::execute_virtual_round(RoundCtx& ctx) {
+  const std::uint64_t vr = static_cast<std::uint64_t>(executed_ + 1);
+  std::vector<Received> vinbox;
+  if (executed_ >= 0) {
+    for (std::uint32_t e = 0; e < rx_.size(); ++e) {
+      std::vector<Message>& bucket = rx_[e].completed.front();
+      for (const Message& m : bucket) vinbox.push_back(Received{e, m});
+      rx_[e].completed.pop_front();
+    }
+  }
+  for (auto& ob : outboxes_) ob.clear();
+  VirtualCtx vctx(ctx, vr, vinbox, outboxes_);
+  inner_->on_round(vctx);
+  ++executed_;
+  ++stats_.virtual_rounds;
+
+  bool has_data = false;
+  for (const auto& ob : outboxes_) has_data = has_data || !ob.empty();
+  if (!inner_->done() || has_data) {
+    // Active round: publish the batch (plus any withheld markers first, so
+    // the per-edge streams stay in round order).
+    for (std::uint32_t e = 0; e < tx_.size(); ++e) {
+      enqueue_markers_upto(e, executed_ - 1);
+      enqueue_round_output(e, outboxes_[e]);
+    }
+  }
+  // Passive round (inner done, nothing to say): withhold the markers; they
+  // are supplied on demand, and a globally quiet protocol stays quiet.
+}
+
+void ReliableAdapter::transmit(RoundCtx& ctx) {
+  const std::uint64_t now = ctx.round();
+  for (std::uint32_t e = 0; e < tx_.size(); ++e) {
+    EdgeRx& rx = rx_[e];
+    if (rx.ack_due) {
+      ctx.send(e, Message::make(kRelAck, rx.ack_seq));
+      ++stats_.acks_sent;
+      rx.ack_due = false;
+      rx.ack_accept = false;
+    }
+    EdgeTx& tx = tx_[e];
+    if (tx.outstanding) {
+      if (now - tx.last_send >= config_.retransmit_after) {
+        ctx.send(e, *tx.outstanding);
+        tx.last_send = now;
+        ++stats_.retransmissions;
+      }
+    } else if (!tx.queue.empty()) {
+      tx.outstanding = tx.queue.front();
+      tx.queue.pop_front();
+      ctx.send(e, *tx.outstanding);
+      tx.last_send = now;
+      ++stats_.frames_sent;
+    }
+  }
+}
+
+void ReliableAdapter::on_round(RoundCtx& ctx) {
+  ensure_edges(ctx);
+  process_inbox(ctx);
+
+  // Drive the synchronizer. `want` = virtual time must advance here: the
+  // inner process has work, a neighbor's batch carries data for it, or a
+  // neighbor has executed past us (and will need our marker to proceed).
+  const bool want = !inner_->done() || undelivered_data() || peer_ahead();
+  if (want) {
+    // Demand wave: flush every withheld marker so neighbors can complete
+    // the batches we are waiting for (they respond via the supply rule).
+    for (std::uint32_t e = 0; e < tx_.size(); ++e) {
+      enqueue_markers_upto(e, executed_);
+    }
+    if (buckets_ready()) execute_virtual_round(ctx);
+  } else {
+    // Supply rule: release withheld markers up to what each peer's own
+    // traffic proves it has executed — it may be blocked on exactly those.
+    for (std::uint32_t e = 0; e < tx_.size(); ++e) {
+      enqueue_markers_upto(e, std::min(rx_[e].peer_exec, executed_));
+    }
+  }
+
+  transmit(ctx);
+}
+
+bool ReliableAdapter::done() const {
+  if (!inner_->done()) return false;
+  if (!edges_ready_) return true;  // never scheduled; mirrors engine idle
+  if (undelivered_data()) return false;
+  for (const EdgeTx& tx : tx_) {
+    if (tx.outstanding || !tx.queue.empty()) return false;
+  }
+  return true;
+}
+
+EngineConfig::ProcessWrapper reliable_wrapper(ReliableConfig config) {
+  return [config](NodeId, std::unique_ptr<Process> inner) {
+    return std::make_unique<ReliableAdapter>(std::move(inner), config);
+  };
+}
+
+void apply_reliable(EngineConfig& config, ReliableConfig rc) {
+  config.process_wrapper = reliable_wrapper(rc);
+  config.bandwidth_ids = std::max(config.bandwidth_ids, kReliableBandwidthIds);
+}
+
+}  // namespace dapsp::congest

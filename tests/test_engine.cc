@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <sstream>
 
 #include "congest/engine.h"
 #include "graph/generators.h"
@@ -230,6 +231,33 @@ TEST(Engine, AccumulateStats) {
   EXPECT_EQ(a.max_edge_messages, 2u);
   EXPECT_EQ(a.max_node_bits, 90u);
   EXPECT_EQ(a.bandwidth_bits, 40u);
+}
+
+TEST(Engine, AccumulateStatsSumsFaultCounters) {
+  RunStats a{.messages_dropped = 3, .messages_delayed = 1, .nodes_crashed = 1};
+  const RunStats b{.messages_dropped = 2,
+                   .messages_duplicated = 4,
+                   .nodes_crashed = 2};
+  accumulate(a, b);
+  EXPECT_EQ(a.messages_dropped, 5u);
+  EXPECT_EQ(a.messages_delayed, 1u);
+  EXPECT_EQ(a.messages_duplicated, 4u);
+  EXPECT_EQ(a.nodes_crashed, 3u);
+}
+
+TEST(Engine, StatsDebugString) {
+  RunStats s{.rounds = 12, .messages = 34, .total_bits = 560};
+  std::string text = s.debug_string();
+  EXPECT_NE(text.find("rounds=12"), std::string::npos);
+  EXPECT_NE(text.find("messages=34"), std::string::npos);
+  // Fault counters only appear when something happened.
+  EXPECT_EQ(text.find("dropped"), std::string::npos);
+  s.messages_dropped = 2;
+  text = s.debug_string();
+  EXPECT_NE(text.find("dropped=2"), std::string::npos);
+  std::ostringstream os;
+  os << s;
+  EXPECT_EQ(os.str(), text);
 }
 
 TEST(Engine, PerNodeLoadTracked) {

@@ -1,0 +1,508 @@
+// Fault injection and reliable delivery: plan validation, drop/duplicate/
+// delay/link-failure/crash semantics, determinism of faulty runs, bounded
+// outcomes, and the headline guarantee — paper algorithms wrapped in the
+// ReliableAdapter compute oracle-exact distances on lossy transports.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "congest/engine.h"
+#include "congest/faults.h"
+#include "congest/reliable.h"
+#include "core/pebble_apsp.h"
+#include "core/ssp.h"
+#include "graph/generators.h"
+#include "seq/apsp.h"
+#include "seq/bfs.h"
+
+namespace dapsp::congest {
+namespace {
+
+// Node 0 sends one 1-field message to each neighbor in round 0; everyone
+// records what arrives and when.
+class OneShot final : public Process {
+ public:
+  explicit OneShot(NodeId id) : id_(id) {}
+
+  void on_round(RoundCtx& ctx) override {
+    for (const Received& r : ctx.inbox()) {
+      received_.push_back(r.msg);
+      recv_rounds_.push_back(ctx.round());
+    }
+    if (id_ == 0 && ctx.round() == 0) ctx.send_all(Message::make(1, 42));
+    done_ = true;
+  }
+  bool done() const override { return done_; }
+
+  std::vector<Message> received_;
+  std::vector<std::uint64_t> recv_rounds_;
+
+ private:
+  NodeId id_;
+  bool done_ = false;
+};
+
+// An *unprotected* BFS flood: node 0 floods distance waves; nodes adopt the
+// first distance heard and forward it once. Correct in the idealized model,
+// silently wrong under loss — the negative control for the adapter tests.
+class NaiveFlood final : public Process {
+ public:
+  explicit NaiveFlood(NodeId id) : id_(id), dist_(id == 0 ? 0 : kInfDist) {}
+
+  void on_round(RoundCtx& ctx) override {
+    for (const Received& r : ctx.inbox()) {
+      dist_ = std::min(dist_, r.msg.f[0] + 1);
+    }
+    if (dist_ != kInfDist && !sent_) {
+      ctx.send_all(Message::make(1, dist_));
+      sent_ = true;
+    }
+  }
+  bool done() const override { return dist_ == kInfDist || sent_; }
+
+  std::uint32_t dist() const { return dist_; }
+
+ private:
+  NodeId id_;
+  std::uint32_t dist_;
+  bool sent_ = false;
+};
+
+std::vector<std::uint32_t> flood_distances(Engine& e) {
+  std::vector<std::uint32_t> out;
+  for (NodeId v = 0; v < e.graph().num_nodes(); ++v) {
+    out.push_back(e.process_as<NaiveFlood>(v).dist());
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Plan validation and engine config validation
+
+TEST(FaultPlan, RejectsBadProbabilities) {
+  const Graph g = gen::path(3);
+  for (double p : {-0.1, 1.5}) {
+    FaultPlan plan;
+    plan.drop_prob = p;
+    EXPECT_THROW(FaultInjector(g, plan), std::invalid_argument) << p;
+  }
+  FaultPlan nan_plan;
+  nan_plan.duplicate_prob = std::nan("1");
+  EXPECT_THROW(FaultInjector(g, nan_plan), std::invalid_argument);
+}
+
+TEST(FaultPlan, RejectsInconsistentDelay) {
+  const Graph g = gen::path(3);
+  FaultPlan plan;
+  plan.delay_prob = 0.5;  // but max_extra_delay == 0
+  EXPECT_THROW(FaultInjector(g, plan), std::invalid_argument);
+  plan.max_extra_delay = kMaxExtraDelay + 1;
+  EXPECT_THROW(FaultInjector(g, plan), std::invalid_argument);
+}
+
+TEST(FaultPlan, RejectsUnknownEdgesAndNodes) {
+  const Graph g = gen::path(3);  // edges 0-1, 1-2
+  FaultPlan plan;
+  plan.edge_drop_overrides.push_back({0, 2, 0.5});  // not an edge
+  EXPECT_THROW(FaultInjector(g, plan), std::invalid_argument);
+  plan.edge_drop_overrides.clear();
+  plan.crashes.push_back({7, 3});  // no node 7
+  EXPECT_THROW(FaultInjector(g, plan), std::invalid_argument);
+}
+
+TEST(Engine, RejectsEmptyGraph) {
+  const Graph g;
+  EXPECT_THROW(Engine e(g), std::invalid_argument);
+}
+
+TEST(Engine, RejectsZeroBandwidth) {
+  const Graph g = gen::path(2);
+  EngineConfig cfg;
+  cfg.bandwidth_ids = 0;
+  EXPECT_THROW(Engine e(g, cfg), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Primitive fault semantics on a two-node wire
+
+Engine make_wire(const Graph& g, FaultPlan plan) {
+  EngineConfig cfg;
+  cfg.faults = plan;
+  return Engine(g, cfg);
+}
+
+TEST(Faults, CertainDropLosesTheMessage) {
+  const Graph g = gen::path(2);
+  FaultPlan plan;
+  plan.drop_prob = 1.0;
+  Engine e = make_wire(g, plan);
+  e.init([](NodeId v) { return std::make_unique<OneShot>(v); });
+  const RunStats s = e.run();
+  EXPECT_TRUE(e.process_as<OneShot>(1).received_.empty());
+  EXPECT_EQ(s.messages, 1u);  // it was sent (and charged) ...
+  EXPECT_EQ(s.messages_dropped, 1u);  // ... then lost
+}
+
+TEST(Faults, CertainDuplicationDeliversTwice) {
+  const Graph g = gen::path(2);
+  FaultPlan plan;
+  plan.duplicate_prob = 1.0;
+  Engine e = make_wire(g, plan);
+  e.init([](NodeId v) { return std::make_unique<OneShot>(v); });
+  const RunStats s = e.run();
+  ASSERT_EQ(e.process_as<OneShot>(1).received_.size(), 2u);
+  EXPECT_EQ(s.messages, 1u);
+  EXPECT_EQ(s.messages_duplicated, 1u);
+}
+
+TEST(Faults, DelayArrivesLateAndHoldsQuiescence) {
+  const Graph g = gen::path(2);
+  FaultPlan plan;
+  plan.delay_prob = 1.0;
+  plan.max_extra_delay = 3;
+  Engine e = make_wire(g, plan);
+  e.init([](NodeId v) { return std::make_unique<OneShot>(v); });
+  const RunStats s = e.run();
+  const auto& p1 = e.process_as<OneShot>(1);
+  ASSERT_EQ(p1.received_.size(), 1u);
+  // Normal latency is 1 round; the extra delay is uniform in [1, 3].
+  EXPECT_GE(p1.recv_rounds_[0], 2u);
+  EXPECT_LE(p1.recv_rounds_[0], 4u);
+  EXPECT_EQ(s.messages_delayed, 1u);
+  // The run did not stop before the delayed message landed.
+  EXPECT_EQ(s.rounds, p1.recv_rounds_[0] + 1);
+}
+
+TEST(Faults, LinkFailureCutsBothDirections) {
+  const Graph g = gen::path(2);
+  // Node 0 sends every round; the link dies at round 2.
+  class Beacon final : public Process {
+   public:
+    explicit Beacon(NodeId id) : id_(id) {}
+    void on_round(RoundCtx& ctx) override {
+      for (const Received& r : ctx.inbox()) last_recv_ = ctx.round(), (void)r;
+      if (ctx.round() < 5) ctx.send_all(Message::make(1, id_));
+    }
+    bool done() const override { return true; }
+    std::uint64_t last_recv_ = 0;
+
+   private:
+    NodeId id_;
+  };
+  FaultPlan plan;
+  plan.link_failures.push_back({0, 1, 2});
+  EngineConfig cfg;
+  cfg.faults = plan;
+  cfg.max_rounds = 10;
+  Engine e(g, cfg);
+  e.init([](NodeId v) { return std::make_unique<Beacon>(v); });
+  const RunStats s = e.run_rounds(8);
+  // Sends from rounds 0 and 1 got through (delivered rounds 1 and 2) in
+  // both directions; everything later died on the failed link.
+  EXPECT_EQ(e.process_as<Beacon>(0).last_recv_, 2u);
+  EXPECT_EQ(e.process_as<Beacon>(1).last_recv_, 2u);
+  EXPECT_EQ(s.messages_dropped, 2u * 3u);  // rounds 2,3,4 in each direction
+}
+
+TEST(Faults, CrashStopSilencesNode) {
+  const Graph g = gen::path(3);
+  // Everyone beacons every round; node 2 crashes at round 3.
+  class Beacon final : public Process {
+   public:
+    void on_round(RoundCtx& ctx) override {
+      rounds_run_ = ctx.round() + 1;
+      received_ += ctx.inbox().size();
+      if (ctx.round() < 6) ctx.send_all(Message::make(1, 7));
+    }
+    bool done() const override { return true; }
+    std::uint64_t rounds_run_ = 0;
+    std::size_t received_ = 0;
+  };
+  FaultPlan plan;
+  plan.crashes.push_back({2, 3});
+  EngineConfig cfg;
+  cfg.faults = plan;
+  Engine e(g, cfg);
+  e.init([](NodeId) { return std::make_unique<Beacon>(); });
+  const RunStats s = e.run_rounds(8);
+  EXPECT_EQ(s.nodes_crashed, 1u);
+  // The crashed node executed exactly rounds 0..2.
+  EXPECT_EQ(e.process_as<Beacon>(2).rounds_run_, 3u);
+  // Node 1 heard node 2's rounds 0..2 sends (rounds 1..3) plus node 0's
+  // rounds 0..5 sends.
+  EXPECT_EQ(e.process_as<Beacon>(1).received_, 3u + 6u);
+  // Node 2's inbound deliveries from round 3 on vanished: node 1 sent
+  // rounds 0..5 towards it, and the deliveries due at rounds 3..6 (sent in
+  // rounds 2..5) were absorbed by the crash.
+  EXPECT_EQ(s.messages_dropped, 4u);
+}
+
+TEST(Faults, CrashAtRoundZeroNeverRuns) {
+  const Graph g = gen::path(2);
+  FaultPlan plan;
+  plan.crashes.push_back({1, 0});
+  Engine e = make_wire(g, plan);
+  e.init([](NodeId v) { return std::make_unique<OneShot>(v); });
+  const RunStats s = e.run();
+  EXPECT_EQ(s.nodes_crashed, 1u);
+  EXPECT_TRUE(e.process_as<OneShot>(1).received_.empty());
+  EXPECT_EQ(s.messages_dropped, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism and the trivial-plan guarantee
+
+TEST(Faults, FaultyRunsAreReproducible) {
+  const Graph g = gen::random_connected(24, 20, 9);
+  FaultPlan plan;
+  plan.seed = 1234;
+  plan.drop_prob = 0.2;
+  plan.duplicate_prob = 0.1;
+  plan.delay_prob = 0.1;
+  plan.max_extra_delay = 4;
+  auto run_once = [&] {
+    EngineConfig cfg;
+    cfg.faults = plan;
+    Engine e(g, cfg);
+    e.init([](NodeId v) { return std::make_unique<NaiveFlood>(v); });
+    const RunStats s = e.run();
+    return std::make_pair(s, flood_distances(e));
+  };
+  const auto [s1, d1] = run_once();
+  const auto [s2, d2] = run_once();
+  EXPECT_EQ(s1.rounds, s2.rounds);
+  EXPECT_EQ(s1.messages, s2.messages);
+  EXPECT_EQ(s1.total_bits, s2.total_bits);
+  EXPECT_EQ(s1.messages_dropped, s2.messages_dropped);
+  EXPECT_EQ(s1.messages_delayed, s2.messages_delayed);
+  EXPECT_EQ(s1.messages_duplicated, s2.messages_duplicated);
+  EXPECT_EQ(d1, d2);
+}
+
+TEST(Faults, TrivialPlanIsBitIdenticalToNoPlan) {
+  const Graph g = gen::petersen();
+  core::ApspOptions with, without;
+  with.engine.faults = FaultPlan{};  // present but injects nothing
+  ASSERT_TRUE(with.engine.faults->trivial());
+  const auto a = core::run_pebble_apsp(g, with);
+  const auto b = core::run_pebble_apsp(g, without);
+  EXPECT_EQ(a.stats.rounds, b.stats.rounds);
+  EXPECT_EQ(a.stats.messages, b.stats.messages);
+  EXPECT_EQ(a.stats.total_bits, b.stats.total_bits);
+  EXPECT_EQ(a.stats.messages_dropped, 0u);
+  EXPECT_TRUE(a.dist == b.dist);
+}
+
+TEST(Faults, PebbleApspDeterministicAcrossRuns) {
+  const Graph g = gen::random_connected(16, 12, 5);
+  const auto a = core::run_pebble_apsp(g);
+  const auto b = core::run_pebble_apsp(g);
+  EXPECT_EQ(a.stats.rounds, b.stats.rounds);
+  EXPECT_EQ(a.stats.messages, b.stats.messages);
+  EXPECT_EQ(a.stats.total_bits, b.stats.total_bits);
+  EXPECT_TRUE(a.dist == b.dist);
+}
+
+// ---------------------------------------------------------------------------
+// run_bounded outcomes
+
+TEST(RunBounded, ReportsCompletion) {
+  const Graph g = gen::path(2);
+  Engine e(g);
+  e.init([](NodeId v) { return std::make_unique<OneShot>(v); });
+  const Outcome out = e.run_bounded();
+  EXPECT_TRUE(out.ok());
+  EXPECT_EQ(out.status, RunStatus::kCompleted);
+  EXPECT_EQ(out.stats.messages, 1u);
+  EXPECT_TRUE(out.message.empty());
+}
+
+TEST(RunBounded, ReportsRoundLimitWithPartialStats) {
+  const Graph g = gen::path(2);
+  class Chatter final : public Process {
+   public:
+    void on_round(RoundCtx& ctx) override { ctx.send_all(Message::make(1)); }
+    bool done() const override { return false; }
+  };
+  EngineConfig cfg;
+  cfg.max_rounds = 50;
+  Engine e(g, cfg);
+  e.init([](NodeId) { return std::make_unique<Chatter>(); });
+  const Outcome out = e.run_bounded();
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status, RunStatus::kRoundLimit);
+  EXPECT_EQ(out.stats.rounds, 50u);  // stats up to the stall
+  EXPECT_EQ(out.stats.messages, 2u * 50u);
+  EXPECT_NE(out.message.find("round limit"), std::string::npos);
+  EXPECT_STREQ(to_string(out.status), "round-limit");
+}
+
+TEST(RunBounded, ReportsCongestion) {
+  const Graph g = gen::path(2);
+  class Blaster final : public Process {
+   public:
+    void on_round(RoundCtx& ctx) override {
+      for (int i = 0; i < 20; ++i) ctx.send(0, Message::make(1, 2, 3, 4, 5));
+    }
+    bool done() const override { return false; }
+  };
+  Engine e(g);
+  e.init([](NodeId) { return std::make_unique<Blaster>(); });
+  const Outcome out = e.run_bounded();
+  EXPECT_EQ(out.status, RunStatus::kCongestion);
+  EXPECT_NE(out.message.find("bandwidth exceeded"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// The reliable layer: oracle-exact algorithms on lossy transports
+
+FaultPlan lossy_plan(double drop, std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.drop_prob = drop;
+  plan.duplicate_prob = drop / 2;
+  plan.delay_prob = drop / 2;
+  plan.max_extra_delay = drop > 0 ? 3 : 0;
+  return plan;
+}
+
+std::vector<Graph> test_families() {
+  std::vector<Graph> out;
+  out.push_back(gen::path(8));
+  out.push_back(gen::grid(3, 4));
+  out.push_back(gen::petersen());
+  out.push_back(gen::random_connected(14, 10, 21));
+  return out;
+}
+
+TEST(Reliable, WrappedFloodMatchesOracleUnderLoss) {
+  for (const Graph& g : test_families()) {
+    const auto oracle = seq::bfs(g, 0);
+    for (double drop : {0.0, 0.1, 0.3}) {
+      EngineConfig cfg;
+      if (drop > 0) cfg.faults = lossy_plan(drop, 77);
+      cfg.max_rounds = 500000;
+      apply_reliable(cfg);
+      Engine e(g, cfg);
+      e.init([](NodeId v) { return std::make_unique<NaiveFlood>(v); });
+      const Outcome out = e.run_bounded();
+      ASSERT_TRUE(out.ok()) << g.summary() << " drop=" << drop << ": "
+                            << out.message;
+      EXPECT_EQ(flood_distances(e), oracle.dist)
+          << g.summary() << " drop=" << drop;
+    }
+  }
+}
+
+TEST(Reliable, WrappedPebbleApspMatchesOracleUnderLoss) {
+  for (const Graph& g : test_families()) {
+    const DistanceMatrix oracle = seq::apsp(g);
+    for (double drop : {0.1, 0.3}) {
+      core::ApspOptions opt;
+      opt.engine.faults = lossy_plan(drop, 4242);
+      opt.engine.max_rounds = 500000;
+      apply_reliable(opt.engine);
+      const auto r = core::run_pebble_apsp(g, opt);
+      EXPECT_TRUE(r.dist == oracle) << g.summary() << " drop=" << drop;
+      EXPECT_GT(r.stats.messages_dropped, 0u);
+    }
+  }
+}
+
+TEST(Reliable, WrappedSspMatchesOracleUnderLoss) {
+  for (const Graph& g : test_families()) {
+    const NodeId n = g.num_nodes();
+    const std::vector<NodeId> sources = {0, n / 2, n - 1};
+    for (double drop : {0.1, 0.3}) {
+      core::SspOptions opt;
+      opt.engine.faults = lossy_plan(drop, 99);
+      opt.engine.max_rounds = 500000;
+      apply_reliable(opt.engine);
+      const auto r = core::run_ssp(g, sources, opt);
+      for (NodeId s : sources) {
+        const auto oracle = seq::bfs(g, s);
+        for (NodeId v = 0; v < n; ++v) {
+          ASSERT_EQ(r.delta[v][s], oracle.dist[v])
+              << g.summary() << " drop=" << drop << " source=" << s
+              << " node=" << v;
+        }
+      }
+    }
+  }
+}
+
+TEST(Reliable, ZeroFaultWrappedRunStillExact) {
+  // The synchronizer alone (no fault plan at all) must not distort results.
+  const Graph g = gen::grid(3, 4);
+  core::ApspOptions opt;
+  apply_reliable(opt.engine);
+  const auto r = core::run_pebble_apsp(g, opt);
+  EXPECT_TRUE(r.dist == seq::apsp(g));
+  EXPECT_EQ(r.stats.messages_dropped, 0u);
+}
+
+TEST(Reliable, WrappedFaultyRunIsReproducible) {
+  const Graph g = gen::petersen();
+  auto run_once = [&] {
+    core::ApspOptions opt;
+    opt.engine.faults = lossy_plan(0.2, 31337);
+    opt.engine.max_rounds = 500000;
+    apply_reliable(opt.engine);
+    return core::run_pebble_apsp(g, opt);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.stats.rounds, b.stats.rounds);
+  EXPECT_EQ(a.stats.messages, b.stats.messages);
+  EXPECT_EQ(a.stats.total_bits, b.stats.total_bits);
+  EXPECT_EQ(a.stats.messages_dropped, b.stats.messages_dropped);
+  EXPECT_EQ(a.stats.messages_delayed, b.stats.messages_delayed);
+  EXPECT_EQ(a.stats.messages_duplicated, b.stats.messages_duplicated);
+  EXPECT_TRUE(a.dist == b.dist);
+}
+
+TEST(Reliable, UnprotectedFloodFailsDetectablyUnderLoss) {
+  // Negative control: the same flood *without* the adapter on the same lossy
+  // wire must not silently pass — either it stalls, or its distances are
+  // provably wrong against the oracle.
+  const Graph g = gen::path(12);
+  const auto oracle = seq::bfs(g, 0);
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.drop_prob = 0.4;
+  EngineConfig cfg;
+  cfg.faults = plan;
+  cfg.max_rounds = 10000;
+  Engine e(g, cfg);
+  e.init([](NodeId v) { return std::make_unique<NaiveFlood>(v); });
+  const Outcome out = e.run_bounded();
+  const bool silently_ok = out.ok() && flood_distances(e) == oracle.dist;
+  EXPECT_FALSE(silently_ok);
+  EXPECT_GT(out.stats.messages_dropped, 0u);
+}
+
+TEST(Reliable, AdapterRejectsBadConfig) {
+  EXPECT_THROW(
+      ReliableAdapter(std::make_unique<NaiveFlood>(0), ReliableConfig{1}),
+      std::invalid_argument);
+}
+
+TEST(Reliable, HarvestSeesThroughWrapper) {
+  const Graph g = gen::path(4);
+  EngineConfig cfg;
+  apply_reliable(cfg);
+  Engine e(g, cfg);
+  e.init([](NodeId v) { return std::make_unique<NaiveFlood>(v); });
+  e.run();
+  // process() returns the adapter; process_as<> resolves the inner process.
+  EXPECT_NE(dynamic_cast<ReliableAdapter*>(&e.process(3)), nullptr);
+  EXPECT_EQ(e.process_as<NaiveFlood>(3).dist(), 3u);
+  auto& adapter = dynamic_cast<ReliableAdapter&>(e.process(3));
+  EXPECT_GT(adapter.stats().virtual_rounds, 0u);
+  EXPECT_GT(adapter.stats().frames_sent, 0u);
+}
+
+}  // namespace
+}  // namespace dapsp::congest
