@@ -1,17 +1,23 @@
 // Round overhead of the reliable-delivery layer (congest/reliable.h) as a
 // function of transport loss: wrapped pebble-APSP (Algorithm 1) and wrapped
 // S-SP (Algorithm 2) on a deterministically faulty wire, versus the
-// fault-free unwrapped baseline.
+// fault-free unwrapped baseline. A second section crashes nodes mid-run and
+// measures the degraded-mode harvest (DESIGN.md section 10): detection cost,
+// surviving coverage, and the distributed certificate's verdict.
 //
-// Reported per drop rate: real engine rounds, the slowdown factor over the
+// Reported per row: real engine rounds, the slowdown factor over the
 // unwrapped baseline, retransmission volume, and a correctness verdict
 // against the sequential oracle — the adapter trades a constant factor of
-// rounds for exactness under loss.
+// rounds for exactness under loss, and for certified partial output under
+// crashes. Every row is also appended to BENCH_faults.json (in the working
+// directory) for machine consumption.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
 #include "congest/reliable.h"
+#include "core/certify.h"
 #include "core/pebble_apsp.h"
 #include "core/ssp.h"
 #include "graph/generators.h"
@@ -22,6 +28,52 @@ namespace dapsp {
 namespace {
 
 constexpr double kDropRates[] = {0.0, 0.05, 0.1, 0.2, 0.3};
+
+// One machine-readable record per benchmark row; serialized to
+// BENCH_faults.json so scripts can track overhead regressions.
+struct JsonRow {
+  std::string algorithm;  // "pebble_apsp" | "ssp"
+  std::string graph;      // family label
+  NodeId n = 0;
+  double drop_rate = 0.0;
+  std::uint32_t crashes = 0;
+  std::uint64_t real_rounds = 0;
+  double overhead = 0.0;  // real_rounds / fault-free unwrapped baseline
+  std::string outcome;    // "exact" | "degraded" | "wrong"
+  std::uint32_t rows_complete = 0;
+  std::uint32_t rows_certified = 0;
+};
+
+std::vector<JsonRow>& json_rows() {
+  static std::vector<JsonRow> rows;
+  return rows;
+}
+
+void write_json(const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::printf("warning: could not open %s for writing\n", path);
+    return;
+  }
+  std::fprintf(f, "[\n");
+  const auto& rows = json_rows();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const JsonRow& r = rows[i];
+    std::fprintf(
+        f,
+        "  {\"algorithm\": \"%s\", \"graph\": \"%s\", \"n\": %u, "
+        "\"drop_rate\": %.3f, \"crashes\": %u, \"real_rounds\": %llu, "
+        "\"overhead\": %.3f, \"outcome\": \"%s\", \"rows_complete\": %u, "
+        "\"rows_certified\": %u}%s\n",
+        r.algorithm.c_str(), r.graph.c_str(), r.n, r.drop_rate, r.crashes,
+        static_cast<unsigned long long>(r.real_rounds), r.overhead,
+        r.outcome.c_str(), r.rows_complete, r.rows_certified,
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("\nwrote %zu rows to %s\n", rows.size(), path);
+}
 
 congest::FaultPlan plan_for(double drop, std::uint64_t seed) {
   congest::FaultPlan plan;
@@ -46,15 +98,22 @@ void bench_apsp(const Graph& g, const std::string& label) {
     opt.engine.max_rounds = 4000000;
     congest::apply_reliable(opt.engine);
     const auto r = core::run_pebble_apsp(g, opt);
+    const bool exact = r.dist == oracle;
+    const double overhead = static_cast<double>(r.stats.rounds) /
+                            static_cast<double>(base.stats.rounds);
 
     t.cell(drop);
     t.cell(r.stats.rounds);
-    t.cell(static_cast<double>(r.stats.rounds) /
-           static_cast<double>(base.stats.rounds));
+    t.cell(overhead);
     t.cell(r.stats.messages_dropped);
     t.cell(r.stats.messages_delayed + r.stats.messages_duplicated);
-    t.cell(std::string(r.dist == oracle ? "yes" : "NO"));
+    t.cell(std::string(exact ? "yes" : "NO"));
     t.end_row();
+
+    json_rows().push_back({"pebble_apsp", label, g.num_nodes(), drop, 0,
+                           r.stats.rounds, overhead,
+                           exact ? "exact" : "wrong", g.num_nodes(),
+                           g.num_nodes()});
   }
   bench::note("baseline (unwrapped, fault-free): " +
               std::to_string(base.stats.rounds) + " rounds; slowdown is "
@@ -83,17 +142,86 @@ void bench_ssp(const Graph& g, const std::string& label) {
         exact = exact && r.delta[v][s] == oracle.dist[v];
       }
     }
+    const double overhead = static_cast<double>(r.stats.rounds) /
+                            static_cast<double>(base.stats.rounds);
     t.cell(drop);
     t.cell(r.stats.rounds);
-    t.cell(static_cast<double>(r.stats.rounds) /
-           static_cast<double>(base.stats.rounds));
+    t.cell(overhead);
     t.cell(r.stats.messages_dropped);
     t.cell(r.stats.messages_delayed);
     t.cell(std::string(exact ? "yes" : "NO"));
     t.end_row();
+
+    json_rows().push_back({"ssp", label, n, drop, 0, r.stats.rounds, overhead,
+                           exact ? "exact" : "wrong",
+                           static_cast<std::uint32_t>(sources.size()),
+                           static_cast<std::uint32_t>(sources.size())});
   }
   bench::note("baseline (unwrapped, fault-free): " +
               std::to_string(base.stats.rounds) + " rounds");
+}
+
+// Crash survival: wrapped pebble-APSP with crash-stop nodes mid-run. The
+// run must terminate degraded (not stall to the round cap), and the
+// surviving rows must pass the distributed certificate of core/certify.h.
+void bench_crashes(const Graph& g, const std::string& label) {
+  const NodeId n = g.num_nodes();
+  const auto base = core::run_pebble_apsp(g);
+
+  core::ApspOptions clean;
+  clean.engine.max_rounds = 4000000;
+  congest::apply_reliable(clean.engine);
+  const auto wrapped = core::run_pebble_apsp(g, clean);
+  const std::uint64_t mid = wrapped.stats.rounds / 2;
+
+  bench::Table t("Crash survival (pebble APSP, crash at wrapped midpoint): " +
+                 label + ", " + g.summary());
+  t.header({"crashes", "rounds", "slowdown", "suspected", "complete",
+            "certified", "status"});
+  for (const std::uint32_t k : {0u, 1u, 2u, 3u}) {
+    core::ApspOptions opt;
+    opt.engine.max_rounds = 4000000;
+    opt.engine.faults = congest::FaultPlan{};
+    for (std::uint32_t i = 0; i < k; ++i) {
+      // Spread crashes over distinct nodes and a few rounds.
+      opt.engine.faults->crashes.push_back(
+          {static_cast<NodeId>((i * (n / 3 + 1) + 1) % n), mid + 5 * i});
+    }
+    congest::apply_reliable(opt.engine);
+    const auto r = core::run_pebble_apsp(g, opt);
+
+    std::vector<NodeId> sources(n);
+    for (NodeId s = 0; s < n; ++s) sources[s] = s;
+    const auto report = core::certify_rows(
+        g, r.survived, sources,
+        [&](NodeId v, NodeId s) { return r.dist.at(v, s); });
+    std::uint32_t complete = 0;
+    for (const core::RowCoverage c : r.coverage) {
+      if (c == core::RowCoverage::kComplete) ++complete;
+    }
+    const double overhead = static_cast<double>(r.stats.rounds) /
+                            static_cast<double>(base.stats.rounds);
+    const bool degraded = r.status == congest::RunStatus::kDegraded;
+
+    t.cell(std::uint64_t{k});
+    t.cell(r.stats.rounds);
+    t.cell(overhead);
+    t.cell(r.stats.neighbors_suspected);
+    t.cell(std::uint64_t{complete});
+    t.cell(std::uint64_t{report.rows_certified});
+    t.cell(std::string(congest::to_string(r.status)));
+    t.end_row();
+
+    const bool exact = k == 0 && r.dist == seq::apsp(g);
+    json_rows().push_back({"pebble_apsp", label, n, 0.0, k, r.stats.rounds,
+                           overhead,
+                           k == 0 ? (exact ? "exact" : "wrong")
+                                  : (degraded ? "degraded" : "wrong"),
+                           complete, report.rows_certified});
+  }
+  bench::note("complete/certified count distance rows over the " +
+              std::to_string(n) + " sources; crashed rows degrade to "
+              "partial or lost but never to uncertified-wrong");
 }
 
 }  // namespace
@@ -110,5 +238,9 @@ int main() {
   bench_apsp(gen::grid(5, 5), "grid");
   bench_ssp(gen::random_connected(24, 20, 11), "random");
   bench_ssp(gen::cycle_with_chords(30, 6, 13), "cycle+chords");
+  bench_crashes(gen::random_connected(24, 20, 11), "random");
+  bench_crashes(gen::grid(5, 5), "grid");
+
+  write_json("BENCH_faults.json");
   return 0;
 }

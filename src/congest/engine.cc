@@ -21,6 +21,7 @@ void accumulate(RunStats& into, const RunStats& from) {
   into.messages_delayed += from.messages_delayed;
   into.messages_duplicated += from.messages_duplicated;
   into.nodes_crashed += from.nodes_crashed;
+  into.neighbors_suspected += from.neighbors_suspected;
 }
 
 std::string RunStats::debug_string() const {
@@ -30,10 +31,11 @@ std::string RunStats::debug_string() const {
      << bandwidth_bits << " max_edge_msgs=" << max_edge_messages
      << " max_node_bits=" << max_node_bits;
   if (messages_dropped || messages_delayed || messages_duplicated ||
-      nodes_crashed) {
+      nodes_crashed || neighbors_suspected) {
     os << " dropped=" << messages_dropped << " delayed=" << messages_delayed
        << " duplicated=" << messages_duplicated
-       << " crashed=" << nodes_crashed;
+       << " crashed=" << nodes_crashed
+       << " suspected=" << neighbors_suspected;
   }
   return std::move(os).str();
 }
@@ -50,6 +52,8 @@ const char* to_string(RunStatus s) noexcept {
       return "round-limit";
     case RunStatus::kCongestion:
       return "congestion";
+    case RunStatus::kDegraded:
+      return "degraded";
   }
   return "?";
 }
@@ -80,6 +84,9 @@ class Engine::Ctx final : public RoundCtx {
   }
   void send(std::uint32_t index, const Message& m) override {
     engine_.queue_message(id_, index, m);
+  }
+  void note_neighbor_suspected() override {
+    ++engine_.stats_.neighbors_suspected;
   }
 
  private:
@@ -209,6 +216,9 @@ void Engine::queue_message(NodeId from, std::uint32_t neighbor_index,
   stats_.max_node_bits = std::max(stats_.max_node_bits, node_bits_[from]);
   stats_.messages += 1;
   stats_.total_bits += cost;
+  if (config_.send_observer) {
+    config_.send_observer(SendEvent{from, to, round_, m});
+  }
   if (config_.record_activity) {
     if (activity_.size() <= round_) activity_.resize(round_ + 1, 0);
     ++activity_[round_];
@@ -317,7 +327,18 @@ Outcome Engine::run_bounded() {
   Outcome out;
   try {
     out.stats = run();
-    out.status = RunStatus::kCompleted;
+    // Quiescence with observed node failures is survival, not success: the
+    // caller gets kDegraded plus the crash/detector counters, and should
+    // treat harvested tables as partial until certified (core/certify.h).
+    if (out.stats.nodes_crashed > 0 || out.stats.neighbors_suspected > 0) {
+      out.status = RunStatus::kDegraded;
+      out.message = "terminated degraded: crashed=" +
+                    std::to_string(out.stats.nodes_crashed) +
+                    " neighbors_suspected=" +
+                    std::to_string(out.stats.neighbors_suspected);
+    } else {
+      out.status = RunStatus::kCompleted;
+    }
   } catch (const RoundLimitError& e) {
     out.status = RunStatus::kRoundLimit;
     out.stats = stats_;

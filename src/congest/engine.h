@@ -49,6 +49,10 @@ class RoundCtx {
  public:
   virtual ~RoundCtx() = default;
 
+  // Delivery layers report failure-detector verdicts here so they land in
+  // RunStats::neighbors_suspected. No-op outside the engine-backed context.
+  virtual void note_neighbor_suspected() {}
+
   NodeId id() const noexcept { return id_; }
   virtual NodeId n() const noexcept = 0;
   virtual std::uint64_t round() const noexcept = 0;
@@ -84,6 +88,17 @@ class Process {
   // every process is done and no messages are in flight.
   virtual bool done() const = 0;
 
+  // Failure-detector event: the delivery layer (congest/reliable.h) has
+  // declared the neighbor at `neighbor_index` dead after prolonged silence.
+  // `virtual_round` is the wrapped protocol's round at the declaration.
+  // Called between on_round() invocations (no context is available); record
+  // state and react in the next on_round(). Default: ignore.
+  virtual void on_neighbor_down(std::uint32_t neighbor_index,
+                                std::uint64_t virtual_round) {
+    (void)neighbor_index;
+    (void)virtual_round;
+  }
+
   // The algorithm process results are harvested from. Delivery-layer
   // wrappers (ReliableAdapter) override this to return the wrapped process,
   // so Engine::process_as<T>() works unchanged on wrapped runs.
@@ -91,6 +106,17 @@ class Process {
   const Process& underlying() const {
     return const_cast<Process*>(this)->underlying();
   }
+};
+
+// One message send, as seen by EngineConfig::send_observer: the directed
+// edge, the round the send happened in, and the message itself. Observers
+// see every send (including ones later dropped by a fault plan) — they watch
+// the protocol, not the wire.
+struct SendEvent {
+  NodeId from = 0;
+  NodeId to = 0;
+  std::uint64_t round = 0;
+  Message msg;
 };
 
 struct EngineConfig {
@@ -118,6 +144,12 @@ struct EngineConfig {
   using ProcessWrapper =
       std::function<std::unique_ptr<Process>(NodeId, std::unique_ptr<Process>)>;
   ProcessWrapper process_wrapper;
+
+  // Optional per-send observer, e.g. core/certify.h's FloodCongestionMonitor
+  // checking Lemma 1's zero-congestion invariant at runtime. Called for every
+  // send after payload validation, before any fault decision.
+  using SendObserver = std::function<void(const SendEvent&)>;
+  SendObserver send_observer;
 };
 
 struct RunStats {
@@ -137,6 +169,9 @@ struct RunStats {
   std::uint64_t messages_delayed = 0;
   std::uint64_t messages_duplicated = 0;
   std::uint32_t nodes_crashed = 0;
+  // Failure-detector verdicts: NeighborDown declarations made by delivery
+  // layers (one per directed edge that went silent past suspect_after).
+  std::uint64_t neighbors_suspected = 0;
 
   // One-line human-readable rendering, e.g. for benches and examples.
   std::string debug_string() const;
@@ -160,19 +195,28 @@ class RoundLimitError : public std::runtime_error {
 
 // How a bounded run ended.
 enum class RunStatus {
-  kCompleted,   // global quiescence
+  kCompleted,   // global quiescence, no node failures observed
   kRoundLimit,  // the configured round limit was hit (stall / livelock)
   kCongestion,  // a bandwidth or field-width violation
+  kDegraded,    // global quiescence, but nodes crashed or were declared dead:
+                // results are partial and should be certified (core/certify.h)
 };
 
 // Result of Engine::run_bounded(): status plus the stats accumulated up to
 // the stop, so stalled faulty runs yield diagnostics instead of an abort.
+// A quiescent run that saw crash-stops or failure-detector verdicts reports
+// kDegraded (with the counters in stats) rather than pretending completion.
 struct Outcome {
+  using Status = RunStatus;
+
   RunStatus status = RunStatus::kCompleted;
   RunStats stats;
   std::string message;  // the error text for non-completed outcomes
 
   bool ok() const noexcept { return status == RunStatus::kCompleted; }
+  bool degraded() const noexcept { return status == RunStatus::kDegraded; }
+  // Quiescence was reached (completed or degraded) — the run did not stall.
+  bool terminated() const noexcept { return ok() || degraded(); }
 };
 
 const char* to_string(RunStatus s) noexcept;

@@ -44,37 +44,51 @@ FaultInjector::FaultInjector(const Graph& g, const FaultPlan& plan)
                           std::numeric_limits<std::uint64_t>::max());
   crash_round_.assign(n, std::numeric_limits<std::uint64_t>::max());
 
-  const auto directed_index = [&](NodeId from, NodeId to) -> std::size_t {
+  // Every entry that names nodes or edges is validated here, before any
+  // per-node / per-edge vector is indexed — the Engine constructs the
+  // injector up front, so a malformed plan is rejected with a clear error at
+  // construction instead of corrupting a run.
+  const auto directed_index = [&](NodeId from, NodeId to,
+                                  const char* what) -> std::size_t {
     if (from >= n || to >= n) {
-      throw std::invalid_argument("FaultPlan: node id " +
-                                  std::to_string(std::max(from, to)) +
-                                  " out of range (n=" + std::to_string(n) +
-                                  ")");
+      throw std::invalid_argument(
+          std::string("FaultPlan: ") + what + " names node " +
+          std::to_string(std::max(from, to)) + ", out of range (n=" +
+          std::to_string(n) + ")");
+    }
+    if (from == to) {
+      throw std::invalid_argument(std::string("FaultPlan: ") + what +
+                                  " names the self-loop " +
+                                  std::to_string(from) + "->" +
+                                  std::to_string(to) +
+                                  "; graphs here are simple");
     }
     const auto idx = g.neighbor_index(from, to);
     if (!idx) {
-      throw std::invalid_argument("FaultPlan: no edge " +
-                                  std::to_string(from) + "->" +
-                                  std::to_string(to) + " in the graph");
+      throw std::invalid_argument(
+          std::string("FaultPlan: ") + what + " names " +
+          std::to_string(from) + "->" + std::to_string(to) +
+          ", which is not an edge of the graph");
     }
     return offsets[from] + *idx;
   };
 
   for (const EdgeDropRate& e : plan.edge_drop_overrides) {
     check_prob(e.drop_prob, "edge_drop_overrides[].drop_prob");
-    drop_prob_[directed_index(e.from, e.to)] = e.drop_prob;
+    drop_prob_[directed_index(e.from, e.to, "edge_drop_overrides[]")] =
+        e.drop_prob;
   }
   for (const LinkFailure& f : plan.link_failures) {
     // A failed link is dead in both directions.
-    const std::size_t fwd = directed_index(f.u, f.v);
-    const std::size_t bwd = directed_index(f.v, f.u);
+    const std::size_t fwd = directed_index(f.u, f.v, "link_failures[]");
+    const std::size_t bwd = directed_index(f.v, f.u, "link_failures[]");
     link_down_round_[fwd] = std::min(link_down_round_[fwd], f.round);
     link_down_round_[bwd] = std::min(link_down_round_[bwd], f.round);
   }
   for (const NodeCrash& c : plan.crashes) {
     if (c.v >= n) {
-      throw std::invalid_argument("FaultPlan: crash node " +
-                                  std::to_string(c.v) + " out of range (n=" +
+      throw std::invalid_argument("FaultPlan: crashes[] names node " +
+                                  std::to_string(c.v) + ", out of range (n=" +
                                   std::to_string(n) + ")");
     }
     crash_round_[c.v] = std::min(crash_round_[c.v], c.round);

@@ -83,6 +83,15 @@ ReliableAdapter::ReliableAdapter(std::unique_ptr<Process> inner,
     throw std::invalid_argument(
         "ReliableConfig: retransmit_after must cover the 2-round trip");
   }
+  if (config_.heartbeat_every == 0) {
+    throw std::invalid_argument("ReliableConfig: heartbeat_every must be >= 1");
+  }
+  if (config_.suspect_after != 0 &&
+      config_.suspect_after <= config_.heartbeat_every + 2) {
+    throw std::invalid_argument(
+        "ReliableConfig: suspect_after must exceed the heartbeat round trip "
+        "(heartbeat_every + 2); every live edge would be suspected");
+  }
 }
 
 ReliableAdapter::~ReliableAdapter() = default;
@@ -93,6 +102,10 @@ void ReliableAdapter::ensure_edges(RoundCtx& ctx) {
   tx_.resize(ctx.degree());
   rx_.resize(ctx.degree());
   outboxes_.resize(ctx.degree());
+  last_heard_.assign(ctx.degree(), ctx.round());
+  last_sent_any_.assign(ctx.degree(), ctx.round());
+  beat_owed_.assign(ctx.degree(), 0);
+  down_.assign(ctx.degree(), 0);
 }
 
 std::uint32_t ReliableAdapter::take_seq(std::uint32_t e) {
@@ -105,6 +118,19 @@ void ReliableAdapter::process_inbox(RoundCtx& ctx) {
   for (const Received& r : ctx.inbox()) {
     const std::uint32_t e = r.from_index;
     const Message& m = r.msg;
+    if (down_[e] != 0) {
+      // Declared dead: a declaration is permanent, so late traffic (only
+      // possible under false suspicion, i.e. extreme loss) is discarded —
+      // the ARQ state it refers to is gone.
+      ++stats_.stale_frames;
+      continue;
+    }
+    last_heard_[e] = ctx.round();
+    if (m.kind == kRelBeat) {
+      beat_owed_[e] = 1;  // answered in transmit() unless other traffic flows
+      continue;
+    }
+    if (m.kind == kRelBeatAck) continue;  // pure liveness evidence
     if (m.kind == kRelAck) {
       EdgeTx& tx = tx_[e];
       if (tx.outstanding && tx.outstanding->f[0] == m.f[0]) {
@@ -201,9 +227,43 @@ void ReliableAdapter::accept_frame(std::uint32_t e, const Message& m) {
   }
 }
 
+void ReliableAdapter::detect_failures(RoundCtx& ctx, bool active) {
+  if (config_.suspect_after == 0) return;
+  const std::uint64_t now = ctx.round();
+  if (!active) {
+    // A passive node expects nothing from its neighbors; its clocks follow
+    // real time so a later reactivation starts a fresh suspicion window.
+    for (std::uint32_t e = 0; e < rx_.size(); ++e) {
+      if (down_[e] == 0) last_heard_[e] = now;
+    }
+    return;
+  }
+  for (std::uint32_t e = 0; e < rx_.size(); ++e) {
+    if (down_[e] != 0 || now < last_heard_[e] + config_.suspect_after) {
+      continue;
+    }
+    // NeighborDown: cancel ARQ toward the dead edge, drop the half-received
+    // batch (it can never complete), keep already-closed buckets (that data
+    // was delivered reliably before the silence), and stop requiring the
+    // edge's markers so virtual time advances without it.
+    down_[e] = 1;
+    ++stats_.neighbors_declared_down;
+    tx_[e].outstanding.reset();
+    tx_[e].queue.clear();
+    rx_[e].filling.clear();
+    rx_[e].frag_pending = false;
+    rx_[e].ack_due = false;
+    rx_[e].ack_accept = false;
+    beat_owed_[e] = 0;
+    ctx.note_neighbor_suspected();
+    inner_->on_neighbor_down(e, virtual_round());
+  }
+}
+
 void ReliableAdapter::enqueue_markers_upto(std::uint32_t e,
                                            std::int64_t round) {
   EdgeTx& tx = tx_[e];
+  if (down_[e] != 0) return;
   while (tx.marker_enqueued < round) {
     ++tx.marker_enqueued;
     tx.queue.push_back(Message::make(kRelMark, take_seq(e)));
@@ -256,8 +316,11 @@ void ReliableAdapter::enqueue_round_output(std::uint32_t e,
 }
 
 bool ReliableAdapter::undelivered_data() const {
-  for (const EdgeRx& rx : rx_) {
-    if (!rx.filling.empty() || rx.frag_pending) return true;
+  for (std::uint32_t e = 0; e < rx_.size(); ++e) {
+    const EdgeRx& rx = rx_[e];
+    // Data received and closed before a neighbor died is still delivered;
+    // only its never-to-complete open batch is ignored.
+    if (down_[e] == 0 && (!rx.filling.empty() || rx.frag_pending)) return true;
     for (const auto& bucket : rx.completed) {
       if (!bucket.empty()) return true;
     }
@@ -266,16 +329,17 @@ bool ReliableAdapter::undelivered_data() const {
 }
 
 bool ReliableAdapter::peer_ahead() const {
-  for (const EdgeRx& rx : rx_) {
-    if (rx.peer_exec > executed_) return true;
+  for (std::uint32_t e = 0; e < rx_.size(); ++e) {
+    if (down_[e] == 0 && rx_[e].peer_exec > executed_) return true;
   }
   return false;
 }
 
 bool ReliableAdapter::buckets_ready() const {
   if (executed_ < 0) return true;  // virtual round 0 needs no input
-  for (const EdgeRx& rx : rx_) {
-    if (rx.completed.empty()) return false;
+  for (std::uint32_t e = 0; e < rx_.size(); ++e) {
+    // Dead neighbors contribute empty batches forever.
+    if (down_[e] == 0 && rx_[e].completed.empty()) return false;
   }
   return true;
 }
@@ -285,6 +349,7 @@ void ReliableAdapter::execute_virtual_round(RoundCtx& ctx) {
   std::vector<Received> vinbox;
   if (executed_ >= 0) {
     for (std::uint32_t e = 0; e < rx_.size(); ++e) {
+      if (rx_[e].completed.empty()) continue;  // dead edge, batches exhausted
       std::vector<Message>& bucket = rx_[e].completed.front();
       for (const Message& m : bucket) vinbox.push_back(Received{e, m});
       rx_[e].completed.pop_front();
@@ -300,8 +365,10 @@ void ReliableAdapter::execute_virtual_round(RoundCtx& ctx) {
   for (const auto& ob : outboxes_) has_data = has_data || !ob.empty();
   if (!inner_->done() || has_data) {
     // Active round: publish the batch (plus any withheld markers first, so
-    // the per-edge streams stay in round order).
+    // the per-edge streams stay in round order). Dead edges get nothing —
+    // anything the inner process addressed to them is dropped here.
     for (std::uint32_t e = 0; e < tx_.size(); ++e) {
+      if (down_[e] != 0) continue;
       enqueue_markers_upto(e, executed_ - 1);
       enqueue_round_output(e, outboxes_[e]);
     }
@@ -310,15 +377,18 @@ void ReliableAdapter::execute_virtual_round(RoundCtx& ctx) {
   // are supplied on demand, and a globally quiet protocol stays quiet.
 }
 
-void ReliableAdapter::transmit(RoundCtx& ctx) {
+void ReliableAdapter::transmit(RoundCtx& ctx, bool active) {
   const std::uint64_t now = ctx.round();
   for (std::uint32_t e = 0; e < tx_.size(); ++e) {
+    if (down_[e] != 0) continue;
+    bool sent = false;
     EdgeRx& rx = rx_[e];
     if (rx.ack_due) {
       ctx.send(e, Message::make(kRelAck, rx.ack_seq));
       ++stats_.acks_sent;
       rx.ack_due = false;
       rx.ack_accept = false;
+      sent = true;
     }
     EdgeTx& tx = tx_[e];
     if (tx.outstanding) {
@@ -326,6 +396,7 @@ void ReliableAdapter::transmit(RoundCtx& ctx) {
         ctx.send(e, *tx.outstanding);
         tx.last_send = now;
         ++stats_.retransmissions;
+        sent = true;
       }
     } else if (!tx.queue.empty()) {
       tx.outstanding = tx.queue.front();
@@ -333,6 +404,28 @@ void ReliableAdapter::transmit(RoundCtx& ctx) {
       ctx.send(e, *tx.outstanding);
       tx.last_send = now;
       ++stats_.frames_sent;
+      sent = true;
+    }
+    if (!sent && config_.suspect_after != 0) {
+      // Heartbeats ride only on otherwise-idle edges, so the per-edge budget
+      // stays within the frame+ack worst case. A beat answer has priority
+      // (and is itself never answered — quiescent pairs stay quiet); fresh
+      // beats are initiated by active nodes only.
+      if (beat_owed_[e] != 0) {
+        ctx.send(e, Message::make(kRelBeatAck));
+        ++stats_.beats_sent;
+        sent = true;
+      } else if (active && now - last_sent_any_[e] >= config_.heartbeat_every) {
+        ctx.send(e, Message::make(kRelBeat));
+        ++stats_.beats_sent;
+        sent = true;
+      }
+    }
+    if (sent) {
+      // Any outbound traffic doubles as liveness evidence for the peer, so
+      // an owed beat answer is satisfied by it.
+      last_sent_any_[e] = now;
+      beat_owed_[e] = 0;
     }
   }
 }
@@ -340,6 +433,12 @@ void ReliableAdapter::transmit(RoundCtx& ctx) {
 void ReliableAdapter::on_round(RoundCtx& ctx) {
   ensure_edges(ctx);
   process_inbox(ctx);
+
+  // Failure detection runs on the pre-round view: `active` means this
+  // adapter is waiting on something (inner busy or transport in flight), so
+  // neighbor silence is meaningful. A passive node judges nobody.
+  const bool active = !done();
+  detect_failures(ctx, active);
 
   // Drive the synchronizer. `want` = virtual time must advance here: the
   // inner process has work, a neighbor's batch carries data for it, or a
@@ -360,15 +459,16 @@ void ReliableAdapter::on_round(RoundCtx& ctx) {
     }
   }
 
-  transmit(ctx);
+  transmit(ctx, active);
 }
 
 bool ReliableAdapter::done() const {
   if (!inner_->done()) return false;
   if (!edges_ready_) return true;  // never scheduled; mirrors engine idle
   if (undelivered_data()) return false;
-  for (const EdgeTx& tx : tx_) {
-    if (tx.outstanding || !tx.queue.empty()) return false;
+  for (std::uint32_t e = 0; e < tx_.size(); ++e) {
+    if (down_[e] != 0) continue;  // ARQ toward a dead edge was canceled
+    if (tx_[e].outstanding || !tx_[e].queue.empty()) return false;
   }
   return true;
 }

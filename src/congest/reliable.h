@@ -32,6 +32,28 @@
 // so wrapped runs need EngineConfig::bandwidth_ids >= kReliableBandwidthIds.
 // apply_reliable() sets this up.
 //
+// Failure detection (crash survival, DESIGN.md §10): crash-stop nodes and
+// permanently failed links cannot be masked — the ARQ would retransmit into
+// the void forever and the synchronizer would wait for a marker that never
+// comes. Instead the adapter runs a per-edge heartbeat/timeout detector:
+//   * while the adapter is active (inner not done, or transport busy) it
+//     sends a kRelBeat on every edge that has been silent outbound for
+//     `heartbeat_every` real rounds; any adapter answers a beat with a
+//     kRelBeatAck (never re-answered, so quiescent pairs stay quiet);
+//   * an edge on which nothing (frame, ack, beat or beat-ack) has been
+//     heard for `suspect_after` consecutive *active* real rounds is declared
+//     dead: ARQ state toward it is canceled, the synchronizer stops
+//     requiring its round batches (virtual time advances without it), the
+//     event is counted in RunStats::neighbors_suspected, and the inner
+//     process is told via Process::on_neighbor_down(index, virtual_round).
+//   Silence while this adapter is passive is never counted (a quiet, done
+//   neighbor is not a dead one), and a declaration is permanent (crash-stop
+//   model). With delays bounded by the plan's max_extra_delay, a live
+//   neighbor is heard at least every heartbeat_every + 2 + 2*max_extra_delay
+//   rounds, so any suspect_after above that bound — the default covers the
+//   global kMaxExtraDelay — makes false suspicion impossible under
+//   drop-free plans and astronomically unlikely otherwise.
+//
 // Caveats (documented in DESIGN.md):
 //   * the engine's per-edge budget B applies to the adapter's frames; the
 //     inner protocol's own congestion-freedom is attested by its fault-free
@@ -40,8 +62,9 @@
 //   * a wrapped process is only re-invoked when virtual time advances; a
 //     process that spontaneously leaves done() without any input cannot be
 //     simulated (none in this library does);
-//   * crash-stop and permanent link failures are not masked — they stall
-//     the synchronizer, which Engine::run_bounded() reports as kRoundLimit.
+//   * with the detector disabled (suspect_after = 0), crash-stop and
+//     permanent link failures stall the synchronizer, which
+//     Engine::run_bounded() reports as kRoundLimit.
 #pragma once
 
 #include <cstdint>
@@ -70,6 +93,8 @@ enum ReliableKind : std::uint8_t {
   kRelFragA4 = 249,  // (seq, inner_kind, f0, f1): first half, 4-field inner
   kRelFragB = 250,      // (seq, f2[, f3]): second half
   kRelFragBLast = 251,  // ditto, closing the batch
+  kRelBeat = 252,       // heartbeat: "are you alive?" (no payload, no ARQ)
+  kRelBeatAck = 253,    // heartbeat answer; never answered itself
 };
 
 // Sequence numbers live mod kRelSeqMod (they must fit one message field,
@@ -82,12 +107,29 @@ inline constexpr std::uint32_t kRelSeqMod = 256;
 // directed edge per round).
 inline constexpr std::uint32_t kReliableBandwidthIds = 6;
 
+// Default failure-detector timeout: safely above the worst-case heartbeat
+// round trip under the globally bounded reordering horizon
+// (heartbeat_every + 2 + 2*kMaxExtraDelay = 134 with the defaults), so a
+// delay-only plan can never produce a false NeighborDown.
+inline constexpr std::uint32_t kDefaultSuspectAfter = 150;
+
 struct ReliableConfig {
   // Retransmit an unacknowledged frame after this many rounds of silence.
   // Must cover the round trip (2 rounds fault-free; add 2*max_extra_delay
   // when the plan delays messages) or retransmissions go spurious — still
   // correct, just wasteful.
   std::uint32_t retransmit_after = 4;
+
+  // Failure detector: declare a neighbor dead after this many consecutive
+  // silent real rounds on its edge while this node is active. 0 disables
+  // detection (crashes then stall the run, as before PR 2). Must exceed
+  // heartbeat_every + 2 + 2*max_extra_delay of the plan in use to rule out
+  // false suspicion; the default covers the global kMaxExtraDelay bound.
+  std::uint32_t suspect_after = kDefaultSuspectAfter;
+
+  // Send a heartbeat on any edge that has been silent outbound for this
+  // many real rounds (while active). Must be >= 1.
+  std::uint32_t heartbeat_every = 4;
 };
 
 // Transport counters of one adapter (sum over nodes for a run's view).
@@ -98,6 +140,8 @@ struct ReliableStats {
   std::uint64_t acks_sent = 0;
   std::uint64_t stale_frames = 0;     // duplicates discarded by dedup
   std::uint64_t inner_messages = 0;   // inner sends carried
+  std::uint64_t beats_sent = 0;       // heartbeats + heartbeat answers
+  std::uint32_t neighbors_declared_down = 0;  // detector verdicts
 };
 
 class ReliableAdapter final : public Process {
@@ -119,12 +163,19 @@ class ReliableAdapter final : public Process {
     return static_cast<std::uint64_t>(executed_ + 1);
   }
 
+  // True once the failure detector has declared the neighbor at `index`
+  // dead. Permanent for the rest of the run.
+  bool neighbor_down(std::uint32_t index) const {
+    return index < down_.size() && down_[index] != 0;
+  }
+
  private:
   class VirtualCtx;
   struct EdgeTx;
   struct EdgeRx;
 
   void ensure_edges(RoundCtx& ctx);
+  void detect_failures(RoundCtx& ctx, bool active);
   void process_inbox(RoundCtx& ctx);
   void accept_frame(std::uint32_t e, const Message& m);
   void enqueue_markers_upto(std::uint32_t e, std::int64_t round);
@@ -136,7 +187,7 @@ class ReliableAdapter final : public Process {
   bool peer_ahead() const;
   bool buckets_ready() const;
   void execute_virtual_round(RoundCtx& ctx);
-  void transmit(RoundCtx& ctx);
+  void transmit(RoundCtx& ctx, bool active);
 
   std::unique_ptr<Process> inner_;
   ReliableConfig config_;
@@ -145,6 +196,14 @@ class ReliableAdapter final : public Process {
   bool edges_ready_ = false;
   std::vector<EdgeTx> tx_;
   std::vector<EdgeRx> rx_;
+
+  // Failure-detector state, per edge. last_heard_ counts only rounds while
+  // this adapter was active (passive rounds refresh it, so a done node's
+  // silence never accrues toward suspicion).
+  std::vector<std::uint64_t> last_heard_;
+  std::vector<std::uint64_t> last_sent_any_;
+  std::vector<std::uint8_t> beat_owed_;
+  std::vector<std::uint8_t> down_;
 
   // Highest virtual round whose inner on_round has run (-1 = none yet).
   std::int64_t executed_ = -1;

@@ -30,6 +30,11 @@ class PebbleApspProcess final : public congest::Process {
   }
 
   void on_round(congest::RoundCtx& ctx) override {
+    // Failure notices first: a node that learns of a crash this round (own
+    // detector verdict, or a kFailNotice from a neighbor) degrades before
+    // doing anything else, and forwards the notice exactly once.
+    absorb_failure_notices(ctx);
+
     // Group this round's flood receipts by root: new roots must be forwarded
     // to everyone except their same-round senders (Claim 1's rule, which also
     // keeps every girth witness genuine).
@@ -39,10 +44,14 @@ class PebbleApspProcess final : public congest::Process {
       if (tree_.handle(ctx, r)) continue;
       switch (r.msg.kind) {
         case kApspFlood:
+          // Handled even in degraded mode: relaying in-flight floods costs
+          // nothing extra and maximizes surviving coverage.
           handle_flood(r);
           break;
         case kPebble:
-          handle_pebble(ctx);
+          // A degraded node swallows the pebble — no new floods are started
+          // behind a failure, so the traversal ends with the notice.
+          if (!degraded_) handle_pebble(ctx);
           break;
         case kBcast:
           if (collect_bcast_.handle(r)) {
@@ -62,26 +71,36 @@ class PebbleApspProcess final : public congest::Process {
     tree_.advance(ctx);
 
     // Root: kick off the pebble once T1 is complete.
-    if (id_ == 0 && tree_.root_complete() && !visited_) {
+    if (id_ == 0 && tree_.root_complete() && !visited_ && !degraded_) {
       handle_pebble(ctx);  // the pebble "enters" the root
     }
 
-    // Scheduled actions fire one round after the pebble's first visit.
+    // Scheduled actions fire one round after the pebble's first visit. A
+    // degraded node still starts its already-scheduled flood (free coverage)
+    // but keeps the pebble.
     if (visited_ && !acted_ && ctx.round() >= act_round_) {
       start_own_flood(ctx);
-      forward_pebble(ctx);
+      if (!degraded_) forward_pebble(ctx);
       acted_ = true;
     }
 
     flush_new_roots(ctx);
 
-    if (aggregate_) run_aggregation(ctx);
+    if (aggregate_ && !degraded_) run_aggregation(ctx);
   }
 
   bool done() const override {
+    // An undelivered failure notice keeps the node schedulable so the
+    // notice flood gets out (the detector's verdict arrives between rounds).
+    if (notice_pending_) return false;
+    if (degraded_) return !visited_ || acted_;
     if (!visited_ || !acted_) return false;
     if (!aggregate_) return true;
     return have_result_ && result_bcast_.idle();
+  }
+
+  void on_neighbor_down(std::uint32_t, std::uint64_t) override {
+    notice_pending_ = true;
   }
 
   // -- Harvest (after the run) ------------------------------------------
@@ -94,8 +113,31 @@ class PebbleApspProcess final : public congest::Process {
   std::uint32_t girth_wire() const { return result_[2]; }
   bool is_center() const { return local_ecc_ == result_[1]; }
   bool is_peripheral() const { return local_ecc_ == result_[0]; }
+  bool degraded() const { return degraded_; }
+  bool has_result() const { return have_result_; }
 
  private:
+  void absorb_failure_notices(congest::RoundCtx& ctx) {
+    bool saw = notice_pending_;
+    notice_pending_ = false;
+    notice_exclude_.clear();
+    for (const congest::Received& r : ctx.inbox()) {
+      if (r.msg.kind == kFailNotice) {
+        saw = true;
+        notice_exclude_.push_back(r.from_index);
+      }
+    }
+    if (!saw || degraded_) return;  // forward-once flood
+    degraded_ = true;
+    const std::uint32_t deg = ctx.degree();
+    for (std::uint32_t i = 0; i < deg; ++i) {
+      if (std::find(notice_exclude_.begin(), notice_exclude_.end(), i) !=
+          notice_exclude_.end()) {
+        continue;
+      }
+      ctx.send(i, congest::Message::make(kFailNotice));
+    }
+  }
   void handle_flood(const congest::Received& r) {
     const std::uint32_t root = r.msg.f[0];
     const std::uint32_t d = r.msg.f[1];
@@ -209,6 +251,11 @@ class PebbleApspProcess final : public congest::Process {
   std::vector<std::uint32_t> dist_row_;
   std::vector<std::uint32_t> parent_row_;  // neighbor index toward each root
 
+  // Degraded mode (crash survival).
+  bool notice_pending_ = false;  // detector verdict awaiting its flood
+  bool degraded_ = false;
+  std::vector<std::uint32_t> notice_exclude_;
+
   // Pebble state.
   bool visited_ = false;
   bool acted_ = false;
@@ -242,13 +289,26 @@ ApspResult run_pebble_apsp(const Graph& g, const ApspOptions& options) {
   });
 
   ApspResult out;
-  out.stats = engine.run();
+  // run_bounded so degraded terminations surface as a status instead of an
+  // exception; genuine stalls (e.g. disconnected inputs) and congestion
+  // violations keep their documented throwing behavior.
+  const congest::Outcome outcome = engine.run_bounded();
+  if (outcome.status == congest::RunStatus::kRoundLimit) {
+    throw congest::RoundLimitError(outcome.message);
+  }
+  if (outcome.status == congest::RunStatus::kCongestion) {
+    throw congest::CongestionError(outcome.message);
+  }
+  out.status = outcome.status;
+  out.stats = outcome.stats;
   out.round_activity = engine.round_activity();
   out.dist = DistanceMatrix(n);
   out.next_hop.assign(n, std::vector<NodeId>(n, kNoNextHop));
   out.ecc.resize(n);
   out.is_center.assign(n, 0);
   out.is_peripheral.assign(n, 0);
+  out.survived.resize(n);
+  for (NodeId v = 0; v < n; ++v) out.survived[v] = engine.crashed(v) ? 0 : 1;
 
   const std::uint32_t inf = congest::wire_infinity(n);
   for (NodeId v = 0; v < n; ++v) {
@@ -260,6 +320,7 @@ ApspResult run_pebble_apsp(const Graph& g, const ApspOptions& options) {
         out.next_hop[v][u] = nbrs[p.parent_row()[u]];
       }
     }
+    if (out.survived[v] != 0 && p.degraded()) out.degraded_nodes.push_back(v);
     if (v == 0) {
       out.leader_ecc = p.tree().root_ecc();
       out.tree_cycle_evidence = p.tree().root_cycle_evidence();
@@ -275,6 +336,16 @@ ApspResult run_pebble_apsp(const Graph& g, const ApspOptions& options) {
       }
     }
   }
+  out.aggregates_valid =
+      options.aggregate && out.status == congest::RunStatus::kCompleted;
+
+  // Coverage accounting: every node is a source; rows are judged over the
+  // survivors only. (Fault-free runs trivially report all-complete.)
+  std::vector<NodeId> sources(n);
+  for (NodeId s = 0; s < n; ++s) sources[s] = s;
+  out.coverage = classify_coverage(
+      out.survived, sources,
+      [&](NodeId v, NodeId s) { return out.dist.at(v, s); });
   return out;
 }
 

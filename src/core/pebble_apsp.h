@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "congest/engine.h"
+#include "core/certify.h"
 #include "graph/graph.h"
 #include "seq/apsp.h"
 #include "seq/properties.h"
@@ -58,6 +59,20 @@ struct ApspResult {
   std::vector<std::uint8_t> is_peripheral;
   bool tree_cycle_evidence = false;    // Claim 1: true iff G has a cycle
   std::uint32_t leader_ecc = 0;        // ecc(node 0), learned during setup
+
+  // Crash survival (DESIGN.md §10). kCompleted on fault-free/masked runs;
+  // kDegraded when nodes crashed or the failure detector fired — the tables
+  // below are then partial and `coverage` says how partial.
+  congest::RunStatus status = congest::RunStatus::kCompleted;
+  std::vector<std::uint8_t> survived;  // per node: 1 = alive at harvest
+  // Per source row (sources are all nodes here): coverage over survivors.
+  std::vector<RowCoverage> coverage;
+  // Survivors that switched to degraded mode after a failure notice.
+  std::vector<NodeId> degraded_nodes;
+  // False when the aggregation outputs (diameter/radius/girth/centers) must
+  // not be trusted — any degraded run, or aggregate=false.
+  bool aggregates_valid = false;
+
   congest::RunStats stats;
   // Messages per round (populated when options.engine.record_activity):
   // makes Algorithm 1's phase structure visible (tree build, pebble +
@@ -69,6 +84,13 @@ inline constexpr NodeId kNoNextHop = 0xffffffffu;
 
 // Runs Algorithm 1 on a connected graph. Throws on disconnected inputs
 // (the flood never terminates; a RoundLimitError surfaces).
+//
+// Under a fault plan with crash-stops and the reliable layer's failure
+// detector (apply_reliable + suspect_after > 0), survivors terminate in
+// degraded mode instead of stalling: the node holding a NeighborDown verdict
+// floods a failure notice (kFailNotice, O(D) rounds), every survivor stops
+// scheduling new work while still relaying in-flight BFS floods, and the
+// harvested result reports status = kDegraded with per-row coverage.
 ApspResult run_pebble_apsp(const Graph& g, const ApspOptions& options = {});
 
 // Follows next_hop pointers from `from` to `to`; returns the node sequence

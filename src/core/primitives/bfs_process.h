@@ -44,6 +44,8 @@ enum MsgKind : std::uint8_t {
   kStartBfs = 10,   // naive baseline scheduling
   kLinkEdge = 11,   // link-state baseline: (u, v)
   kDvEntry = 12,    // distance-vector baseline: (dest, dist)
+  kCertValue = 13,  // certification (core/certify): (source index, distance)
+  kFailNotice = 14,  // degraded mode: "a neighbor crashed", flooded once
 };
 
 // Echo flag bits.

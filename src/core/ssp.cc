@@ -228,7 +228,10 @@ class SspProcess final : public congest::Process {
       : id_(id), tree_(in_s), ssp_(id, n, in_s), params_(kTagSspParams) {}
 
   void on_round(congest::RoundCtx& ctx) override {
+    absorb_failure_notices(ctx);
+
     for (const congest::Received& r : ctx.inbox()) {
+      if (r.msg.kind == kFailNotice) continue;  // consumed above
       if (tree_.handle(ctx, r)) continue;
       if (ssp_.handle(ctx, r)) continue;
       if (params_.handle(r)) {
@@ -260,13 +263,47 @@ class SspProcess final : public congest::Process {
                  ssp_.configured() && ssp_.finished(ctx.round());
   }
 
-  bool done() const override { return quiescent_; }
+  bool done() const override {
+    // Keep schedulable until a detector verdict's notice flood is out; a
+    // degraded node is otherwise done (it still relays the token loop while
+    // messages flow, which drains on its own schedule).
+    if (notice_pending_) return false;
+    if (degraded_) return true;
+    return quiescent_;
+  }
+
+  void on_neighbor_down(std::uint32_t, std::uint64_t) override {
+    notice_pending_ = true;
+  }
 
   const SspMachine& ssp() const { return ssp_; }
   const TreeMachine& tree() const { return tree_; }
   std::uint32_t d0() const { return d0_; }
+  bool degraded() const { return degraded_; }
 
  private:
+  void absorb_failure_notices(congest::RoundCtx& ctx) {
+    bool saw = notice_pending_;
+    notice_pending_ = false;
+    notice_exclude_.clear();
+    for (const congest::Received& r : ctx.inbox()) {
+      if (r.msg.kind == kFailNotice) {
+        saw = true;
+        notice_exclude_.push_back(r.from_index);
+      }
+    }
+    if (!saw || degraded_) return;  // forward-once flood
+    degraded_ = true;
+    const std::uint32_t deg = ctx.degree();
+    for (std::uint32_t i = 0; i < deg; ++i) {
+      if (std::find(notice_exclude_.begin(), notice_exclude_.end(), i) !=
+          notice_exclude_.end()) {
+        continue;
+      }
+      ctx.send(i, congest::Message::make(kFailNotice));
+    }
+  }
+
   NodeId id_;
   TreeMachine tree_;
   SspMachine ssp_;
@@ -274,6 +311,9 @@ class SspProcess final : public congest::Process {
   bool params_sent_ = false;
   std::uint32_t d0_ = 0;
   bool quiescent_ = false;
+  bool notice_pending_ = false;
+  bool degraded_ = false;
+  std::vector<std::uint32_t> notice_exclude_;
 };
 
 }  // namespace
@@ -297,11 +337,25 @@ SspResult run_ssp(const Graph& g, std::span<const NodeId> sources,
   std::sort(out.sources.begin(), out.sources.end());
   out.sources.erase(std::unique(out.sources.begin(), out.sources.end()),
                     out.sources.end());
-  out.stats = engine.run();
+  // run_bounded: degraded terminations become a status; genuine stalls and
+  // congestion violations keep throwing as before.
+  const congest::Outcome outcome = engine.run_bounded();
+  if (outcome.status == congest::RunStatus::kRoundLimit) {
+    throw congest::RoundLimitError(outcome.message);
+  }
+  if (outcome.status == congest::RunStatus::kCongestion) {
+    throw congest::CongestionError(outcome.message);
+  }
+  out.status = outcome.status;
+  out.stats = outcome.stats;
+  out.survived.resize(n);
+  for (NodeId v = 0; v < n; ++v) out.survived[v] = engine.crashed(v) ? 0 : 1;
   out.delta.resize(n);
   for (NodeId v = 0; v < n; ++v) {
     auto& p = engine.process_as<SspProcess>(v);
     out.delta[v] = p.ssp().delta();
+    if (out.delta[v].empty()) out.delta[v].assign(n, kInfDist);
+    if (out.survived[v] != 0 && p.degraded()) out.degraded_nodes.push_back(v);
     out.min_girth_witness =
         std::min(out.min_girth_witness, p.ssp().girth_witness());
     out.total_late_improvements += p.ssp().late_improvements();
@@ -312,6 +366,9 @@ SspResult run_ssp(const Graph& g, std::span<const NodeId> sources,
           SspMachine::schedule_length(out.sources.size(), out.d0);
     }
   }
+  out.coverage = classify_coverage(
+      out.survived, out.sources,
+      [&](NodeId v, NodeId s) { return out.delta[v][s]; });
   return out;
 }
 

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "congest/engine.h"
+#include "core/certify.h"
 #include "core/primitives/bfs_process.h"
 #include "graph/graph.h"
 
@@ -163,6 +164,15 @@ struct SspResult {
   std::uint64_t loop_rounds = 0;         // schedule_length(|S|, D0)
   std::uint32_t min_girth_witness = kInfDist;  // min over nodes
   std::uint64_t total_late_improvements = 0;   // summed over nodes
+
+  // Crash survival (DESIGN.md §10): kDegraded when nodes crashed or the
+  // failure detector fired; delta is then partial, `coverage` (one entry per
+  // element of `sources`) says how partial over the surviving nodes.
+  congest::RunStatus status = congest::RunStatus::kCompleted;
+  std::vector<std::uint8_t> survived;   // per node: 1 = alive at harvest
+  std::vector<RowCoverage> coverage;    // per source, over survivors
+  std::vector<NodeId> degraded_nodes;   // survivors that saw a failure notice
+
   congest::RunStats stats;
 };
 

@@ -11,6 +11,7 @@
 #include "congest/engine.h"
 #include "congest/faults.h"
 #include "congest/reliable.h"
+#include "core/certify.h"
 #include "core/pebble_apsp.h"
 #include "core/ssp.h"
 #include "graph/generators.h"
@@ -110,6 +111,30 @@ TEST(FaultPlan, RejectsUnknownEdgesAndNodes) {
   plan.edge_drop_overrides.clear();
   plan.crashes.push_back({7, 3});  // no node 7
   EXPECT_THROW(FaultInjector(g, plan), std::invalid_argument);
+}
+
+TEST(FaultPlan, RejectsMalformedLinkFailures) {
+  const Graph g = gen::path(3);  // edges 0-1, 1-2
+  {
+    FaultPlan plan;
+    plan.link_failures.push_back({0, 5, 0});  // endpoint out of range
+    EXPECT_THROW(FaultInjector(g, plan), std::invalid_argument);
+  }
+  {
+    FaultPlan plan;
+    plan.link_failures.push_back({0, 2, 0});  // not an edge
+    EXPECT_THROW(FaultInjector(g, plan), std::invalid_argument);
+  }
+  {
+    FaultPlan plan;
+    plan.link_failures.push_back({1, 1, 0});  // self-loop
+    EXPECT_THROW(FaultInjector(g, plan), std::invalid_argument);
+  }
+  {
+    FaultPlan plan;
+    plan.edge_drop_overrides.push_back({2, 2, 0.5});  // self-loop override
+    EXPECT_THROW(FaultInjector(g, plan), std::invalid_argument);
+  }
 }
 
 TEST(Engine, RejectsEmptyGraph) {
@@ -487,6 +512,250 @@ TEST(Reliable, AdapterRejectsBadConfig) {
   EXPECT_THROW(
       ReliableAdapter(std::make_unique<NaiveFlood>(0), ReliableConfig{1}),
       std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Failure detection
+
+// Stays busy until the failure detector reports a dead neighbor; records the
+// verdicts it receives.
+class DownProbe final : public Process {
+ public:
+  void on_round(RoundCtx& ctx) override {
+    if (ctx.round() == 0) ctx.send_all(Message::make(1, 1));
+  }
+  bool done() const override { return !downs.empty(); }
+  void on_neighbor_down(std::uint32_t index, std::uint64_t vround) override {
+    downs.push_back({index, vround});
+  }
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> downs;
+};
+
+TEST(Detector, DelayOnlyPlansNeverSuspect) {
+  // With the globally bounded reordering horizon, the default suspect_after
+  // makes false suspicion impossible: delay-only runs complete exactly, with
+  // zero NeighborDown verdicts.
+  for (const Graph& g : test_families()) {
+    FaultPlan plan;
+    plan.seed = 11;
+    plan.delay_prob = 0.3;
+    plan.max_extra_delay = kMaxExtraDelay;
+    EngineConfig cfg;
+    cfg.faults = plan;
+    cfg.max_rounds = 500000;
+    apply_reliable(cfg);
+    Engine e(g, cfg);
+    e.init([](NodeId v) { return std::make_unique<NaiveFlood>(v); });
+    const Outcome out = e.run_bounded();
+    ASSERT_TRUE(out.ok()) << g.summary() << ": " << out.message;
+    EXPECT_EQ(out.stats.neighbors_suspected, 0u) << g.summary();
+    EXPECT_EQ(flood_distances(e), seq::bfs(g, 0).dist) << g.summary();
+  }
+}
+
+TEST(Detector, DeclaresCrashedNeighborAndNotifiesInner) {
+  const Graph g = gen::path(2);
+  FaultPlan plan;
+  plan.crashes.push_back({1, 5});
+  EngineConfig cfg;
+  cfg.faults = plan;
+  cfg.max_rounds = 5000;
+  apply_reliable(cfg);
+  Engine e(g, cfg);
+  e.init([](NodeId) { return std::make_unique<DownProbe>(); });
+  const Outcome out = e.run_bounded();
+  EXPECT_EQ(out.status, RunStatus::kDegraded);
+  EXPECT_TRUE(out.terminated());
+  EXPECT_EQ(out.stats.nodes_crashed, 1u);
+  EXPECT_EQ(out.stats.neighbors_suspected, 1u);
+  // The verdict reached the inner process, naming the right edge.
+  const auto& probe = e.process_as<DownProbe>(0);
+  ASSERT_EQ(probe.downs.size(), 1u);
+  EXPECT_EQ(probe.downs[0].first, 0u);  // neighbor index of node 1 at node 0
+  // Detection needs at least suspect_after rounds of silence, and the run
+  // must then stop instead of spinning to the cap.
+  EXPECT_GE(out.stats.rounds, std::uint64_t{kDefaultSuspectAfter});
+  EXPECT_LT(out.stats.rounds, 5000u);
+}
+
+TEST(Detector, DisabledDetectorStallsToRoundLimit) {
+  // suspect_after = 0 restores the pre-detector behavior: a crash-stop
+  // neighbor stalls the synchronizer forever.
+  const Graph g = gen::path(2);
+  FaultPlan plan;
+  plan.crashes.push_back({1, 5});
+  EngineConfig cfg;
+  cfg.faults = plan;
+  cfg.max_rounds = 2000;
+  ReliableConfig rc;
+  rc.suspect_after = 0;
+  apply_reliable(cfg, rc);
+  Engine e(g, cfg);
+  e.init([](NodeId) { return std::make_unique<DownProbe>(); });
+  const Outcome out = e.run_bounded();
+  EXPECT_EQ(out.status, RunStatus::kRoundLimit);
+  EXPECT_TRUE(e.process_as<DownProbe>(0).downs.empty());
+}
+
+TEST(Detector, RejectsUnsafeTimeouts) {
+  auto make = [](ReliableConfig rc) {
+    return ReliableAdapter(std::make_unique<DownProbe>(), rc);
+  };
+  ReliableConfig no_beat;
+  no_beat.heartbeat_every = 0;
+  EXPECT_THROW(make(no_beat), std::invalid_argument);
+  ReliableConfig tight;
+  tight.heartbeat_every = 8;
+  tight.suspect_after = 9;  // inside the heartbeat round trip
+  EXPECT_THROW(make(tight), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Crash survival: degraded-mode termination with certified outputs
+
+Graph surviving_subgraph(const Graph& g,
+                         const std::vector<std::uint8_t>& survived) {
+  std::vector<Edge> edges;
+  for (const Edge& e : g.edges()) {
+    if (survived[e.u] != 0 && survived[e.v] != 0) edges.push_back(e);
+  }
+  return Graph(g.num_nodes(), edges);
+}
+
+// Asserts the acceptance property on a degraded harvest: the distributed
+// certificate's verdict for each row equals exactness of the surviving
+// entries against a sequential BFS oracle on the surviving subgraph.
+void check_certificate_matches_oracle(
+    const Graph& g, const std::vector<std::uint8_t>& survived,
+    const std::vector<NodeId>& sources, const core::DistEntryFn& entry) {
+  const Graph sub = surviving_subgraph(g, survived);
+  const auto report = core::certify_rows(g, survived, sources, entry);
+  for (std::size_t k = 0; k < sources.size(); ++k) {
+    const NodeId s = sources[k];
+    const auto oracle = seq::bfs(sub, s);
+    bool exact = true;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (survived[v] == 0) continue;
+      // A dead source is outside the surviving subgraph: the only certified
+      // statement about it is "unreachable".
+      const std::uint32_t want =
+          (survived[s] == 0 && v != s) ? kInfDist : oracle.dist[v];
+      if (entry(v, s) != want) {
+        exact = false;
+        break;
+      }
+    }
+    EXPECT_EQ(report.certified[k] != 0, exact)
+        << g.summary() << " row " << s << ": certificate and oracle disagree";
+  }
+}
+
+TEST(CrashSurvival, WrappedPebbleApspTerminatesDegraded) {
+  for (const Graph& g : test_families()) {
+    const NodeId n = g.num_nodes();
+
+    // Calibrate the crash round off the fault-free wrapped run.
+    core::ApspOptions base;
+    base.engine.max_rounds = 500000;
+    apply_reliable(base.engine);
+    const auto clean = core::run_pebble_apsp(g, base);
+    ASSERT_EQ(clean.status, RunStatus::kCompleted) << g.summary();
+    ASSERT_TRUE(clean.aggregates_valid);
+    const std::uint64_t mid = clean.stats.rounds / 2;
+
+    const std::vector<std::vector<NodeCrash>> scenarios = {
+        {{0, mid}},      // the leader (pebble owner / aggregation root)
+        {{n / 2, mid}},  // an interior node
+        {{n - 1, mid}, {n / 2, mid + 3}, {1, mid + 7}},  // three crashes
+    };
+    for (const auto& crashes : scenarios) {
+      core::ApspOptions opt;
+      opt.engine.max_rounds = 500000;
+      opt.engine.faults = FaultPlan{};
+      opt.engine.faults->crashes = crashes;
+      apply_reliable(opt.engine);
+      const auto r = core::run_pebble_apsp(g, opt);
+
+      // Survivors terminate before the round cap, degraded, with honest
+      // accounting — never a silent stall.
+      EXPECT_EQ(r.status, RunStatus::kDegraded) << g.summary();
+      EXPECT_GT(r.stats.nodes_crashed, 0u);
+      EXPECT_GT(r.stats.neighbors_suspected, 0u) << g.summary();
+      EXPECT_FALSE(r.aggregates_valid);
+      EXPECT_FALSE(r.degraded_nodes.empty()) << g.summary();
+      for (const NodeCrash& c : crashes) EXPECT_EQ(r.survived[c.v], 0u);
+
+      // Coverage accounting is a faithful recount of the harvested table.
+      std::vector<NodeId> sources(n);
+      for (NodeId s = 0; s < n; ++s) sources[s] = s;
+      const auto recount = core::classify_coverage(
+          r.survived, sources,
+          [&](NodeId v, NodeId s) { return r.dist.at(v, s); });
+      EXPECT_EQ(recount, r.coverage) << g.summary();
+
+      // The certificate agrees with the sequential oracle row by row.
+      check_certificate_matches_oracle(
+          g, r.survived, sources,
+          [&](NodeId v, NodeId s) { return r.dist.at(v, s); });
+    }
+  }
+}
+
+TEST(CrashSurvival, WrappedSspSurvivesCrashedSource) {
+  for (const Graph& g : test_families()) {
+    const NodeId n = g.num_nodes();
+    const std::vector<NodeId> sources = {0, n / 2, n - 1};
+
+    core::SspOptions base;
+    base.engine.max_rounds = 500000;
+    apply_reliable(base.engine);
+    const auto clean = core::run_ssp(g, sources, base);
+    ASSERT_EQ(clean.status, RunStatus::kCompleted) << g.summary();
+    const std::uint64_t mid = clean.stats.rounds / 2;
+
+    // Crash one of the BFS sources mid-run.
+    core::SspOptions opt;
+    opt.engine.max_rounds = 500000;
+    opt.engine.faults = FaultPlan{};
+    opt.engine.faults->crashes.push_back({n / 2, mid});
+    apply_reliable(opt.engine);
+    const auto r = core::run_ssp(g, sources, opt);
+
+    EXPECT_EQ(r.status, RunStatus::kDegraded) << g.summary();
+    EXPECT_EQ(r.survived[n / 2], 0u);
+    ASSERT_EQ(r.coverage.size(), r.sources.size());
+
+    const auto recount = core::classify_coverage(
+        r.survived, r.sources,
+        [&](NodeId v, NodeId s) { return r.delta[v][s]; });
+    EXPECT_EQ(recount, r.coverage) << g.summary();
+
+    check_certificate_matches_oracle(
+        g, r.survived, r.sources,
+        [&](NodeId v, NodeId s) { return r.delta[v][s]; });
+  }
+}
+
+TEST(CrashSurvival, DelayOnlyWrappedPebbleStaysExact) {
+  // The other half of the acceptance criterion: a plan that only delays
+  // (no loss, no crashes) must complete oracle-exact with zero verdicts.
+  const Graph g = gen::grid(3, 4);
+  core::ApspOptions opt;
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.delay_prob = 0.4;
+  plan.max_extra_delay = 16;
+  opt.engine.faults = plan;
+  opt.engine.max_rounds = 500000;
+  apply_reliable(opt.engine);
+  const auto r = core::run_pebble_apsp(g, opt);
+  EXPECT_EQ(r.status, RunStatus::kCompleted);
+  EXPECT_EQ(r.stats.neighbors_suspected, 0u);
+  EXPECT_TRUE(r.degraded_nodes.empty());
+  EXPECT_TRUE(r.dist == seq::apsp(g));
+  for (const core::RowCoverage c : r.coverage) {
+    EXPECT_EQ(c, core::RowCoverage::kComplete);
+  }
 }
 
 TEST(Reliable, HarvestSeesThroughWrapper) {
