@@ -1,7 +1,23 @@
 // Wall-clock performance of the CONGEST engine itself (google-benchmark):
 // simulation throughput is what bounds the instance sizes every other bench
 // can afford. Not a paper experiment — an engineering gauge.
+//
+// Two parts:
+//   * google-benchmark timings of the core drivers, with a thread-count
+//     dimension over the sharded engine (DESIGN.md §11);
+//   * a thread-scaling study run after the benchmarks: pebble-APSP and the
+//     raw engine at 1/2/4/8 workers, asserting the determinism contract
+//     (byte-identical RunStats at every thread count) while measuring
+//     speedup. Results land in BENCH_engine.json in the working directory,
+//     together with the host's hardware thread count — speedup numbers are
+//     only meaningful relative to it.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "core/pebble_apsp.h"
 #include "core/ssp.h"
@@ -22,28 +38,134 @@ void BM_TreeBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_TreeBuild)->Arg(256)->Arg(1024)->Arg(4096);
 
+// range(0) = n, range(1) = EngineConfig::threads.
 void BM_PebbleApsp(benchmark::State& state) {
   const auto n = static_cast<NodeId>(state.range(0));
   const Graph g = gen::random_connected(n, 2 * n, 42);
+  core::ApspOptions opt;
+  opt.engine.threads = static_cast<std::uint32_t>(state.range(1));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::run_pebble_apsp(g));
+    benchmark::DoNotOptimize(core::run_pebble_apsp(g, opt));
   }
   state.SetItemsProcessed(state.iterations() * n * n);  // distances computed
 }
-BENCHMARK(BM_PebbleApsp)->Arg(128)->Arg(256)->Arg(512);
+BENCHMARK(BM_PebbleApsp)
+    ->Args({128, 1})
+    ->Args({256, 1})
+    ->Args({512, 1})
+    ->Args({256, 2})
+    ->Args({256, 8})
+    ->Args({512, 8});
 
 void BM_Ssp16(benchmark::State& state) {
   const auto n = static_cast<NodeId>(state.range(0));
   const Graph g = gen::random_connected(n, 2 * n, 42);
   std::vector<NodeId> sources;
   for (NodeId v = 0; v < 16; ++v) sources.push_back(v * (n / 16));
+  core::SspOptions opt;
+  opt.engine.threads = static_cast<std::uint32_t>(state.range(1));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::run_ssp(g, sources));
+    benchmark::DoNotOptimize(core::run_ssp(g, sources, opt));
   }
   state.SetItemsProcessed(state.iterations() * n * 16);
 }
-BENCHMARK(BM_Ssp16)->Arg(256)->Arg(1024);
+BENCHMARK(BM_Ssp16)->Args({256, 1})->Args({1024, 1})->Args({1024, 8});
+
+// --- Thread-scaling study + BENCH_engine.json ---------------------------
+
+struct ScalingRow {
+  std::string workload;
+  NodeId n = 0;
+  std::uint32_t threads = 0;
+  double seconds = 0.0;
+  double speedup = 1.0;        // serial time / this time
+  bool stats_identical = false;  // RunStats byte-identical to threads=1
+  std::string stats;
+};
+
+double time_apsp(const Graph& g, std::uint32_t threads, std::string* stats) {
+  core::ApspOptions opt;
+  opt.engine.threads = threads;
+  // One warm-up, then the timed run (the engine allocates its buffers once).
+  core::run_pebble_apsp(g, opt);
+  const auto t0 = std::chrono::steady_clock::now();
+  const core::ApspResult r = core::run_pebble_apsp(g, opt);
+  const auto t1 = std::chrono::steady_clock::now();
+  *stats = r.stats.debug_string();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+void scaling_study(std::vector<ScalingRow>& rows) {
+  const std::uint32_t kThreads[] = {1, 2, 4, 8};
+  struct Workload {
+    const char* name;
+    Graph g;
+  };
+  std::vector<Workload> workloads;
+  workloads.push_back({"pebble_apsp_rand512",
+                       gen::random_connected(512, 1024, 42)});
+  workloads.push_back({"pebble_apsp_grid24",
+                       gen::grid(24, 24)});
+
+  for (const Workload& w : workloads) {
+    std::string serial_stats;
+    const double serial = time_apsp(w.g, 1, &serial_stats);
+    for (const std::uint32_t t : kThreads) {
+      std::string stats;
+      const double secs = t == 1 ? serial : time_apsp(w.g, t, &stats);
+      if (t == 1) stats = serial_stats;
+      rows.push_back({w.name, w.g.num_nodes(), t, secs, serial / secs,
+                      stats == serial_stats, stats});
+      std::printf("%-22s n=%4u threads=%u  %8.3f ms  speedup=%.2fx  %s\n",
+                  w.name, w.g.num_nodes(), t, secs * 1e3, serial / secs,
+                  stats == serial_stats ? "stats-identical"
+                                        : "STATS MISMATCH");
+    }
+  }
+}
+
+void write_json(const char* path, const std::vector<ScalingRow>& rows) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::printf("warning: could not open %s for writing\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"hardware_threads\": %u,\n  \"scaling\": [\n",
+               std::thread::hardware_concurrency());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ScalingRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\"workload\": \"%s\", \"n\": %u, \"threads\": %u, "
+                 "\"seconds\": %.6f, \"speedup\": %.3f, "
+                 "\"stats_identical\": %s}%s\n",
+                 r.workload.c_str(), r.n, r.threads, r.seconds, r.speedup,
+                 r.stats_identical ? "true" : "false",
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %zu rows to %s\n", rows.size(), path);
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  std::printf("\nThread scaling (host has %u hardware threads):\n",
+              std::thread::hardware_concurrency());
+  std::vector<ScalingRow> rows;
+  scaling_study(rows);
+  write_json("BENCH_engine.json", rows);
+
+  for (const ScalingRow& r : rows) {
+    if (!r.stats_identical) {
+      std::printf("ERROR: RunStats differ across thread counts\n");
+      return 1;
+    }
+  }
+  return 0;
+}

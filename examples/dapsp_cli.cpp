@@ -49,6 +49,9 @@ struct Args {
   std::uint64_t seed = 1;
   std::vector<NodeId> sources;
   bool exact = false;
+  // Engine worker threads (0 = one per hardware thread). Results are
+  // bit-identical at every value; this only changes wall-clock.
+  std::uint32_t threads = 1;
 };
 
 [[noreturn]] void usage() {
@@ -66,7 +69,9 @@ struct Args {
       "  labels --k <k>           APASP distance labels + spot queries\n"
       "  tree-check               Claim 1\n"
       "  two-vs-four              Algorithm 3 (promise: diameter 2 or 4)\n"
-      "options: --epsilon <e>  --k <k>  --seed <s>  --exact\n");
+      "options: --epsilon <e>  --k <k>  --seed <s>  --exact\n"
+      "         --threads <t>  engine workers (0 = all cores; results are\n"
+      "                        identical at every thread count)\n");
   std::exit(2);
 }
 
@@ -88,6 +93,8 @@ Args parse(int argc, char** argv) {
       a.k = static_cast<std::uint32_t>(std::stoul(next()));
     } else if (arg == "--seed") {
       a.seed = std::stoull(next());
+    } else if (arg == "--threads") {
+      a.threads = static_cast<std::uint32_t>(std::stoul(next()));
     } else if (arg == "--exact") {
       a.exact = true;
     } else if (arg == "--sources") {
@@ -155,8 +162,10 @@ int cmd_gen(const Args& a) {
   return 0;
 }
 
-int cmd_apsp(const Graph& g) {
-  const core::ApspResult r = core::run_pebble_apsp(g);
+int cmd_apsp(const Args& a, const Graph& g) {
+  core::ApspOptions opt;
+  opt.engine.threads = a.threads;
+  const core::ApspResult r = core::run_pebble_apsp(g, opt);
   std::printf("diameter=%u radius=%u girth=", r.diameter, r.radius);
   if (r.girth == seq::kInfGirth) {
     std::printf("inf");
@@ -248,7 +257,9 @@ int cmd_girth(const Args& a, const Graph& g) {
 
 int cmd_ssp(const Args& a, const Graph& g) {
   if (a.sources.empty()) usage();
-  const auto r = core::run_ssp(g, a.sources);
+  core::SspOptions opt;
+  opt.engine.threads = a.threads;
+  const auto r = core::run_ssp(g, a.sources, opt);
   for (const NodeId s : r.sources) {
     std::printf("distances to %u:", s);
     for (NodeId v = 0; v < g.num_nodes(); ++v) {
@@ -311,7 +322,7 @@ int main(int argc, char** argv) {
     if (a.command == "gen") return cmd_gen(a);
     const Graph g = load_graph(a);
     std::fprintf(stderr, "loaded %s\n", g.summary().c_str());
-    if (a.command == "apsp") return cmd_apsp(g);
+    if (a.command == "apsp") return cmd_apsp(a, g);
     if (a.command == "diameter" || a.command == "radius") return cmd_scalar(a, g);
     if (a.command == "center" || a.command == "peripheral") return cmd_set(a, g);
     if (a.command == "ecc") return cmd_ecc(a, g);

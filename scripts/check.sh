@@ -1,6 +1,10 @@
 #!/usr/bin/env bash
 # Full local check: build + test in the default (RelWithDebInfo) config and
-# under ASan+UBSan. Usage: scripts/check.sh [extra ctest args...]
+# under ASan+UBSan.
+#
+# Usage: scripts/check.sh [--tsan] [extra ctest args...]
+#   --tsan  run only the ThreadSanitizer configuration (the concurrency
+#           surface: engine, faults, determinism) instead of the full matrix.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -8,13 +12,22 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 
 run_config() {
   local dir="$1" type="$2"
+  shift 2
   echo "== ${type} (${dir}) =="
   cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE="${type}" >/dev/null
   cmake --build "${dir}" -j "${JOBS}"
   ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" "$@"
 }
 
-run_config build RelWithDebInfo "${@:1}"
-run_config build-asan Asan "${@:1}"
+if [[ "${1:-}" == "--tsan" ]]; then
+  shift
+  # The tests that exercise the worker pool and the sharded phases.
+  run_config build-tsan Tsan -R 'test_engine|test_faults|test_determinism' "$@"
+  echo "TSan checks passed."
+  exit 0
+fi
 
-echo "All checks passed."
+run_config build RelWithDebInfo "$@"
+run_config build-asan Asan "$@"
+
+echo "All checks passed. (Run scripts/check.sh --tsan for the TSan config.)"

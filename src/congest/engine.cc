@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <ostream>
 #include <sstream>
+#include <thread>
 
 #include "util/bits.h"
+#include "util/parallel.h"
 
 namespace dapsp::congest {
 
@@ -64,10 +66,14 @@ void RoundCtx::send_all(const Message& m) {
 }
 
 // The engine-backed round context: the real graph, the real round number,
-// the engine's inboxes and bandwidth-accounted sends.
+// the engine's frozen inboxes and buffered sends. One Ctx lives on a worker
+// stack per node per round; everything it touches is either read-only during
+// the round (graph, round number, the previous round's inboxes) or owned by
+// the node/shard (outbox, shard accumulator), so contexts never race.
 class Engine::Ctx final : public RoundCtx {
  public:
-  Ctx(Engine& engine, NodeId id) noexcept : RoundCtx(id), engine_(engine) {}
+  Ctx(Engine& engine, NodeId id, ShardAccum& acc) noexcept
+      : RoundCtx(id), engine_(engine), acc_(acc) {}
 
   NodeId n() const noexcept override { return engine_.graph().num_nodes(); }
   std::uint64_t round() const noexcept override {
@@ -83,14 +89,15 @@ class Engine::Ctx final : public RoundCtx {
     return engine_.inboxes_[id_];
   }
   void send(std::uint32_t index, const Message& m) override {
-    engine_.queue_message(id_, index, m);
+    engine_.buffer_send(id_, index, m);
   }
   void note_neighbor_suspected() override {
-    ++engine_.stats_.neighbors_suspected;
+    ++acc_.stats.neighbors_suspected;
   }
 
  private:
   Engine& engine_;
+  ShardAccum& acc_;
 };
 
 Engine::Engine(const Graph& g, EngineConfig config)
@@ -133,7 +140,21 @@ Engine::Engine(const Graph& g, EngineConfig config)
     delay_ring_.resize(std::size_t{faults_->max_extra_delay()} + 2);
   }
   crashed_.assign(n, 0);
+
+  threads_ = config_.threads != 0
+                 ? config_.threads
+                 : std::max(1u, std::thread::hardware_concurrency());
+  outboxes_.resize(n);
+  deliveries_.resize(n);
+  const std::uint32_t shards =
+      static_cast<std::uint32_t>(std::min<std::uint64_t>(threads_, n));
+  // One accumulator per shard plus a dedicated slot for the serial
+  // accounting pass used when a send observer demands global send order.
+  accum_.resize(std::size_t{shards} + 1);
+  if (shards > 1) pool_ = std::make_unique<WorkerPool>(shards - 1);
 }
+
+Engine::~Engine() = default;
 
 void Engine::init(
     const std::function<std::unique_ptr<Process>(NodeId)>& factory) {
@@ -151,7 +172,8 @@ void Engine::init(
   pending_messages_ = 0;
   for (auto& box : inboxes_) box.clear();
   for (auto& box : next_inboxes_) box.clear();
-  if (faults_) faults_->reset();
+  for (auto& box : outboxes_) box.clear();
+  for (auto& box : deliveries_) box.clear();
   crashed_.assign(n, 0);
   for (auto& slot : delay_ring_) slot.clear();
   delayed_pending_ = 0;
@@ -159,95 +181,194 @@ void Engine::init(
   apply_crashes();
 }
 
-void Engine::deliver(NodeId to, const Received& r, std::uint32_t extra_delay) {
-  if (extra_delay == 0) {
-    next_inboxes_[to].push_back(r);
-    ++pending_messages_;
-    return;
-  }
-  ++stats_.messages_delayed;
-  const std::uint64_t due = round_ + 1 + extra_delay;
-  delay_ring_[due % delay_ring_.size()].push_back({to, r});
-  ++delayed_pending_;
-}
-
-void Engine::queue_message(NodeId from, std::uint32_t neighbor_index,
-                           const Message& m) {
-  const auto nbrs = graph_->neighbors(from);
-  if (neighbor_index >= nbrs.size()) {
+void Engine::buffer_send(NodeId from, std::uint32_t neighbor_index,
+                         const Message& m) {
+  if (neighbor_index >= graph_->degree(from)) {
     throw std::out_of_range("send: bad neighbor index");
   }
-  const NodeId to = nbrs[neighbor_index];
+  outboxes_[from].push_back(PendingSend{neighbor_index, m});
+}
 
-  // Payload honesty: every field must fit the declared field width. This is
-  // what makes the B = O(log n) accounting meaningful.
-  for (int i = 0; i < m.num_fields; ++i) {
-    if (std::uint64_t{m.f[static_cast<std::size_t>(i)]} >>
-        value_bits_) {
-      throw CongestionError("message field exceeds value width: " +
-                            m.debug_string());
+void Engine::run_node(NodeId v, ShardAccum& acc, bool account_inline) {
+  outboxes_[v].clear();
+  deliveries_[v].clear();
+  if (crashed_[v] != 0) return;  // crash-stop: no execution, no sends
+  Ctx ctx(*this, v, acc);
+  try {
+    processes_[v]->on_round(ctx);
+  } catch (...) {
+    // Capture instead of unwinding through the worker pool. Every node still
+    // runs its round — which errors occur must not depend on the shard
+    // partition — and the smallest-node error is rethrown after the merge.
+    if (!acc.failed) {
+      acc.failed = true;
+      acc.failed_node = v;
+      acc.error = std::current_exception();
     }
   }
+  // Sends buffered before a mid-round failure are still accounted and
+  // delivered, mirroring the serial engine (they were already on the wire).
+  if (account_inline) account_node(v, acc);
+}
 
-  const std::size_t edge = edge_offsets_[from] + neighbor_index;
-  if (edge_stamp_[edge] != round_) {
-    edge_stamp_[edge] = round_;
-    edge_bits_[edge] = 0;
-    edge_msgs_[edge] = 0;
+void Engine::account_node(NodeId v, ShardAccum& acc) {
+  const auto& outbox = outboxes_[v];
+  if (outbox.empty()) return;
+  // An accounting violation reported by node v supersedes a phase-A failure
+  // of the same node (the serial engine surfaced the send-time error first)
+  // but never an earlier node's failure.
+  const auto fail = [&](std::string text) {
+    if (acc.failed && acc.failed_node != v) return;
+    acc.failed = true;
+    acc.failed_node = v;
+    acc.error = std::make_exception_ptr(CongestionError(std::move(text)));
+  };
+  const auto nbrs = graph_->neighbors(v);
+  // The node's private fault-decision stream for this round: keyed by
+  // (plan seed, v, round), so draws need no cross-shard coordination.
+  Rng stream = faults_ ? faults_->stream(v, round_) : Rng(0);
+  for (const PendingSend& ps : outbox) {
+    const Message& m = ps.msg;
+    // Payload honesty: every field must fit the declared field width. This
+    // is what makes the B = O(log n) accounting meaningful.
+    for (int i = 0; i < m.num_fields; ++i) {
+      if (std::uint64_t{m.f[static_cast<std::size_t>(i)]} >> value_bits_) {
+        fail("message field exceeds value width: " + m.debug_string());
+        return;
+      }
+    }
+    const NodeId to = nbrs[ps.neighbor_index];
+    // Directed-edge and per-node load counters are owned by the sender, so
+    // shards write disjoint slots.
+    const std::size_t edge = edge_offsets_[v] + ps.neighbor_index;
+    if (edge_stamp_[edge] != round_) {
+      edge_stamp_[edge] = round_;
+      edge_bits_[edge] = 0;
+      edge_msgs_[edge] = 0;
+    }
+    const std::uint32_t cost = m.bit_cost(value_bits_);
+    edge_bits_[edge] += cost;
+    edge_msgs_[edge] += 1;
+    if (config_.enforce_bandwidth && edge_bits_[edge] > bandwidth_bits_) {
+      fail("bandwidth exceeded on edge " + std::to_string(v) + "->" +
+           std::to_string(to) + " in round " + std::to_string(round_) + ": " +
+           std::to_string(edge_bits_[edge]) + " > B=" +
+           std::to_string(bandwidth_bits_) + " bits (last: " +
+           m.debug_string() + ")");
+      return;
+    }
+    acc.stats.max_edge_bits = std::max(acc.stats.max_edge_bits,
+                                       edge_bits_[edge]);
+    acc.stats.max_edge_messages =
+        std::max(acc.stats.max_edge_messages, edge_msgs_[edge]);
+    if (node_stamp_[v] != round_) {
+      node_stamp_[v] = round_;
+      node_bits_[v] = 0;
+    }
+    node_bits_[v] += cost;
+    acc.stats.max_node_bits = std::max(acc.stats.max_node_bits, node_bits_[v]);
+    acc.stats.messages += 1;
+    acc.stats.total_bits += cost;
+    if (config_.send_observer) {
+      config_.send_observer(SendEvent{v, to, round_, m});
+    }
+    if (config_.record_activity) ++acc.activity;
+
+    // Index of `v` in `to`'s adjacency list.
+    const auto back = graph_->neighbor_index(to, v);
+    const Received rec{*back, m};
+
+    if (faults_) {
+      // The message was sent (and charged) — now the wire decides its fate.
+      if (faults_->link_down(edge, round_)) {
+        ++acc.stats.messages_dropped;
+        continue;
+      }
+      const FaultDecision d = faults_->decide(stream, edge);
+      if (d.dropped) {
+        ++acc.stats.messages_dropped;
+        continue;
+      }
+      if (d.copies > 1) ++acc.stats.messages_duplicated;
+      for (std::uint32_t c = 0; c < d.copies; ++c) {
+        if (d.extra_delay[c] != 0) ++acc.stats.messages_delayed;
+        deliveries_[v].push_back(ResolvedDelivery{to, rec, d.extra_delay[c]});
+      }
+      continue;
+    }
+    deliveries_[v].push_back(ResolvedDelivery{to, rec, 0});
   }
-  const std::uint32_t cost = m.bit_cost(value_bits_);
-  edge_bits_[edge] += cost;
-  edge_msgs_[edge] += 1;
-  if (config_.enforce_bandwidth && edge_bits_[edge] > bandwidth_bits_) {
-    throw CongestionError(
-        "bandwidth exceeded on edge " + std::to_string(from) + "->" +
-        std::to_string(to) + " in round " + std::to_string(round_) + ": " +
-        std::to_string(edge_bits_[edge]) + " > B=" +
-        std::to_string(bandwidth_bits_) + " bits (last: " + m.debug_string() +
-        ")");
+}
+
+void Engine::run_phases() {
+  const NodeId n = graph_->num_nodes();
+  const std::uint32_t shards =
+      static_cast<std::uint32_t>(std::min<std::uint64_t>(threads_, n));
+  // A send observer must see events in the serial engine's global send order
+  // (sender-major), so accounting then runs as its own serial pass.
+  const bool inline_accounting = !config_.send_observer;
+  for (ShardAccum& acc : accum_) acc.reset();
+
+  const auto shard_body = [&](unsigned s) {
+    const NodeId lo = static_cast<NodeId>(std::uint64_t{n} * s / shards);
+    const NodeId hi = static_cast<NodeId>(std::uint64_t{n} * (s + 1) / shards);
+    ShardAccum& acc = accum_[s];
+    for (NodeId v = lo; v < hi; ++v) run_node(v, acc, inline_accounting);
+  };
+  if (pool_) {
+    pool_->run(shards, shard_body);
+  } else {
+    shard_body(0);
   }
-  stats_.max_edge_bits = std::max(stats_.max_edge_bits, edge_bits_[edge]);
-  stats_.max_edge_messages = std::max(stats_.max_edge_messages, edge_msgs_[edge]);
-  if (node_stamp_[from] != round_) {
-    node_stamp_[from] = round_;
-    node_bits_[from] = 0;
+
+  ShardAccum& serial_acc = accum_.back();
+  if (!inline_accounting) {
+    for (NodeId v = 0; v < n; ++v) account_node(v, serial_acc);
   }
-  node_bits_[from] += cost;
-  stats_.max_node_bits = std::max(stats_.max_node_bits, node_bits_[from]);
-  stats_.messages += 1;
-  stats_.total_bits += cost;
-  if (config_.send_observer) {
-    config_.send_observer(SendEvent{from, to, round_, m});
+
+  // Merge in fixed shard order. Counters add and loads take maxima, so the
+  // merged RunStats is independent of the shard partition — the determinism
+  // contract across thread counts.
+  std::uint64_t activity = 0;
+  for (const ShardAccum& acc : accum_) {
+    accumulate(stats_, acc.stats);
+    activity += acc.activity;
   }
-  if (config_.record_activity) {
+  if (config_.record_activity && activity > 0) {
     if (activity_.size() <= round_) activity_.resize(round_ + 1, 0);
-    ++activity_[round_];
+    activity_[round_] = activity;
   }
 
-  // Index of `from` in `to`'s adjacency list.
-  const auto back = graph_->neighbor_index(to, from);
-  const Received rec{*back, m};
-
-  if (faults_) {
-    // The message was sent (and charged) — now the wire decides its fate.
-    if (faults_->link_down(edge, round_)) {
-      ++stats_.messages_dropped;
-      return;
+  // Rethrow the failure of the smallest node (shard ranges ascend, but scan
+  // everything: the serial-accounting slot is ordered last while its nodes
+  // are not). On a tie the accounting error wins (see fail() above).
+  const ShardAccum* worst = nullptr;
+  for (const ShardAccum& acc : accum_) {
+    if (!acc.failed) continue;
+    if (worst == nullptr || acc.failed_node < worst->failed_node ||
+        (&acc == &serial_acc && acc.failed_node == worst->failed_node)) {
+      worst = &acc;
     }
-    const FaultDecision d = faults_->decide(edge);
-    if (d.dropped) {
-      ++stats_.messages_dropped;
-      return;
-    }
-    if (d.copies > 1) ++stats_.messages_duplicated;
-    for (std::uint32_t c = 0; c < d.copies; ++c) {
-      deliver(to, rec, d.extra_delay[c]);
-    }
-    return;
   }
+  if (worst != nullptr) std::rethrow_exception(worst->error);
+}
 
-  next_inboxes_[to].push_back(rec);
-  ++pending_messages_;
+void Engine::deliver_round() {
+  // Ascending sender order: each receiver's next inbox is filled by sender
+  // id, then send order — exactly the serial engine's delivery order.
+  const NodeId n = graph_->num_nodes();
+  for (NodeId v = 0; v < n; ++v) {
+    for (const ResolvedDelivery& d : deliveries_[v]) {
+      if (d.extra_delay == 0) {
+        next_inboxes_[d.to].push_back(d.rec);
+        ++pending_messages_;
+      } else {
+        const std::uint64_t due = round_ + 1 + d.extra_delay;
+        delay_ring_[due % delay_ring_.size()].push_back({d.to, d.rec});
+        ++delayed_pending_;
+      }
+    }
+  }
 }
 
 void Engine::apply_crashes() {
@@ -274,11 +395,8 @@ void Engine::step() {
                           " rounds); protocol livelock?");
   }
   const NodeId n = graph_->num_nodes();
-  for (NodeId v = 0; v < n; ++v) {
-    if (crashed_[v] != 0) continue;  // crash-stop: no execution, no sends
-    Ctx ctx(*this, v);
-    processes_[v]->on_round(ctx);
-  }
+  run_phases();
+  deliver_round();
   // Deliver: what was queued this round becomes next round's inboxes.
   for (NodeId v = 0; v < n; ++v) {
     inboxes_[v].swap(next_inboxes_[v]);

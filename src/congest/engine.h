@@ -23,6 +23,14 @@
 // run_bounded(), which reports an Outcome with partial stats instead of
 // throwing. The reliable-delivery adapter (congest/reliable.h) restores the
 // synchronous abstraction for unmodified protocols on top of lossy links.
+//
+// Execution is sharded (DESIGN.md §11): within a round every node reads only
+// the previous round's frozen inboxes, so EngineConfig::threads > 1 runs the
+// node loop on a worker pool — per-node sends are buffered, bandwidth and
+// fault accounting stay sender-owned, and per-shard counters are merged in
+// fixed node order, making every observable output (rounds, messages, bits,
+// per-edge loads, congestion errors, fault decisions, RunStats) bit-identical
+// at every thread count, including 1.
 #pragma once
 
 #include <cstdint>
@@ -37,6 +45,10 @@
 #include "congest/faults.h"
 #include "congest/message.h"
 #include "graph/graph.h"
+
+namespace dapsp {
+class WorkerPool;
+}
 
 namespace dapsp::congest {
 
@@ -132,6 +144,16 @@ struct EngineConfig {
   // e.g. to plot a protocol's phase structure.
   bool record_activity = false;
 
+  // Workers for the per-round node loop. 1 (default) steps nodes on the
+  // calling thread; k > 1 shards the nodes across k workers (the caller plus
+  // k-1 pool threads); 0 = one worker per hardware thread. The CONGEST model
+  // is embarrassingly parallel within a round — every node reads only the
+  // previous round's frozen inboxes — and the engine merges per-shard
+  // accounting in fixed node order, so rounds, messages, bits, per-edge
+  // loads, congestion checks and fault decisions are bit-identical at every
+  // thread count (the determinism contract; DESIGN.md §11).
+  std::uint32_t threads = 1;
+
   // Optional transport faults, injected deterministically from the plan's
   // seed (see congest/faults.h). Absent = the idealized model. A trivial
   // (all-default) plan leaves delivery — and round counts — bit-identical
@@ -226,6 +248,7 @@ class Engine {
   // The graph must outlive the engine. Throws std::invalid_argument on an
   // empty graph, a zero bandwidth budget, or an invalid fault plan.
   Engine(const Graph& g, EngineConfig config = {});
+  ~Engine();
 
   // Installs processes: factory(v) creates node v's process (wrapped by
   // config.process_wrapper when set). Resets round/stat/fault state.
@@ -235,6 +258,8 @@ class Engine {
   std::uint32_t value_bits() const noexcept { return value_bits_; }
   std::uint32_t bandwidth_bits() const noexcept { return bandwidth_bits_; }
   std::uint64_t current_round() const noexcept { return round_; }
+  // Resolved worker count (config.threads with 0 expanded to the hardware).
+  std::uint32_t threads() const noexcept { return threads_; }
 
   // Runs rounds until quiescence (all processes done, no messages pending).
   // Throws RoundLimitError if the configured round limit is exceeded and
@@ -275,10 +300,52 @@ class Engine {
  private:
   class Ctx;  // the engine-backed RoundCtx implementation
 
+  // One send buffered during the parallel node phase, in per-sender order.
+  struct PendingSend {
+    std::uint32_t neighbor_index;
+    Message msg;
+  };
+  // A send after bandwidth accounting and fault resolution: one delivered
+  // copy with its receiver-side view and any extra delay.
+  struct ResolvedDelivery {
+    NodeId to;
+    Received rec;
+    std::uint32_t extra_delay;
+  };
+  // Per-shard round accumulator. Shards own disjoint contiguous node ranges;
+  // counters and maxima are merged into stats_ in fixed shard order after the
+  // parallel phase (sums and maxima make the merge order immaterial — the
+  // basis of the thread-count determinism contract).
+  struct ShardAccum {
+    RunStats stats;             // deltas only: counters and per-round maxima
+    std::uint64_t activity = 0;  // sends this round (record_activity)
+    // First failure in this shard's node range (nodes are processed in
+    // ascending order, so this is the smallest failing node of the shard).
+    bool failed = false;
+    NodeId failed_node = 0;
+    std::exception_ptr error;
+    void reset() {
+      stats = RunStats{};
+      activity = 0;
+      failed = false;
+      failed_node = 0;
+      error = nullptr;
+    }
+  };
+
   void step();  // executes one round
-  void queue_message(NodeId from, std::uint32_t neighbor_index,
-                     const Message& m);
-  void deliver(NodeId to, const Received& r, std::uint32_t extra_delay);
+  // Phase A: one node's on_round() against the frozen inboxes; sends are
+  // buffered into outboxes_[v]. Exceptions are captured into `acc`.
+  void run_node(NodeId v, ShardAccum& acc, bool account_inline);
+  // Phase B: bandwidth accounting + fault resolution for outboxes_[v]. Only
+  // sender-owned state (edge/node counters of v's directed edges, v's
+  // delivery list, the shard accumulator) is written, so shards never race.
+  void account_node(NodeId v, ShardAccum& acc);
+  void buffer_send(NodeId from, std::uint32_t neighbor_index, const Message& m);
+  // Phase C (serial): move resolved deliveries into next round's inboxes in
+  // ascending sender order — the serial engine's delivery order.
+  void deliver_round();
+  void run_phases();  // A+B across shards, merge, error propagation
   void apply_crashes();
   bool quiescent() const;
 
@@ -287,6 +354,7 @@ class Engine {
   std::uint32_t value_bits_ = 0;
   std::uint32_t bandwidth_bits_ = 0;
   std::uint64_t max_rounds_ = 0;
+  std::uint32_t threads_ = 1;  // resolved worker count (>= 1)
 
   std::vector<std::unique_ptr<Process>> processes_;
 
@@ -295,6 +363,13 @@ class Engine {
   std::vector<std::vector<Received>> inboxes_;
   std::vector<std::vector<Received>> next_inboxes_;
   std::uint64_t pending_messages_ = 0;  // messages in next_inboxes_
+
+  // Double buffers of the sharded round: per-sender buffered sends and
+  // resolved deliveries (capacity reused across rounds).
+  std::vector<std::vector<PendingSend>> outboxes_;
+  std::vector<std::vector<ResolvedDelivery>> deliveries_;
+  std::vector<ShardAccum> accum_;
+  std::unique_ptr<WorkerPool> pool_;  // engaged when threads_ > 1
 
   // Per directed edge: bits sent this round (lazy-reset via round stamps).
   // Directed edge index = graph offsets[u] + neighbor_index.

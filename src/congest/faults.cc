@@ -19,7 +19,7 @@ void check_prob(double p, const char* what) {
 }  // namespace
 
 FaultInjector::FaultInjector(const Graph& g, const FaultPlan& plan)
-    : plan_(plan), rng_(plan.seed) {
+    : plan_(plan) {
   check_prob(plan.drop_prob, "drop_prob");
   check_prob(plan.duplicate_prob, "duplicate_prob");
   check_prob(plan.delay_prob, "delay_prob");
@@ -95,20 +95,43 @@ FaultInjector::FaultInjector(const Graph& g, const FaultPlan& plan)
   }
 }
 
-FaultDecision FaultInjector::decide(std::size_t directed_edge) {
+namespace {
+
+// SplitMix64 finalizer: a full-avalanche 64-bit mix, used to fold the
+// (node, round) key into the plan seed so that adjacent keys yield
+// statistically independent streams.
+std::uint64_t mix64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng FaultInjector::stream(NodeId node, std::uint64_t round) const noexcept {
+  // Two finalization rounds with distinct odd multipliers per key component:
+  // streams for neighboring (node, round) pairs share no affine structure.
+  std::uint64_t z = plan_.seed;
+  z = mix64(z ^ (0x9e3779b97f4a7c15ULL * (std::uint64_t{node} + 1)));
+  z = mix64(z ^ (0xd1342543de82ef95ULL * (round + 1)));
+  return Rng(z);
+}
+
+FaultDecision FaultInjector::decide(Rng& stream,
+                                    std::size_t directed_edge) const {
   FaultDecision d;
   // Fixed draw order (drop, duplicate, per-copy delay) keeps runs
   // reproducible: Rng::chance(0) returns without consuming state, so a plan
   // field left at zero influences neither the outcome nor the stream.
-  if (rng_.chance(drop_prob_[directed_edge])) {
+  if (stream.chance(drop_prob_[directed_edge])) {
     d.dropped = true;
     return d;
   }
-  if (rng_.chance(plan_.duplicate_prob)) d.copies = 2;
+  if (stream.chance(plan_.duplicate_prob)) d.copies = 2;
   for (std::uint32_t c = 0; c < d.copies; ++c) {
-    if (rng_.chance(plan_.delay_prob)) {
+    if (stream.chance(plan_.delay_prob)) {
       d.extra_delay[c] =
-          static_cast<std::uint32_t>(rng_.between(1, plan_.max_extra_delay));
+          static_cast<std::uint32_t>(stream.between(1, plan_.max_extra_delay));
     }
   }
   return d;

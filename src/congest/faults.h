@@ -5,9 +5,15 @@
 // message drops, duplication, bounded extra delivery delay, scheduled link
 // failures and crash-stop node failures — while keeping every run exactly
 // reproducible: all randomness flows from the plan's seed through the
-// library's SplitMix64 generator (util/rng.h), and decisions are drawn in
-// the engine's deterministic send order. Running the same plan twice yields
-// bit-identical traces and RunStats (including the fault counters).
+// library's SplitMix64 generator (util/rng.h). Decisions for the messages
+// one node sends in one round are drawn, in send order, from an independent
+// stream keyed by (seed, node, round) — the fate of a message depends only
+// on who sent it, when, and how many sends preceded it from that node in
+// that round, never on what other nodes did. This is what makes the sharded
+// engine (DESIGN.md §11) bit-identical to the serial one: senders' streams
+// can be drawn concurrently without any shared RNG state. Running the same
+// plan twice (at any thread count) yields bit-identical traces and RunStats
+// (including the fault counters).
 //
 // Faults model the *network*, not the algorithm: a dropped message was sent
 // (it is charged bandwidth and counted in RunStats::messages) but never
@@ -90,17 +96,16 @@ struct FaultDecision {
 };
 
 // Compiled form of a FaultPlan against a concrete graph: per-directed-edge
-// probabilities and failure rounds, per-node crash rounds, and the run's
-// fault RNG. Owned by the Engine; reset() at every init() so repeated runs
-// of one engine are identical.
+// probabilities and failure rounds, per-node crash rounds. Immutable after
+// construction (all mutable randomness lives in caller-held per-(node, round)
+// streams), so one injector can serve concurrent shards of the parallel
+// engine without locks, and repeated runs of one engine are identical with
+// no reset step.
 class FaultInjector {
  public:
   // Validates the plan against the graph; throws std::invalid_argument on
   // out-of-range probabilities/delays, unknown edges or nodes.
   FaultInjector(const Graph& g, const FaultPlan& plan);
-
-  // Restores the RNG to the plan's seed (start of a run).
-  void reset() noexcept { rng_ = Rng(plan_.seed); }
 
   const FaultPlan& plan() const noexcept { return plan_; }
 
@@ -123,13 +128,20 @@ class FaultInjector {
     return round >= link_down_round_[directed_edge];
   }
 
-  // Draws this message's fate. Consumes RNG state; call exactly once per
-  // sent message, in send order, for reproducibility.
-  FaultDecision decide(std::size_t directed_edge);
+  // The decision stream for the messages `node` sends in `round`: an
+  // independent SplitMix64 generator seeded by a finalized mix of
+  // (plan seed, node, round). The caller draws one decide() per send, in
+  // send order; streams of distinct (node, round) pairs never interact, so
+  // shards may hold them concurrently.
+  Rng stream(NodeId node, std::uint64_t round) const noexcept;
+
+  // Draws the fate of one message sent over `directed_edge` from the
+  // sender's stream. Call exactly once per sent message, in send order
+  // within the (node, round) stream, for reproducibility.
+  FaultDecision decide(Rng& stream, std::size_t directed_edge) const;
 
  private:
   FaultPlan plan_;
-  Rng rng_;
   std::vector<double> drop_prob_;            // per directed edge
   std::vector<std::uint64_t> link_down_round_;  // per directed edge
   std::vector<std::uint64_t> crash_round_;      // per node

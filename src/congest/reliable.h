@@ -65,6 +65,13 @@
 //   * with the detector disabled (suspect_after = 0), crash-stop and
 //     permanent link failures stall the synchronizer, which
 //     Engine::run_bounded() reports as kRoundLimit.
+//
+// Threading: the adapter keeps all of its state (ARQ windows, reassembly
+// buffers, virtual-round queues, detector timers) inside the per-node
+// instance and touches nothing shared — it reads only its own RoundCtx and
+// writes only via ctx.send()/note_neighbor_suspected(), both shard-local in
+// the parallel engine. Wrapped runs are therefore bit-identical at every
+// EngineConfig::threads value, like unwrapped ones (DESIGN.md §11).
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,60 @@
+// A small persistent worker pool for the round engine's per-round fan-out.
+//
+// The CONGEST engine steps thousands of rounds, each with one parallel
+// region; spawning threads per round would dominate the work. WorkerPool
+// keeps its threads alive across calls and hands out shard indices through
+// an atomic counter, so one run() costs two condition-variable hops, not a
+// thread launch. Shard *assignment* to threads is racy by design; callers
+// must make the result independent of it (the engine does: each shard owns a
+// fixed node range and a private accumulator, merged in shard order).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dapsp {
+
+class WorkerPool {
+ public:
+  // Spawns `workers` threads (>= 1). The calling thread also participates in
+  // every run(), so total parallelism is workers + 1.
+  explicit WorkerPool(unsigned workers);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  // Invokes fn(shard) once for every shard in [0, num_shards), distributed
+  // over the pool threads and the caller; returns when all invocations have
+  // finished. fn must not call run() reentrantly. Exceptions thrown by fn
+  // terminate (the engine catches per-node failures itself and never lets
+  // them escape into the pool).
+  void run(unsigned num_shards, const std::function<void(unsigned)>& fn);
+
+  unsigned workers() const noexcept {
+    return static_cast<unsigned>(threads_.size());
+  }
+
+ private:
+  void worker_loop();
+  void drain();  // grab-and-run shards until the current job is exhausted
+
+  std::mutex mutex_;
+  std::condition_variable wake_cv_;   // workers wait for a new generation
+  std::condition_variable done_cv_;   // run() waits for remaining_ == 0
+  const std::function<void(unsigned)>* fn_ = nullptr;
+  unsigned num_shards_ = 0;
+  std::atomic<unsigned> next_shard_{0};
+  unsigned remaining_ = 0;            // guarded by mutex_
+  unsigned in_drain_ = 0;             // guarded by mutex_: workers inside drain()
+  std::uint64_t generation_ = 0;      // guarded by mutex_
+  bool stop_ = false;                 // guarded by mutex_
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace dapsp

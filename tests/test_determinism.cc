@@ -1,0 +1,250 @@
+// The sharded engine's determinism contract (DESIGN.md §11): every
+// observable output — harvested tables, aggregates, and the full RunStats
+// line (messages, bits, per-edge/node maxima, fault counters) — is
+// byte-identical at every EngineConfig::threads value, on fault-free and
+// faulty runs alike, with and without the reliable layer and send observers.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "congest/engine.h"
+#include "congest/faults.h"
+#include "congest/reliable.h"
+#include "core/pebble_apsp.h"
+#include "core/ssp.h"
+#include "graph/generators.h"
+#include "testing/suite.h"
+
+namespace dapsp::congest {
+namespace {
+
+const std::uint32_t kThreadCounts[] = {1, 2, 8};
+
+// A BFS flood from node 0 that keeps correcting itself: re-floods whenever a
+// better distance arrives, so faulty transports produce long, fault-shaped
+// traces — a good determinism probe.
+class Flood final : public Process {
+ public:
+  explicit Flood(NodeId id) : dist_(id == 0 ? 0 : kInfDist) {}
+
+  void on_round(RoundCtx& ctx) override {
+    bool improved = dist_ == 0 && ctx.round() == 0;
+    for (const Received& r : ctx.inbox()) {
+      if (r.msg.f[0] + 1 < dist_) {
+        dist_ = r.msg.f[0] + 1;
+        improved = true;
+      }
+    }
+    if (improved) ctx.send_all(Message::make(1, dist_));
+    ran_ = true;  // quiescent once no corrections are in flight
+  }
+  bool done() const override { return ran_; }
+
+  std::uint32_t dist() const { return dist_; }
+
+ private:
+  std::uint32_t dist_;
+  bool ran_ = false;
+};
+
+struct FloodRun {
+  std::string stats;
+  std::string status;
+  std::vector<std::uint32_t> dist;
+};
+
+FloodRun run_flood(const Graph& g, EngineConfig cfg, std::uint32_t threads) {
+  cfg.threads = threads;
+  cfg.max_rounds = 200000;
+  Engine e(g, cfg);
+  e.init([](NodeId v) { return std::make_unique<Flood>(v); });
+  const Outcome out = e.run_bounded();
+  FloodRun run;
+  run.stats = out.stats.debug_string();
+  run.status = std::string(to_string(out.status)) + " " + out.message;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    run.dist.push_back(
+        dynamic_cast<const Flood&>(e.process(v).underlying()).dist());
+  }
+  return run;
+}
+
+// --- Fault-free algorithm runs over the whole small suite ---------------
+
+TEST(Determinism, PebbleApspAcrossThreadCounts) {
+  for (const auto& [name, g] : testing::small_suite()) {
+    core::ApspOptions opt;
+    opt.engine.threads = 1;
+    const core::ApspResult ref = core::run_pebble_apsp(g, opt);
+    for (const std::uint32_t t : {2u, 8u}) {
+      opt.engine.threads = t;
+      const core::ApspResult r = core::run_pebble_apsp(g, opt);
+      ASSERT_EQ(r.stats.debug_string(), ref.stats.debug_string())
+          << name << " threads=" << t;
+      ASSERT_EQ(r.dist, ref.dist) << name << " threads=" << t;
+      ASSERT_EQ(r.ecc, ref.ecc) << name << " threads=" << t;
+      ASSERT_EQ(r.girth, ref.girth) << name << " threads=" << t;
+      ASSERT_EQ(r.next_hop, ref.next_hop) << name << " threads=" << t;
+    }
+  }
+}
+
+TEST(Determinism, SspAcrossThreadCounts) {
+  for (const auto& [name, g] : testing::small_suite()) {
+    // Every third node a source (at least one).
+    std::vector<NodeId> sources;
+    for (NodeId v = 0; v < g.num_nodes(); v += 3) sources.push_back(v);
+    core::SspOptions opt;
+    opt.engine.threads = 1;
+    const core::SspResult ref = core::run_ssp(g, sources, opt);
+    for (const std::uint32_t t : {2u, 8u}) {
+      opt.engine.threads = t;
+      const core::SspResult r = core::run_ssp(g, sources, opt);
+      ASSERT_EQ(r.stats.debug_string(), ref.stats.debug_string())
+          << name << " threads=" << t;
+      ASSERT_EQ(r.delta, ref.delta) << name << " threads=" << t;
+    }
+  }
+}
+
+// --- Faulty transports --------------------------------------------------
+
+// Three fault plans spanning the injector's feature space. Every plan keeps
+// node 0 alive (it is the flood root).
+EngineConfig lossy_config() {
+  FaultPlan plan;
+  plan.seed = 9001;
+  plan.drop_prob = 0.25;
+  plan.duplicate_prob = 0.15;
+  plan.delay_prob = 0.2;
+  plan.max_extra_delay = 4;
+  EngineConfig cfg;
+  cfg.faults = plan;
+  return cfg;
+}
+
+EngineConfig structural_config(const Graph& g) {
+  FaultPlan plan;
+  plan.seed = 4242;
+  plan.drop_prob = 0.05;
+  // Fail the lexicographically first edge at round 3; crash the last node at
+  // round 5.
+  plan.link_failures.push_back({g.edges()[0].u, g.edges()[0].v, 3});
+  plan.crashes.push_back({g.num_nodes() - 1, 5});
+  EngineConfig cfg;
+  cfg.faults = plan;
+  return cfg;
+}
+
+EngineConfig reliable_lossy_config() {
+  EngineConfig cfg = lossy_config();
+  apply_reliable(cfg);
+  return cfg;
+}
+
+std::vector<Graph> fault_graphs() {
+  std::vector<Graph> out;
+  out.push_back(gen::grid(4, 5));
+  out.push_back(gen::petersen());
+  out.push_back(gen::random_connected(24, 20, 33));
+  return out;
+}
+
+TEST(Determinism, FaultyRunsAcrossThreadCounts) {
+  for (const Graph& g : fault_graphs()) {
+    const EngineConfig plans[] = {lossy_config(), structural_config(g),
+                                  reliable_lossy_config()};
+    int plan_no = 0;
+    for (const EngineConfig& cfg : plans) {
+      ++plan_no;
+      const FloodRun ref = run_flood(g, cfg, 1);
+      for (const std::uint32_t t : {2u, 8u}) {
+        const FloodRun r = run_flood(g, cfg, t);
+        ASSERT_EQ(r.stats, ref.stats)
+            << g.summary() << " plan=" << plan_no << " threads=" << t;
+        ASSERT_EQ(r.status, ref.status)
+            << g.summary() << " plan=" << plan_no << " threads=" << t;
+        ASSERT_EQ(r.dist, ref.dist)
+            << g.summary() << " plan=" << plan_no << " threads=" << t;
+      }
+    }
+  }
+}
+
+// Faulty runs must also be repeatable at a fixed thread count (the injector
+// holds no mutable state; two runs share nothing).
+TEST(Determinism, FaultyRunsAreRepeatable) {
+  const Graph g = gen::random_connected(20, 15, 7);
+  for (const std::uint32_t t : kThreadCounts) {
+    const FloodRun a = run_flood(g, lossy_config(), t);
+    const FloodRun b = run_flood(g, lossy_config(), t);
+    ASSERT_EQ(a.stats, b.stats) << "threads=" << t;
+    ASSERT_EQ(a.dist, b.dist) << "threads=" << t;
+  }
+}
+
+// --- The send-observer path (serial phase-B accounting) -----------------
+
+TEST(Determinism, ObserverSeesGlobalSendOrderAtEveryThreadCount) {
+  const Graph g = gen::grid(4, 4);
+  std::vector<std::string> traces;
+  for (const std::uint32_t t : kThreadCounts) {
+    std::string trace;
+    EngineConfig cfg;
+    cfg.threads = t;
+    cfg.send_observer = [&trace](const SendEvent& ev) {
+      trace += std::to_string(ev.round) + ":" + std::to_string(ev.from) +
+               ">" + std::to_string(ev.to) + ";";
+    };
+    Engine e(g, cfg);
+    e.init([](NodeId v) { return std::make_unique<Flood>(v); });
+    const RunStats stats = e.run();
+    trace += "|" + stats.debug_string();
+    traces.push_back(std::move(trace));
+  }
+  ASSERT_EQ(traces[0], traces[1]);
+  ASSERT_EQ(traces[0], traces[2]);
+}
+
+// Errors must not depend on the shard partition: the congestion violation of
+// the smallest offending node is the one reported, at every thread count.
+TEST(Determinism, CongestionErrorIsPartitionIndependent) {
+  // Every node spams its neighbors far past the budget in round 0.
+  class Spammer final : public Process {
+   public:
+    void on_round(RoundCtx& ctx) override {
+      if (ctx.round() == 0) {
+        for (int k = 0; k < 64; ++k) {
+          ctx.send_all(Message::make(2, 1, 2));
+        }
+      }
+      ran_ = true;
+    }
+    bool done() const override { return ran_; }
+
+   private:
+    bool ran_ = false;
+  };
+
+  const Graph g = gen::complete(12);
+  std::vector<std::string> errors;
+  for (const std::uint32_t t : kThreadCounts) {
+    EngineConfig cfg;
+    cfg.threads = t;
+    Engine e(g, cfg);
+    e.init([](NodeId) { return std::make_unique<Spammer>(); });
+    try {
+      e.run();
+      FAIL() << "expected CongestionError at threads=" << t;
+    } catch (const CongestionError& err) {
+      errors.emplace_back(err.what());
+    }
+  }
+  ASSERT_EQ(errors[0], errors[1]);
+  ASSERT_EQ(errors[0], errors[2]);
+}
+
+}  // namespace
+}  // namespace dapsp::congest
