@@ -15,10 +15,12 @@
 
 #include <chrono>
 #include <cstdio>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "congest/trace.h"
 #include "core/pebble_apsp.h"
 #include "core/ssp.h"
 #include "core/tree_check.h"
@@ -53,6 +55,36 @@ BENCHMARK(BM_PebbleApsp)
     ->Args({128, 1})
     ->Args({256, 1})
     ->Args({512, 1})
+    ->Args({256, 2})
+    ->Args({256, 8})
+    ->Args({512, 8});
+
+// Same driver with full instrumentation attached (TraceLog + EngineMetrics +
+// a send observer): collection is sharded (DESIGN.md §12), so the threads
+// dimension must scale like the untraced benchmark — no serial fallback.
+void BM_PebbleApspTraced(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const Graph g = gen::random_connected(n, 2 * n, 42);
+  std::uint64_t observed = 0;
+  core::ApspOptions opt;
+  opt.engine.threads = static_cast<std::uint32_t>(state.range(1));
+  opt.engine.send_observer = [&observed](const congest::SendEvent&) {
+    ++observed;
+  };
+  congest::TraceLog trace;
+  congest::EngineMetrics metrics;
+  opt.engine.trace = &trace;
+  opt.engine.metrics = &metrics;
+  for (auto _ : state) {
+    trace.clear();
+    metrics.clear();
+    benchmark::DoNotOptimize(core::run_pebble_apsp(g, opt));
+  }
+  benchmark::DoNotOptimize(observed);
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_PebbleApspTraced)
+    ->Args({256, 1})
     ->Args({256, 2})
     ->Args({256, 8})
     ->Args({512, 8});
@@ -93,6 +125,65 @@ double time_apsp(const Graph& g, std::uint32_t threads, std::string* stats) {
   const auto t1 = std::chrono::steady_clock::now();
   *stats = r.stats.debug_string();
   return std::chrono::duration<double>(t1 - t0).count();
+}
+
+// Timed instrumented run: trace + metrics + observer all attached. The trace
+// is serialized to JSONL so callers can compare runs byte for byte.
+double time_apsp_traced(const Graph& g, std::uint32_t threads,
+                        std::string* stats, std::string* trace_bytes) {
+  core::ApspOptions opt;
+  opt.engine.threads = threads;
+  congest::TraceLog trace;
+  congest::EngineMetrics metrics;
+  std::uint64_t observed = 0;
+  opt.engine.trace = &trace;
+  opt.engine.metrics = &metrics;
+  opt.engine.send_observer = [&observed](const congest::SendEvent&) {
+    ++observed;
+  };
+  core::run_pebble_apsp(g, opt);  // warm-up
+  trace.clear();
+  metrics.clear();
+  const auto t0 = std::chrono::steady_clock::now();
+  const core::ApspResult r = core::run_pebble_apsp(g, opt);
+  const auto t1 = std::chrono::steady_clock::now();
+  *stats = r.stats.debug_string();
+  std::ostringstream os;
+  trace.write_jsonl(os);
+  *trace_bytes = std::move(os).str();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+// Traced vs untraced at 1/2/8 workers: measures the observability overhead
+// and asserts the §12 contract — trace bytes and RunStats identical at every
+// thread count. Rows land in BENCH_engine.json next to the plain scaling.
+bool traced_study(std::vector<ScalingRow>& rows) {
+  const Graph g = gen::random_connected(512, 1024, 42);
+  const std::uint32_t kThreads[] = {1, 2, 8};
+  bool ok = true;
+
+  std::string serial_stats, serial_trace;
+  const double serial = time_apsp_traced(g, 1, &serial_stats, &serial_trace);
+  std::string untraced_stats;
+  const double untraced_serial = time_apsp(g, 1, &untraced_stats);
+  for (const std::uint32_t t : kThreads) {
+    std::string stats = serial_stats, trace = serial_trace;
+    const double secs =
+        t == 1 ? serial : time_apsp_traced(g, t, &stats, &trace);
+    std::string plain_stats;
+    const double plain =
+        t == 1 ? untraced_serial : time_apsp(g, t, &plain_stats);
+    const bool identical = stats == serial_stats && trace == serial_trace;
+    ok = ok && identical;
+    rows.push_back({"pebble_apsp_traced512", g.num_nodes(), t, secs,
+                    serial / secs, identical, stats});
+    std::printf("%-22s n=%4u threads=%u  %8.3f ms  speedup=%.2fx  "
+                "overhead=%+.1f%%  %s\n",
+                "pebble_apsp_traced512", g.num_nodes(), t, secs * 1e3,
+                serial / secs, (secs / plain - 1.0) * 100.0,
+                identical ? "trace+stats-identical" : "TRACE MISMATCH");
+  }
+  return ok;
 }
 
 void scaling_study(std::vector<ScalingRow>& rows) {
@@ -159,6 +250,8 @@ int main(int argc, char** argv) {
               std::thread::hardware_concurrency());
   std::vector<ScalingRow> rows;
   scaling_study(rows);
+  std::printf("\nTraced vs untraced (sharded observability, DESIGN.md §12):\n");
+  const bool traces_ok = traced_study(rows);
   write_json("BENCH_engine.json", rows);
 
   for (const ScalingRow& r : rows) {
@@ -166,6 +259,10 @@ int main(int argc, char** argv) {
       std::printf("ERROR: RunStats differ across thread counts\n");
       return 1;
     }
+  }
+  if (!traces_ok) {
+    std::printf("ERROR: trace bytes differ across thread counts\n");
+    return 1;
   }
   return 0;
 }

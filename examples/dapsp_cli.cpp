@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "congest/trace.h"
 #include "core/apsp_applications.h"
 #include "core/distance_labels.h"
 #include "core/ecc_approx.h"
@@ -35,6 +36,7 @@
 #include "core/two_vs_four.h"
 #include "graph/generators.h"
 #include "graph/io.h"
+#include "util/metrics.h"
 
 using namespace dapsp;
 
@@ -52,6 +54,10 @@ struct Args {
   // Engine worker threads (0 = one per hardware thread). Results are
   // bit-identical at every value; this only changes wall-clock.
   std::uint32_t threads = 1;
+  // Structured observability (apsp and ssp): .json = Chrome trace,
+  // .jsonl/.csv by extension; metrics default to JSON, .csv by extension.
+  std::optional<std::string> trace_out;
+  std::optional<std::string> metrics_out;
 };
 
 [[noreturn]] void usage() {
@@ -71,7 +77,10 @@ struct Args {
       "  two-vs-four              Algorithm 3 (promise: diameter 2 or 4)\n"
       "options: --epsilon <e>  --k <k>  --seed <s>  --exact\n"
       "         --threads <t>  engine workers (0 = all cores; results are\n"
-      "                        identical at every thread count)\n");
+      "                        identical at every thread count)\n"
+      "         --trace-out <f>    structured event trace (apsp, ssp):\n"
+      "                            .json Chrome trace, .jsonl, or .csv\n"
+      "         --metrics-out <f>  load histograms + counters: .json or .csv\n");
   std::exit(2);
 }
 
@@ -95,6 +104,10 @@ Args parse(int argc, char** argv) {
       a.seed = std::stoull(next());
     } else if (arg == "--threads") {
       a.threads = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (arg == "--trace-out") {
+      a.trace_out = next();
+    } else if (arg == "--metrics-out") {
+      a.metrics_out = next();
     } else if (arg == "--exact") {
       a.exact = true;
     } else if (arg == "--sources") {
@@ -126,11 +139,72 @@ Graph load_graph(const Args& a) {
 
 void print_stats(const congest::RunStats& s) {
   std::printf("-- CONGEST cost: rounds=%llu messages=%llu bits=%llu "
-              "B=%u max_edge_bits=%u\n",
+              "B=%u max_edge_bits=%llu\n",
               static_cast<unsigned long long>(s.rounds),
               static_cast<unsigned long long>(s.messages),
               static_cast<unsigned long long>(s.total_bits), s.bandwidth_bits,
-              s.max_edge_bits);
+              static_cast<unsigned long long>(s.max_edge_bits));
+}
+
+// Caller-owned sinks the engine writes into when --trace-out/--metrics-out
+// are given (apsp and ssp, the commands that expose their engine config).
+struct Instrumentation {
+  congest::TraceLog trace;
+  congest::EngineMetrics metrics;
+
+  void attach(const Args& a, congest::EngineConfig& cfg) {
+    if (a.trace_out) cfg.trace = &trace;
+    if (a.metrics_out) cfg.metrics = &metrics;
+  }
+};
+
+bool has_suffix(const std::string& s, const char* suffix) {
+  const std::size_t len = std::strlen(suffix);
+  return s.size() >= len && s.compare(s.size() - len, len, suffix) == 0;
+}
+
+std::ofstream open_or_die(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  return out;
+}
+
+void write_instrumentation(const Args& a, const Instrumentation& instr,
+                           const congest::RunStats& stats) {
+  if (a.trace_out) {
+    std::ofstream out = open_or_die(*a.trace_out);
+    if (has_suffix(*a.trace_out, ".jsonl")) {
+      instr.trace.write_jsonl(out);
+    } else if (has_suffix(*a.trace_out, ".csv")) {
+      instr.trace.write_csv(out);
+    } else {
+      instr.trace.write_chrome_json(out);
+    }
+    std::fprintf(stderr, "trace: %zu events -> %s\n", instr.trace.size(),
+                 a.trace_out->c_str());
+  }
+  if (a.metrics_out) {
+    MetricsRegistry reg;
+    reg.counter("rounds") = stats.rounds;
+    reg.counter("messages") = stats.messages;
+    reg.counter("total_bits") = stats.total_bits;
+    reg.counter("bandwidth_bits") = stats.bandwidth_bits;
+    reg.counter("max_edge_bits") = stats.max_edge_bits;
+    reg.counter("max_edge_messages") = stats.max_edge_messages;
+    reg.histogram("edge_bits").merge(instr.metrics.edge_bits);
+    reg.histogram("edge_messages").merge(instr.metrics.edge_messages);
+    reg.histogram("round_activity").merge(instr.metrics.round_activity);
+    std::ofstream out = open_or_die(*a.metrics_out);
+    if (has_suffix(*a.metrics_out, ".csv")) {
+      reg.write_csv(out);
+    } else {
+      reg.write_json(out);
+    }
+    std::fprintf(stderr, "metrics -> %s\n", a.metrics_out->c_str());
+  }
 }
 
 int cmd_gen(const Args& a) {
@@ -165,7 +239,10 @@ int cmd_gen(const Args& a) {
 int cmd_apsp(const Args& a, const Graph& g) {
   core::ApspOptions opt;
   opt.engine.threads = a.threads;
+  Instrumentation instr;
+  instr.attach(a, opt.engine);
   const core::ApspResult r = core::run_pebble_apsp(g, opt);
+  write_instrumentation(a, instr, r.stats);
   std::printf("diameter=%u radius=%u girth=", r.diameter, r.radius);
   if (r.girth == seq::kInfGirth) {
     std::printf("inf");
@@ -259,7 +336,10 @@ int cmd_ssp(const Args& a, const Graph& g) {
   if (a.sources.empty()) usage();
   core::SspOptions opt;
   opt.engine.threads = a.threads;
+  Instrumentation instr;
+  instr.attach(a, opt.engine);
   const auto r = core::run_ssp(g, a.sources, opt);
+  write_instrumentation(a, instr, r.stats);
   for (const NodeId s : r.sources) {
     std::printf("distances to %u:", s);
     for (NodeId v = 0; v < g.num_nodes(); ++v) {
@@ -318,6 +398,12 @@ int cmd_two_vs_four(const Args& a, const Graph& g) {
 
 int main(int argc, char** argv) {
   const Args a = parse(argc, argv);
+  if ((a.trace_out || a.metrics_out) && a.command != "apsp" &&
+      a.command != "ssp") {
+    std::fprintf(stderr,
+                 "--trace-out/--metrics-out are supported for apsp and ssp\n");
+    return 2;
+  }
   try {
     if (a.command == "gen") return cmd_gen(a);
     const Graph g = load_graph(a);

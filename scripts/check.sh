@@ -27,7 +27,26 @@ if [[ "${1:-}" == "--tsan" ]]; then
   exit 0
 fi
 
+# Observability smoke (DESIGN.md section 12): run the CLI with --trace-out /
+# --metrics-out on a small graph and validate the Chrome-trace JSON parses
+# with non-decreasing round timestamps.
+trace_smoke() {
+  local dir="$1" tmp
+  echo "== trace smoke (${dir}) =="
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "${tmp}"' RETURN
+  "${dir}/examples/dapsp_cli" gen grid 8 8 > "${tmp}/g.txt"
+  "${dir}/examples/dapsp_cli" apsp -g "${tmp}/g.txt" \
+    --trace-out "${tmp}/trace.json" --metrics-out "${tmp}/metrics.json"
+  if command -v python3 >/dev/null 2>&1; then
+    python3 scripts/validate_trace.py "${tmp}/trace.json" "${tmp}/metrics.json"
+  else
+    echo "python3 not found; skipping trace JSON validation"
+  fi
+}
+
 run_config build RelWithDebInfo "$@"
+trace_smoke build
 run_config build-asan Asan "$@"
 
 echo "All checks passed. (Run scripts/check.sh --tsan for the TSan config.)"

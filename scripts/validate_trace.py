@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Validate a dapsp Chrome-trace JSON file (stdlib only).
+
+Usage: validate_trace.py trace.json [metrics.json]
+
+Checks that the trace parses, has a non-empty "traceEvents" array, and that
+event timestamps (ts = CONGEST round) are non-decreasing in file order — the
+ordering guarantee of the sharded trace collector (DESIGN.md section 12).
+With a second argument, also checks the --metrics-out JSON shape.
+"""
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    if len(sys.argv) < 2:
+        fail("usage: validate_trace.py trace.json [metrics.json]")
+
+    with open(sys.argv[1]) as f:
+        trace = json.load(f)
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("traceEvents missing or empty")
+    prev = None
+    for i, ev in enumerate(events):
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)):
+            fail(f"event {i} has no numeric ts")
+        if prev is not None and ts < prev:
+            fail(f"ts decreases at event {i}: {prev} -> {ts}")
+        prev = ts
+
+    if len(sys.argv) > 2:
+        with open(sys.argv[2]) as f:
+            metrics = json.load(f)
+        for key in ("counters", "histograms"):
+            if key not in metrics:
+                fail(f"metrics JSON missing {key!r}")
+        for name, hist in metrics["histograms"].items():
+            if hist["total"] != sum(int(c) for c in hist["counts"].values()):
+                fail(f"histogram {name!r}: total != sum of counts")
+
+    print(f"validate_trace: OK ({len(events)} events)")
+
+
+if __name__ == "__main__":
+    main()

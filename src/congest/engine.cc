@@ -10,7 +10,28 @@
 
 namespace dapsp::congest {
 
+void EngineMetrics::merge(const EngineMetrics& other) {
+  edge_bits.merge(other.edge_bits);
+  edge_messages.merge(other.edge_messages);
+  round_activity.merge(other.round_activity);
+}
+
+void EngineMetrics::clear() {
+  edge_bits.clear();
+  edge_messages.clear();
+  round_activity.clear();
+}
+
 void accumulate(RunStats& into, const RunStats& from) {
+  if (into.bandwidth_bits != 0 && from.bandwidth_bits != 0 &&
+      into.bandwidth_bits != from.bandwidth_bits) {
+    throw std::invalid_argument(
+        "accumulate: mismatched bandwidth budgets B=" +
+        std::to_string(into.bandwidth_bits) + " vs B=" +
+        std::to_string(from.bandwidth_bits) +
+        " — stats from phases enforced under different budgets cannot share "
+        "one bandwidth_bits field");
+  }
   into.rounds += from.rounds;
   into.messages += from.messages;
   into.total_bits += from.total_bits;
@@ -91,8 +112,27 @@ class Engine::Ctx final : public RoundCtx {
   void send(std::uint32_t index, const Message& m) override {
     engine_.buffer_send(id_, index, m);
   }
-  void note_neighbor_suspected() override {
+  void note_neighbor_suspected(std::uint32_t neighbor_index) override {
     ++acc_.stats.neighbors_suspected;
+    if (engine_.record_trace_) {
+      TraceEvent ev;
+      ev.kind = TraceEventKind::kNeighborDown;
+      ev.node = id_;
+      ev.peer = engine_.graph().neighbors(id_)[neighbor_index];
+      ev.round = engine_.round_;
+      engine_.node_events_[id_].push_back(ev);
+    }
+  }
+  void trace_frontier(NodeId source, std::uint32_t dist) override {
+    if (!engine_.record_trace_) return;
+    TraceEvent ev;
+    ev.kind = TraceEventKind::kFrontier;
+    ev.node = id_;
+    ev.peer = source;
+    ev.round = engine_.round_;
+    ev.msg.num_fields = 1;
+    ev.msg.f[0] = dist;
+    engine_.node_events_[id_].push_back(ev);
   }
 
  private:
@@ -146,11 +186,12 @@ Engine::Engine(const Graph& g, EngineConfig config)
                  : std::max(1u, std::thread::hardware_concurrency());
   outboxes_.resize(n);
   deliveries_.resize(n);
+  record_trace_ = config_.trace != nullptr;
+  record_events_ = record_trace_ || static_cast<bool>(config_.send_observer);
+  if (record_events_) node_events_.resize(n);
   const std::uint32_t shards =
       static_cast<std::uint32_t>(std::min<std::uint64_t>(threads_, n));
-  // One accumulator per shard plus a dedicated slot for the serial
-  // accounting pass used when a send observer demands global send order.
-  accum_.resize(std::size_t{shards} + 1);
+  accum_.resize(shards);
   if (shards > 1) pool_ = std::make_unique<WorkerPool>(shards - 1);
 }
 
@@ -177,6 +218,7 @@ void Engine::init(
   crashed_.assign(n, 0);
   for (auto& slot : delay_ring_) slot.clear();
   delayed_pending_ = 0;
+  for (auto& events : node_events_) events.clear();
   // Crash-at-round-0 nodes never execute at all.
   apply_crashes();
 }
@@ -189,9 +231,10 @@ void Engine::buffer_send(NodeId from, std::uint32_t neighbor_index,
   outboxes_[from].push_back(PendingSend{neighbor_index, m});
 }
 
-void Engine::run_node(NodeId v, ShardAccum& acc, bool account_inline) {
+void Engine::run_node(NodeId v, ShardAccum& acc) {
   outboxes_[v].clear();
   deliveries_[v].clear();
+  if (record_events_) node_events_[v].clear();
   if (crashed_[v] != 0) return;  // crash-stop: no execution, no sends
   Ctx ctx(*this, v, acc);
   try {
@@ -208,7 +251,7 @@ void Engine::run_node(NodeId v, ShardAccum& acc, bool account_inline) {
   }
   // Sends buffered before a mid-round failure are still accounted and
   // delivered, mirroring the serial engine (they were already on the wire).
-  if (account_inline) account_node(v, acc);
+  account_node(v, acc);
 }
 
 void Engine::account_node(NodeId v, ShardAccum& acc) {
@@ -224,6 +267,19 @@ void Engine::account_node(NodeId v, ShardAccum& acc) {
     acc.error = std::make_exception_ptr(CongestionError(std::move(text)));
   };
   const auto nbrs = graph_->neighbors(v);
+  // Event recording goes into the sender's own buffer: shard-local, merged
+  // later by drain_node_events() in ascending sender order.
+  const auto record = [&](TraceEventKind kind, NodeId to, const Message& m,
+                          std::uint32_t aux) {
+    TraceEvent ev;
+    ev.kind = kind;
+    ev.node = v;
+    ev.peer = to;
+    ev.round = round_;
+    ev.aux = aux;
+    ev.msg = m;
+    node_events_[v].push_back(ev);
+  };
   // The node's private fault-decision stream for this round: keyed by
   // (plan seed, v, round), so draws need no cross-shard coordination.
   Rng stream = faults_ ? faults_->stream(v, round_) : Rng(0);
@@ -231,12 +287,15 @@ void Engine::account_node(NodeId v, ShardAccum& acc) {
     const Message& m = ps.msg;
     // Payload honesty: every field must fit the declared field width. This
     // is what makes the B = O(log n) accounting meaningful.
+    bool bad_field = false;
     for (int i = 0; i < m.num_fields; ++i) {
       if (std::uint64_t{m.f[static_cast<std::size_t>(i)]} >> value_bits_) {
         fail("message field exceeds value width: " + m.debug_string());
-        return;
+        bad_field = true;
+        break;
       }
     }
+    if (bad_field) break;  // rest of this node's outbox never hits the wire
     const NodeId to = nbrs[ps.neighbor_index];
     // Directed-edge and per-node load counters are owned by the sender, so
     // shards write disjoint slots.
@@ -245,6 +304,7 @@ void Engine::account_node(NodeId v, ShardAccum& acc) {
       edge_stamp_[edge] = round_;
       edge_bits_[edge] = 0;
       edge_msgs_[edge] = 0;
+      if (config_.metrics) acc.touched_edges.push_back(edge);
     }
     const std::uint32_t cost = m.bit_cost(value_bits_);
     edge_bits_[edge] += cost;
@@ -255,7 +315,7 @@ void Engine::account_node(NodeId v, ShardAccum& acc) {
            std::to_string(edge_bits_[edge]) + " > B=" +
            std::to_string(bandwidth_bits_) + " bits (last: " +
            m.debug_string() + ")");
-      return;
+      break;
     }
     acc.stats.max_edge_bits = std::max(acc.stats.max_edge_bits,
                                        edge_bits_[edge]);
@@ -269,9 +329,7 @@ void Engine::account_node(NodeId v, ShardAccum& acc) {
     acc.stats.max_node_bits = std::max(acc.stats.max_node_bits, node_bits_[v]);
     acc.stats.messages += 1;
     acc.stats.total_bits += cost;
-    if (config_.send_observer) {
-      config_.send_observer(SendEvent{v, to, round_, m});
-    }
+    if (record_events_) record(TraceEventKind::kSend, to, m, 0);
     if (config_.record_activity) ++acc.activity;
 
     // Index of `v` in `to`'s adjacency list.
@@ -282,21 +340,40 @@ void Engine::account_node(NodeId v, ShardAccum& acc) {
       // The message was sent (and charged) — now the wire decides its fate.
       if (faults_->link_down(edge, round_)) {
         ++acc.stats.messages_dropped;
+        if (record_trace_) record(TraceEventKind::kDrop, to, m, 0);
         continue;
       }
       const FaultDecision d = faults_->decide(stream, edge);
       if (d.dropped) {
         ++acc.stats.messages_dropped;
+        if (record_trace_) record(TraceEventKind::kDrop, to, m, 0);
         continue;
       }
-      if (d.copies > 1) ++acc.stats.messages_duplicated;
+      if (d.copies > 1) {
+        ++acc.stats.messages_duplicated;
+        if (record_trace_) record(TraceEventKind::kDuplicate, to, m, 0);
+      }
       for (std::uint32_t c = 0; c < d.copies; ++c) {
-        if (d.extra_delay[c] != 0) ++acc.stats.messages_delayed;
+        if (d.extra_delay[c] != 0) {
+          ++acc.stats.messages_delayed;
+          if (record_trace_) {
+            record(TraceEventKind::kDelay, to, m, d.extra_delay[c]);
+          }
+        }
         deliveries_[v].push_back(ResolvedDelivery{to, rec, d.extra_delay[c]});
       }
       continue;
     }
     deliveries_[v].push_back(ResolvedDelivery{to, rec, 0});
+  }
+  if (config_.metrics) {
+    // Final per-(edge, round) values: the sender owns its edges, so after
+    // its outbox the counters are complete for the round.
+    for (const std::size_t edge : acc.touched_edges) {
+      acc.metrics.edge_bits.add(edge_bits_[edge]);
+      acc.metrics.edge_messages.add(edge_msgs_[edge]);
+    }
+    acc.touched_edges.clear();
   }
 }
 
@@ -304,16 +381,16 @@ void Engine::run_phases() {
   const NodeId n = graph_->num_nodes();
   const std::uint32_t shards =
       static_cast<std::uint32_t>(std::min<std::uint64_t>(threads_, n));
-  // A send observer must see events in the serial engine's global send order
-  // (sender-major), so accounting then runs as its own serial pass.
-  const bool inline_accounting = !config_.send_observer;
   for (ShardAccum& acc : accum_) acc.reset();
 
+  // Phases A+B fused, always inline: observers and traces are fed from the
+  // per-sender event buffers after the merge, so instrumentation never
+  // forces a serial accounting pass (the pre-§12 serialization cliff).
   const auto shard_body = [&](unsigned s) {
     const NodeId lo = static_cast<NodeId>(std::uint64_t{n} * s / shards);
     const NodeId hi = static_cast<NodeId>(std::uint64_t{n} * (s + 1) / shards);
     ShardAccum& acc = accum_[s];
-    for (NodeId v = lo; v < hi; ++v) run_node(v, acc, inline_accounting);
+    for (NodeId v = lo; v < hi; ++v) run_node(v, acc);
   };
   if (pool_) {
     pool_->run(shards, shard_body);
@@ -321,36 +398,54 @@ void Engine::run_phases() {
     shard_body(0);
   }
 
-  ShardAccum& serial_acc = accum_.back();
-  if (!inline_accounting) {
-    for (NodeId v = 0; v < n; ++v) account_node(v, serial_acc);
-  }
-
-  // Merge in fixed shard order. Counters add and loads take maxima, so the
-  // merged RunStats is independent of the shard partition — the determinism
-  // contract across thread counts.
+  // Merge in fixed shard order. Counters add, loads take maxima and
+  // histograms sum per value, so the merged RunStats and metrics are
+  // independent of the shard partition — the determinism contract across
+  // thread counts.
   std::uint64_t activity = 0;
+  std::uint64_t round_messages = 0;
   for (const ShardAccum& acc : accum_) {
     accumulate(stats_, acc.stats);
     activity += acc.activity;
+    round_messages += acc.stats.messages;
+    if (config_.metrics) config_.metrics->merge(acc.metrics);
   }
+  if (config_.metrics) config_.metrics->round_activity.add(round_messages);
   if (config_.record_activity && activity > 0) {
     if (activity_.size() <= round_) activity_.resize(round_ + 1, 0);
     activity_[round_] = activity;
   }
 
-  // Rethrow the failure of the smallest node (shard ranges ascend, but scan
-  // everything: the serial-accounting slot is ordered last while its nodes
-  // are not). On a tie the accounting error wins (see fail() above).
+  // Replay buffered events in global send order before error propagation:
+  // the serial engine surfaced observer callbacks for every accounted send
+  // of the failing round too.
+  if (record_events_) drain_node_events();
+
+  // Rethrow the failure of the smallest node (shard ranges ascend, so the
+  // first failed shard's record is the smallest; scan all for clarity). A
+  // same-node tie between a phase-A error and an accounting error was
+  // already resolved in favor of the accounting error by fail() above.
   const ShardAccum* worst = nullptr;
   for (const ShardAccum& acc : accum_) {
     if (!acc.failed) continue;
-    if (worst == nullptr || acc.failed_node < worst->failed_node ||
-        (&acc == &serial_acc && acc.failed_node == worst->failed_node)) {
+    if (worst == nullptr || acc.failed_node < worst->failed_node) {
       worst = &acc;
     }
   }
   if (worst != nullptr) std::rethrow_exception(worst->error);
+}
+
+void Engine::drain_node_events() {
+  const NodeId n = graph_->num_nodes();
+  for (NodeId v = 0; v < n; ++v) {
+    for (const TraceEvent& ev : node_events_[v]) {
+      if (config_.send_observer && ev.kind == TraceEventKind::kSend) {
+        config_.send_observer(SendEvent{ev.node, ev.peer, ev.round, ev.msg});
+      }
+      if (record_trace_) config_.trace->append(ev);
+    }
+    node_events_[v].clear();
+  }
 }
 
 void Engine::deliver_round() {
@@ -362,6 +457,15 @@ void Engine::deliver_round() {
       if (d.extra_delay == 0) {
         next_inboxes_[d.to].push_back(d.rec);
         ++pending_messages_;
+        if (record_trace_) {
+          TraceEvent ev;
+          ev.kind = TraceEventKind::kDeliver;
+          ev.node = d.to;
+          ev.peer = v;
+          ev.round = round_ + 1;  // the round the receiver sees it
+          ev.msg = d.rec.msg;
+          config_.trace->append(ev);
+        }
       } else {
         const std::uint64_t due = round_ + 1 + d.extra_delay;
         delay_ring_[due % delay_ring_.size()].push_back({d.to, d.rec});
@@ -378,6 +482,13 @@ void Engine::apply_crashes() {
     if (crashed_[v] == 0 && faults_->crashed(v, round_)) {
       crashed_[v] = 1;
       ++stats_.nodes_crashed;
+      if (record_trace_) {
+        TraceEvent ev;
+        ev.kind = TraceEventKind::kCrash;
+        ev.node = v;
+        ev.round = round_;
+        config_.trace->append(ev);
+      }
     }
     if (crashed_[v] != 0 && !inboxes_[v].empty()) {
       // Deliveries to a crashed node vanish.
@@ -414,6 +525,15 @@ void Engine::step() {
       --delayed_pending_;
       inboxes_[to].push_back(rec);
       ++pending_messages_;
+      if (record_trace_) {
+        TraceEvent ev;
+        ev.kind = TraceEventKind::kDeliver;
+        ev.node = to;
+        ev.peer = graph_->neighbors(to)[rec.from_index];
+        ev.round = round_;
+        ev.msg = rec.msg;
+        config_.trace->append(ev);
+      }
     }
     due.clear();
     // Crashes scheduled for the new round silence the node before it runs,

@@ -30,7 +30,11 @@
 // fault accounting stay sender-owned, and per-shard counters are merged in
 // fixed node order, making every observable output (rounds, messages, bits,
 // per-edge loads, congestion errors, fault decisions, RunStats) bit-identical
-// at every thread count, including 1.
+// at every thread count, including 1. Observability (DESIGN.md §12) rides the
+// same machinery: send observers, the structured TraceLog and EngineMetrics
+// histograms are collected per shard and merged/replayed in fixed sender
+// order, so instrumented runs keep both the parallel speedup and the
+// bit-identical-output contract.
 #pragma once
 
 #include <cstdint>
@@ -44,7 +48,9 @@
 
 #include "congest/faults.h"
 #include "congest/message.h"
+#include "congest/trace.h"
 #include "graph/graph.h"
+#include "util/metrics.h"
 
 namespace dapsp {
 class WorkerPool;
@@ -62,8 +68,21 @@ class RoundCtx {
   virtual ~RoundCtx() = default;
 
   // Delivery layers report failure-detector verdicts here so they land in
-  // RunStats::neighbors_suspected. No-op outside the engine-backed context.
-  virtual void note_neighbor_suspected() {}
+  // RunStats::neighbors_suspected (and the trace as kNeighborDown).
+  // `neighbor_index` names the silent neighbor in the caller's adjacency
+  // list. No-op outside the engine-backed context.
+  virtual void note_neighbor_suspected(std::uint32_t neighbor_index) {
+    (void)neighbor_index;
+  }
+
+  // Protocol-progress hook: this node adopted distance `dist` from `source`'s
+  // BFS flood in this round. Recorded as a kFrontier trace event when a
+  // TraceLog is attached; otherwise free. Delivery wrappers forward it to the
+  // engine-backed context.
+  virtual void trace_frontier(NodeId source, std::uint32_t dist) {
+    (void)source;
+    (void)dist;
+  }
 
   NodeId id() const noexcept { return id_; }
   virtual NodeId n() const noexcept = 0;
@@ -131,6 +150,24 @@ struct SendEvent {
   Message msg;
 };
 
+// Engine-collected load distributions (attach via EngineConfig::metrics).
+// Samples are exact integers (util/metrics.h); collection is per-shard with
+// a commutative merge in fixed shard order, so contents are identical at
+// every thread count. Histograms accumulate across runs sharing the sink;
+// Engine::init() does not clear them.
+struct EngineMetrics {
+  // One sample per (directed edge, round) pair on which the edge carried
+  // traffic: total bits / message count over that edge in that round. Under
+  // Lemma 1's schedule every value stays within one message's budget.
+  Histogram edge_bits;
+  Histogram edge_messages;
+  // One sample per executed round: messages sent in that round.
+  Histogram round_activity;
+
+  void merge(const EngineMetrics& other);
+  void clear();
+};
+
 struct EngineConfig {
   // Per-edge per-round budget B = kTagBits + bandwidth_ids * value_bits,
   // where value_bits = bits needed for values in [0, 2n). The default allows
@@ -168,18 +205,39 @@ struct EngineConfig {
   ProcessWrapper process_wrapper;
 
   // Optional per-send observer, e.g. core/certify.h's FloodCongestionMonitor
-  // checking Lemma 1's zero-congestion invariant at runtime. Called for every
-  // send after payload validation, before any fault decision.
+  // checking Lemma 1's zero-congestion invariant at runtime. Sees every send
+  // after payload validation, before any fault decision. Events are collected
+  // per shard during the parallel phases and replayed serially after the
+  // round's merge in the serial engine's global order (round-major, then
+  // sender-major, then send order) — installing an observer no longer forces
+  // a serial accounting pass (DESIGN.md §12), and the observed stream is
+  // identical at every thread count.
   using SendObserver = std::function<void(const SendEvent&)>;
   SendObserver send_observer;
+
+  // Optional structured event log (congest/trace.h): sends, deliveries,
+  // fault fates (drop/delay/duplicate), crashes, NeighborDown verdicts and
+  // kFrontier progress, in the same deterministic order as send_observer.
+  // Caller-owned and NOT cleared by init(), so multi-phase protocols share
+  // one log; clear() it between unrelated runs. Must outlive the engine.
+  TraceLog* trace = nullptr;
+
+  // Optional histogram sink for per-(edge, round) load and per-round
+  // activity distributions (e.g. Lemma 1 congestion profiles). Collected per
+  // shard, merged in fixed shard order — thread-count independent.
+  // Caller-owned and NOT cleared by init(); must outlive the engine.
+  EngineMetrics* metrics = nullptr;
 };
 
 struct RunStats {
   std::uint64_t rounds = 0;       // rounds executed until quiescence
   std::uint64_t messages = 0;     // total messages sent (incl. later-dropped)
   std::uint64_t total_bits = 0;   // total bits sent
-  std::uint32_t max_edge_bits = 0;      // worst (directed edge, round) load
-  std::uint32_t max_edge_messages = 0;  // worst message count per edge-round
+  // Worst per-(directed edge, round) loads. 64-bit: with enforce_bandwidth
+  // off nothing caps a round's per-edge bits, and fault-heavy runs multiply
+  // message counts, so 32-bit counters could wrap.
+  std::uint64_t max_edge_bits = 0;      // worst (directed edge, round) load
+  std::uint64_t max_edge_messages = 0;  // worst message count per edge-round
   std::uint64_t max_node_bits = 0;      // worst per-(node, round) outgoing load
   std::uint32_t bandwidth_bits = 0;     // the enforced budget B
 
@@ -203,7 +261,11 @@ std::ostream& operator<<(std::ostream& os, const RunStats& s);
 
 // Accumulates statistics across the phases of a multi-run protocol:
 // rounds/messages/bits and fault counters add, per-edge loads take the
-// maximum.
+// maximum. Budget policy: a side whose bandwidth_bits is 0 (freshly
+// default-constructed stats) adopts the other's budget; two *different*
+// nonzero budgets throw std::invalid_argument — phases enforced under
+// different B cannot be summarized by one budget field, and silently taking
+// the max would misreport what was enforced.
 void accumulate(RunStats& into, const RunStats& from);
 
 class CongestionError : public std::runtime_error {
@@ -319,6 +381,10 @@ class Engine {
   struct ShardAccum {
     RunStats stats;             // deltas only: counters and per-round maxima
     std::uint64_t activity = 0;  // sends this round (record_activity)
+    EngineMetrics metrics;       // this round's samples (config.metrics only)
+    // Distinct directed edges the current node touched this round — scratch
+    // of account_node(), drained into `metrics` after the node's outbox.
+    std::vector<std::size_t> touched_edges;
     // First failure in this shard's node range (nodes are processed in
     // ascending order, so this is the smallest failing node of the shard).
     bool failed = false;
@@ -327,6 +393,8 @@ class Engine {
     void reset() {
       stats = RunStats{};
       activity = 0;
+      metrics.clear();
+      touched_edges.clear();
       failed = false;
       failed_node = 0;
       error = nullptr;
@@ -335,8 +403,10 @@ class Engine {
 
   void step();  // executes one round
   // Phase A: one node's on_round() against the frozen inboxes; sends are
-  // buffered into outboxes_[v]. Exceptions are captured into `acc`.
-  void run_node(NodeId v, ShardAccum& acc, bool account_inline);
+  // buffered into outboxes_[v]. Exceptions are captured into `acc`. Phase B
+  // (account_node) runs fused, inline, for every node — observers and traces
+  // are fed from the buffered events afterwards, never by serializing this.
+  void run_node(NodeId v, ShardAccum& acc);
   // Phase B: bandwidth accounting + fault resolution for outboxes_[v]. Only
   // sender-owned state (edge/node counters of v's directed edges, v's
   // delivery list, the shard accumulator) is written, so shards never race.
@@ -346,6 +416,9 @@ class Engine {
   // ascending sender order — the serial engine's delivery order.
   void deliver_round();
   void run_phases();  // A+B across shards, merge, error propagation
+  // Replays the per-sender event buffers in ascending sender order into the
+  // send observer and the trace log — the serial engine's global send order.
+  void drain_node_events();
   void apply_crashes();
   bool quiescent() const;
 
@@ -371,11 +444,20 @@ class Engine {
   std::vector<ShardAccum> accum_;
   std::unique_ptr<WorkerPool> pool_;  // engaged when threads_ > 1
 
+  // Per-sender event buffers for the current round (engaged only when
+  // record_events_): shards append to their own nodes' buffers lock-free,
+  // drain_node_events() empties them serially after the merge.
+  std::vector<std::vector<TraceEvent>> node_events_;
+  bool record_events_ = false;  // send_observer or trace attached
+  bool record_trace_ = false;   // trace attached
+
   // Per directed edge: bits sent this round (lazy-reset via round stamps).
-  // Directed edge index = graph offsets[u] + neighbor_index.
+  // Directed edge index = graph offsets[u] + neighbor_index. 64-bit so that
+  // unenforced (enforce_bandwidth=false) rounds cannot wrap the counters
+  // that RunStats maxima and EngineMetrics samples are read from.
   std::vector<std::size_t> edge_offsets_;
-  std::vector<std::uint32_t> edge_bits_;
-  std::vector<std::uint32_t> edge_msgs_;
+  std::vector<std::uint64_t> edge_bits_;
+  std::vector<std::uint64_t> edge_msgs_;
   std::vector<std::uint64_t> edge_stamp_;
   std::vector<std::uint64_t> node_bits_;
   std::vector<std::uint64_t> node_stamp_;

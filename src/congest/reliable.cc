@@ -66,6 +66,14 @@ class ReliableAdapter::VirtualCtx final : public RoundCtx {
     }
     outboxes_[index].push_back(m);
   }
+  // Instrumentation hooks pass through to the engine-backed context so that
+  // wrapped protocols land in RunStats and the trace like unwrapped ones.
+  void note_neighbor_suspected(std::uint32_t neighbor_index) override {
+    real_.note_neighbor_suspected(neighbor_index);
+  }
+  void trace_frontier(NodeId source, std::uint32_t dist) override {
+    real_.trace_frontier(source, dist);
+  }
 
  private:
   RoundCtx& real_;
@@ -255,7 +263,7 @@ void ReliableAdapter::detect_failures(RoundCtx& ctx, bool active) {
     rx_[e].ack_due = false;
     rx_[e].ack_accept = false;
     beat_owed_[e] = 0;
-    ctx.note_neighbor_suspected();
+    ctx.note_neighbor_suspected(e);
     inner_->on_neighbor_down(e, virtual_round());
   }
 }

@@ -192,6 +192,19 @@ struct FloodCongestionMonitor::State {
   std::vector<std::uint64_t> stamp;     // round of the last flood per edge
   std::uint64_t flood_sends = 0;
   std::uint64_t violations = 0;
+
+  void observe(NodeId from, NodeId to, std::uint64_t round,
+               std::uint8_t msg_kind) {
+    if (msg_kind != kApspFlood) return;
+    ++flood_sends;
+    const auto idx = g->neighbor_index(from, to);
+    const std::size_t edge = offsets[from] + (idx ? *idx : 0);
+    if (stamp[edge] == round) {
+      ++violations;  // a second flood on this edge in this round: Lemma 1
+    } else {
+      stamp[edge] = round;
+    }
+  }
 };
 
 FloodCongestionMonitor::FloodCongestionMonitor(const Graph& g)
@@ -208,16 +221,16 @@ FloodCongestionMonitor::FloodCongestionMonitor(const Graph& g)
 congest::EngineConfig::SendObserver FloodCongestionMonitor::hook() const {
   auto st = state_;
   return [st](const congest::SendEvent& ev) {
-    if (ev.msg.kind != kApspFlood) return;
-    ++st->flood_sends;
-    const auto idx = st->g->neighbor_index(ev.from, ev.to);
-    const std::size_t edge = st->offsets[ev.from] + (idx ? *idx : 0);
-    if (st->stamp[edge] == ev.round) {
-      ++st->violations;  // a second flood on this edge in this round: Lemma 1
-    } else {
-      st->stamp[edge] = ev.round;
-    }
+    st->observe(ev.from, ev.to, ev.round, ev.msg.kind);
   };
+}
+
+void FloodCongestionMonitor::scan(
+    std::span<const congest::TraceEvent> events) {
+  for (const congest::TraceEvent& ev : events) {
+    if (ev.kind != congest::TraceEventKind::kSend) continue;
+    state_->observe(ev.node, ev.peer, ev.round, ev.msg.kind);
+  }
 }
 
 std::uint64_t FloodCongestionMonitor::flood_sends() const noexcept {

@@ -37,7 +37,12 @@
 //     Claim 1 at runtime — in a fault-free pebble run, no directed edge ever
 //     carries two kApspFlood messages in one round. Wire it into
 //     EngineConfig::send_observer on an *unwrapped* run (wrapped runs put
-//     kRel* frames on the wire, not protocol messages).
+//     kRel* frames on the wire, not protocol messages). Under the sharded
+//     observer API (DESIGN.md §12) the hook is invoked from the engine's
+//     serial replay of per-shard event buffers — global send order, one
+//     thread — so its unsynchronized state is safe at every thread count and
+//     the monitor no longer costs the parallel speedup. The same check runs
+//     offline via scan() over a recorded TraceLog.
 #pragma once
 
 #include <cstdint>
@@ -110,8 +115,14 @@ class FloodCongestionMonitor {
   explicit FloodCongestionMonitor(const Graph& g);
 
   // Install as EngineConfig::send_observer (also reachable through
-  // ApspOptions::engine).
+  // ApspOptions::engine). Invoked serially, in global send order, from the
+  // engine's post-round event replay.
   congest::EngineConfig::SendObserver hook() const;
+
+  // Offline variant: runs the same per-(edge, round) check over a recorded
+  // event stream (kSend events only), e.g. a TraceLog's events(). Counts
+  // accumulate with any live hook() observations.
+  void scan(std::span<const congest::TraceEvent> events);
 
   std::uint64_t flood_sends() const noexcept;
   std::uint64_t violations() const noexcept;

@@ -46,7 +46,7 @@ class PebbleApspProcess final : public congest::Process {
         case kApspFlood:
           // Handled even in degraded mode: relaying in-flight floods costs
           // nothing extra and maximizes surviving coverage.
-          handle_flood(r);
+          handle_flood(ctx, r);
           break;
         case kPebble:
           // A degraded node swallows the pebble — no new floods are started
@@ -138,12 +138,13 @@ class PebbleApspProcess final : public congest::Process {
       ctx.send(i, congest::Message::make(kFailNotice));
     }
   }
-  void handle_flood(const congest::Received& r) {
+  void handle_flood(congest::RoundCtx& ctx, const congest::Received& r) {
     const std::uint32_t root = r.msg.f[0];
     const std::uint32_t d = r.msg.f[1];
     if (dist_row_[root] == kInfDist) {
       dist_row_[root] = d;
       parent_row_[root] = r.from_index;  // Remark 4: parent in T_root
+      ctx.trace_frontier(root, d);  // kFrontier: root's BFS wave reached us
       new_roots_.push_back({root, {r.from_index}});
     } else {
       // Duplicate receipt: a cycle witness (Lemma 7). If the root became

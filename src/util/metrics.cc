@@ -1,0 +1,124 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <ostream>
+
+namespace dapsp {
+
+void Histogram::add(std::uint64_t value, std::uint64_t count) {
+  if (count == 0) return;
+  if (counts_.size() <= value) counts_.resize(value + 1, 0);
+  counts_[value] += count;
+  total_ += count;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (counts_.size() < other.counts_.size()) {
+    counts_.resize(other.counts_.size(), 0);
+  }
+  for (std::size_t v = 0; v < other.counts_.size(); ++v) {
+    counts_[v] += other.counts_[v];
+  }
+  total_ += other.total_;
+}
+
+void Histogram::clear() {
+  counts_.clear();
+  total_ = 0;
+}
+
+std::uint64_t Histogram::count(std::uint64_t value) const noexcept {
+  return value < counts_.size() ? counts_[value] : 0;
+}
+
+std::uint64_t Histogram::min_value() const noexcept {
+  for (std::size_t v = 0; v < counts_.size(); ++v) {
+    if (counts_[v] != 0) return v;
+  }
+  return 0;
+}
+
+std::uint64_t Histogram::max_value() const noexcept {
+  for (std::size_t v = counts_.size(); v > 0; --v) {
+    if (counts_[v - 1] != 0) return v - 1;
+  }
+  return 0;
+}
+
+double Histogram::mean() const noexcept {
+  if (total_ == 0) return 0.0;
+  double sum = 0.0;
+  for (std::size_t v = 0; v < counts_.size(); ++v) {
+    sum += static_cast<double>(v) * static_cast<double>(counts_[v]);
+  }
+  return sum / static_cast<double>(total_);
+}
+
+std::uint64_t Histogram::quantile(double q) const noexcept {
+  if (total_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  std::uint64_t seen = 0;
+  for (std::size_t v = 0; v < counts_.size(); ++v) {
+    seen += counts_[v];
+    if (static_cast<double>(seen) >= target && counts_[v] != 0) return v;
+  }
+  return max_value();
+}
+
+std::uint64_t& MetricsRegistry::counter(std::string_view name) {
+  for (auto& [key, value] : counters_) {
+    if (key == name) return value;
+  }
+  counters_.emplace_back(std::string(name), 0);
+  return counters_.back().second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  for (auto& [key, value] : histograms_) {
+    if (key == name) return value;
+  }
+  histograms_.emplace_back(std::string(name), Histogram{});
+  return histograms_.back().second;
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  os << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    \"" << counters_[i].first
+       << "\": " << counters_[i].second;
+  }
+  os << (counters_.empty() ? "}" : "\n  }") << ",\n  \"histograms\": {";
+  for (std::size_t i = 0; i < histograms_.size(); ++i) {
+    const auto& [name, h] = histograms_[i];
+    os << (i == 0 ? "\n" : ",\n") << "    \"" << name << "\": {\"total\": "
+       << h.total() << ", \"min\": " << h.min_value()
+       << ", \"max\": " << h.max_value() << ", \"mean\": " << h.mean()
+       << ", \"counts\": {";
+    bool first = true;
+    const auto counts = h.counts();
+    for (std::size_t v = 0; v < counts.size(); ++v) {
+      if (counts[v] == 0) continue;
+      os << (first ? "" : ", ") << "\"" << v << "\": " << counts[v];
+      first = false;
+    }
+    os << "}}";
+  }
+  os << (histograms_.empty() ? "}" : "\n  }") << "\n}\n";
+}
+
+void MetricsRegistry::write_csv(std::ostream& os) const {
+  os << "metric,kind,value,count\n";
+  for (const auto& [name, value] : counters_) {
+    os << name << ",counter,," << value << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const auto counts = h.counts();
+    for (std::size_t v = 0; v < counts.size(); ++v) {
+      if (counts[v] == 0) continue;
+      os << name << ",histogram," << v << "," << counts[v] << "\n";
+    }
+  }
+}
+
+}  // namespace dapsp

@@ -1,0 +1,83 @@
+// Lightweight metrics: exact integer histograms and a named registry with
+// JSON/CSV exporters.
+//
+// The CONGEST engine's cost measures are small non-negative integers (bits
+// per edge-round, messages per round), so Histogram stores exact per-value
+// counts in a dense vector — no bucketing error, O(1) add, and a merge that
+// is a plain vector sum. Merging is commutative and associative, which is
+// what lets the sharded engine (DESIGN.md §11-§12) collect samples per shard
+// and fold them in fixed shard order with a partition-independent result.
+//
+// MetricsRegistry is a string-keyed bag of counters and histograms for
+// surfaces (CLI --metrics-out, benches) that want one self-describing
+// artifact; iteration order is insertion order so exports are deterministic.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dapsp {
+
+// Exact histogram over small non-negative integer samples: counts_[v] is the
+// multiplicity of sample value v.
+class Histogram {
+ public:
+  void add(std::uint64_t value, std::uint64_t count = 1);
+  // Per-value counts merge by addition (commutative: shard order immaterial).
+  void merge(const Histogram& other);
+  void clear();
+
+  std::uint64_t total() const noexcept { return total_; }
+  bool empty() const noexcept { return total_ == 0; }
+  // Count of one exact value (0 for anything never observed).
+  std::uint64_t count(std::uint64_t value) const noexcept;
+  // Smallest / largest value observed. Only meaningful when !empty().
+  std::uint64_t min_value() const noexcept;
+  std::uint64_t max_value() const noexcept;
+  double mean() const noexcept;
+  // Smallest value v with cdf(v) >= q, q in [0, 1]. quantile(1.0) is the max.
+  std::uint64_t quantile(double q) const noexcept;
+
+  // Dense per-value counts, index = sample value (may have trailing zeros).
+  std::span<const std::uint64_t> counts() const noexcept { return counts_; }
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+// Insertion-ordered registry of named counters and histograms.
+class MetricsRegistry {
+ public:
+  // Returns (creating on first use) the named metric. References stay valid
+  // for the registry's lifetime.
+  std::uint64_t& counter(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  const std::vector<std::pair<std::string, std::uint64_t>>& counters()
+      const noexcept {
+    return counters_;
+  }
+  const std::vector<std::pair<std::string, Histogram>>& histograms()
+      const noexcept {
+    return histograms_;
+  }
+
+  // One JSON object: {"counters": {...}, "histograms": {name: {"total": ...,
+  // "min": ..., "max": ..., "mean": ..., "counts": {"value": count, ...}}}}.
+  void write_json(std::ostream& os) const;
+  // Long-form CSV: metric,kind,value,count — counters use value "" and the
+  // counter reading as count, histogram rows are one per distinct value.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::pair<std::string, std::uint64_t>> counters_;
+  std::vector<std::pair<std::string, Histogram>> histograms_;
+};
+
+}  // namespace dapsp

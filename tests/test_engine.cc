@@ -233,6 +233,24 @@ TEST(Engine, AccumulateStats) {
   EXPECT_EQ(a.bandwidth_bits, 40u);
 }
 
+TEST(Engine, AccumulateRejectsMismatchedBudgets) {
+  // Phases enforced under different budgets B have no single honest
+  // bandwidth_bits value; silently max-ing them misreports the enforcement.
+  RunStats a{.bandwidth_bits = 40};
+  const RunStats b{.bandwidth_bits = 48};
+  EXPECT_THROW(accumulate(a, b), std::invalid_argument);
+  EXPECT_EQ(a.bandwidth_bits, 40u);  // rejected before any mutation
+
+  // A zero side (freshly default-constructed accumulator) adopts the
+  // other's budget, in either direction.
+  RunStats fresh{};
+  accumulate(fresh, a);
+  EXPECT_EQ(fresh.bandwidth_bits, 40u);
+  RunStats into{.bandwidth_bits = 48};
+  accumulate(into, RunStats{});
+  EXPECT_EQ(into.bandwidth_bits, 48u);
+}
+
 TEST(Engine, AccumulateStatsSumsFaultCounters) {
   RunStats a{.messages_dropped = 3, .messages_delayed = 1, .nodes_crashed = 1};
   const RunStats b{.messages_dropped = 2,

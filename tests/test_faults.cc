@@ -610,6 +610,57 @@ TEST(Detector, RejectsUnsafeTimeouts) {
   EXPECT_THROW(make(tight), std::invalid_argument);
 }
 
+TEST(Detector, MinimumLegalTimeoutNeverFalselySuspectsDelayFree) {
+  // Boundary pin for the no-false-positive guarantee (delay-free wires).
+  // The detector declares an edge dead once now - last_heard >= suspect_after
+  // (reliable.cc), and a live neighbor's worst silence gap is
+  // heartbeat_every + 2: a beat leaves at t, is answered on arrival, and the
+  // answer lands at t + 2. The validation floor suspect_after =
+  // heartbeat_every + 3 is therefore exactly safe — one less is rejected by
+  // the constructor (Detector.RejectsUnsafeTimeouts).
+  for (const Graph& g : test_families()) {
+    EngineConfig cfg;
+    cfg.max_rounds = 500000;
+    ReliableConfig rc;
+    rc.heartbeat_every = 4;
+    rc.suspect_after = rc.heartbeat_every + 3;  // minimum the validation admits
+    apply_reliable(cfg, rc);
+    Engine e(g, cfg);
+    e.init([](NodeId v) { return std::make_unique<NaiveFlood>(v); });
+    const Outcome out = e.run_bounded();
+    ASSERT_TRUE(out.ok()) << g.summary() << ": " << out.message;
+    EXPECT_EQ(out.stats.neighbors_suspected, 0u) << g.summary();
+    EXPECT_EQ(flood_distances(e), seq::bfs(g, 0).dist) << g.summary();
+  }
+}
+
+TEST(Detector, MinimumSafeTimeoutUnderMaxDelayNeverFalselySuspects) {
+  // Same boundary under the worst configured delays: with every message
+  // delayed (delay_prob = 1, up to d extra rounds) the documented silence
+  // bound grows to heartbeat_every + 2 + 2*d (beat and answer each delayed
+  // d). suspect_after exactly one above that bound must never produce a
+  // false NeighborDown, and the wrapped protocol must stay oracle-exact.
+  for (const Graph& g : test_families()) {
+    FaultPlan plan;
+    plan.seed = 7;
+    plan.delay_prob = 1.0;
+    plan.max_extra_delay = 3;
+    EngineConfig cfg;
+    cfg.faults = plan;
+    cfg.max_rounds = 500000;
+    ReliableConfig rc;
+    rc.heartbeat_every = 4;
+    rc.suspect_after = rc.heartbeat_every + 3 + 2 * plan.max_extra_delay;
+    apply_reliable(cfg, rc);
+    Engine e(g, cfg);
+    e.init([](NodeId v) { return std::make_unique<NaiveFlood>(v); });
+    const Outcome out = e.run_bounded();
+    ASSERT_TRUE(out.ok()) << g.summary() << ": " << out.message;
+    EXPECT_EQ(out.stats.neighbors_suspected, 0u) << g.summary();
+    EXPECT_EQ(flood_distances(e), seq::bfs(g, 0).dist) << g.summary();
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Crash survival: degraded-mode termination with certified outputs
 
