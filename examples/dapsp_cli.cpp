@@ -23,6 +23,8 @@
 #include <string>
 #include <vector>
 
+#include "congest/faults.h"
+#include "congest/reliable.h"
 #include "congest/trace.h"
 #include "core/apsp_applications.h"
 #include "core/distance_labels.h"
@@ -31,6 +33,7 @@
 #include "core/girth_approx.h"
 #include "core/kdom.h"
 #include "core/pebble_apsp.h"
+#include "core/repair.h"
 #include "core/ssp.h"
 #include "core/tree_check.h"
 #include "core/two_vs_four.h"
@@ -58,6 +61,13 @@ struct Args {
   // .jsonl/.csv by extension; metrics default to JSON, .csv by extension.
   std::optional<std::string> trace_out;
   std::optional<std::string> metrics_out;
+  // Fault injection (apsp only): the run is wrapped in the reliable layer
+  // and may end degraded; --repair then re-runs S-SP over the suspect rows.
+  double drop = 0.0;
+  double corrupt = 0.0;
+  std::uint64_t fault_seed = 1;
+  std::vector<congest::NodeCrash> crashes;
+  bool repair = false;
 };
 
 [[noreturn]] void usage() {
@@ -80,7 +90,19 @@ struct Args {
       "                        identical at every thread count)\n"
       "         --trace-out <f>    structured event trace (apsp, ssp):\n"
       "                            .json Chrome trace, .jsonl, or .csv\n"
-      "         --metrics-out <f>  load histograms + counters: .json or .csv\n");
+      "         --metrics-out <f>  load histograms + counters: .json or .csv\n"
+      "fault injection (apsp; the run is wrapped in the reliable layer):\n"
+      "         --drop <p>         per-message drop probability\n"
+      "         --corrupt <p>      per-message payload-corruption probability\n"
+      "         --crash v@round    crash-stop node v at that round (repeatable)\n"
+      "         --fault-seed <s>   seed of the fault plan (default 1)\n"
+      "         --repair           self-heal a degraded run (S-SP over the\n"
+      "                            suspect rows) and print the RepairReport\n"
+      "exit codes: 0 exact/repaired-and-certified tables\n"
+      "            1 error          2 usage, or degraded tables left unrepaired\n"
+      "                               (run without --repair, or repair failed\n"
+      "                               to certify every row)\n"
+      "            3 repair exceeded its O(|S|+D) round bound\n");
   std::exit(2);
 }
 
@@ -110,6 +132,21 @@ Args parse(int argc, char** argv) {
       a.metrics_out = next();
     } else if (arg == "--exact") {
       a.exact = true;
+    } else if (arg == "--drop") {
+      a.drop = std::stod(next());
+    } else if (arg == "--corrupt") {
+      a.corrupt = std::stod(next());
+    } else if (arg == "--fault-seed") {
+      a.fault_seed = std::stoull(next());
+    } else if (arg == "--crash") {
+      const std::string spec = next();
+      const std::size_t at = spec.find('@');
+      if (at == std::string::npos) usage();
+      a.crashes.push_back(
+          {static_cast<NodeId>(std::stoul(spec.substr(0, at))),
+           std::stoull(spec.substr(at + 1))});
+    } else if (arg == "--repair") {
+      a.repair = true;
     } else if (arg == "--sources") {
       std::stringstream ss(next());
       std::string tok;
@@ -194,6 +231,10 @@ void write_instrumentation(const Args& a, const Instrumentation& instr,
     reg.counter("bandwidth_bits") = stats.bandwidth_bits;
     reg.counter("max_edge_bits") = stats.max_edge_bits;
     reg.counter("max_edge_messages") = stats.max_edge_messages;
+    reg.counter("messages_dropped") = stats.messages_dropped;
+    reg.counter("messages_corrupted") = stats.messages_corrupted;
+    reg.counter("nodes_crashed") = stats.nodes_crashed;
+    reg.counter("node_stall_rounds") = stats.node_stall_rounds;
     reg.histogram("edge_bits").merge(instr.metrics.edge_bits);
     reg.histogram("edge_messages").merge(instr.metrics.edge_messages);
     reg.histogram("round_activity").merge(instr.metrics.round_activity);
@@ -236,24 +277,57 @@ int cmd_gen(const Args& a) {
   return 0;
 }
 
+bool wants_faults(const Args& a) {
+  return a.drop > 0.0 || a.corrupt > 0.0 || !a.crashes.empty();
+}
+
 int cmd_apsp(const Args& a, const Graph& g) {
   core::ApspOptions opt;
   opt.engine.threads = a.threads;
+  if (wants_faults(a)) {
+    congest::FaultPlan plan;
+    plan.seed = a.fault_seed;
+    plan.drop_prob = a.drop;
+    plan.corrupt_prob = a.corrupt;
+    plan.crashes = a.crashes;
+    opt.engine.faults = plan;
+    opt.engine.max_rounds = 1000000;
+    congest::apply_reliable(opt.engine);
+  }
   Instrumentation instr;
   instr.attach(a, opt.engine);
-  const core::ApspResult r = core::run_pebble_apsp(g, opt);
+  core::ApspResult r = core::run_pebble_apsp(g, opt);
   write_instrumentation(a, instr, r.stats);
-  std::printf("diameter=%u radius=%u girth=", r.diameter, r.radius);
-  if (r.girth == seq::kInfGirth) {
-    std::printf("inf");
-  } else {
-    std::printf("%u", r.girth);
+  if (r.aggregates_valid) {
+    std::printf("diameter=%u radius=%u girth=", r.diameter, r.radius);
+    if (r.girth == seq::kInfGirth) {
+      std::printf("inf");
+    } else {
+      std::printf("%u", r.girth);
+    }
+    std::printf("\nper-node eccentricities:");
+    for (NodeId v = 0; v < g.num_nodes(); ++v) std::printf(" %u", r.ecc[v]);
+    std::printf("\n");
   }
-  std::printf("\nper-node eccentricities:");
-  for (NodeId v = 0; v < g.num_nodes(); ++v) std::printf(" %u", r.ecc[v]);
-  std::printf("\n");
   print_stats(r.stats);
-  return 0;
+
+  if (r.status == congest::RunStatus::kCompleted) return 0;
+
+  // Degraded harvest: print the damage, optionally self-heal.
+  std::size_t survivors = 0;
+  for (const std::uint8_t s : r.survived) survivors += s != 0;
+  std::printf("-- degraded run: %zu/%u nodes survived\n", survivors,
+              g.num_nodes());
+  if (!a.repair) {
+    std::printf("-- tables are partial (rerun with --repair to self-heal)\n");
+    return 2;
+  }
+  core::RepairOptions ropt;
+  ropt.engine.threads = a.threads;
+  const core::RepairReport report = core::repair_apsp(g, r, ropt);
+  std::printf("-- %s\n", report.debug_string().c_str());
+  if (!report.bound_ok) return 3;
+  return report.all_certified() ? 0 : 2;
 }
 
 int cmd_scalar(const Args& a, const Graph& g) {

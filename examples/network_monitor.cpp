@@ -22,6 +22,7 @@
 #include "core/primitives/bfs_process.h"
 #include "core/pebble_apsp.h"
 #include "core/combined.h"
+#include "core/repair.h"
 #include "core/ecc_approx.h"
 #include "core/girth.h"
 #include "core/girth_approx.h"
@@ -95,7 +96,7 @@ int main() {
   crashed.engine.faults = crash_plan;
   crashed.engine.max_rounds = 1000000;
   congest::apply_reliable(crashed.engine);
-  const auto deg = core::run_pebble_apsp(small, crashed);
+  auto deg = core::run_pebble_apsp(small, crashed);
 
   std::printf("\nfull APSP on %s with node 17 crashing mid-run:\n",
               small.summary().c_str());
@@ -128,6 +129,22 @@ int main() {
                 core::to_string(deg.coverage[s]),
                 cert.certified[s] != 0 ? "certified" : "not certifiable");
   }
+
+  // Self-healing (DESIGN.md section 13): instead of re-running the whole
+  // Theta(n)-round APSP, repair exactly what broke — one S-SP pass with the
+  // suspect rows as sources, per surviving component, O(|S_missing| + D)
+  // rounds — then re-certify every row, the crashed router's included (its
+  // row proves all-infinite: node 17 is simply unreachable now).
+  const auto rep = core::repair_apsp(small, deg);
+  std::printf("  self-heal: %s\n", rep.debug_string().c_str());
+  std::printf("  repaired %u suspect rows in %llu rounds (bound %llu; the "
+              "degraded run itself took %llu) — %s\n",
+              rep.rows_repaired,
+              static_cast<unsigned long long>(rep.repair_rounds),
+              static_cast<unsigned long long>(rep.round_bound),
+              static_cast<unsigned long long>(deg.stats.rounds),
+              rep.all_certified() ? "every row now certified"
+                                  : "some rows remain uncertified");
 
   // Observability (DESIGN.md section 12): attach a structured trace and load
   // histograms to a fault-free APSP run. Collection is sharded with the

@@ -45,8 +45,23 @@ trace_smoke() {
   fi
 }
 
+# Chaos smoke (DESIGN.md section 13): a seeded crash + corruption + loss
+# campaign driven through the CLI's --repair path. Exit code 0 means the
+# degraded run was repaired and every row re-certified (all_certified);
+# 2/3 mean uncertified / bound-exceeded and fail the check.
+chaos_smoke() {
+  local dir="$1" tmp
+  echo "== chaos smoke (${dir}) =="
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "${tmp}"' RETURN
+  "${dir}/examples/dapsp_cli" gen grid 5 6 > "${tmp}/g.txt"
+  "${dir}/examples/dapsp_cli" apsp -g "${tmp}/g.txt" \
+    --drop 0.1 --corrupt 0.25 --crash 12@60 --fault-seed 7 --repair
+}
+
 run_config build RelWithDebInfo "$@"
 trace_smoke build
+chaos_smoke build
 run_config build-asan Asan "$@"
 
 echo "All checks passed. (Run scripts/check.sh --tsan for the TSan config.)"

@@ -6,15 +6,39 @@ Usage: validate_trace.py trace.json [metrics.json]
 Checks that the trace parses, has a non-empty "traceEvents" array, and that
 event timestamps (ts = CONGEST round) are non-decreasing in file order — the
 ordering guarantee of the sharded trace collector (DESIGN.md section 12).
-With a second argument, also checks the --metrics-out JSON shape.
+"corrupt" events (a fault-plan single-bit payload flip, DESIGN.md section
+13) are validated structurally: each must name the edge it happened on and
+carry a plausible flipped-bit index. With a second argument, also checks the
+--metrics-out JSON shape, and cross-checks the corrupt-event count against
+the "messages_corrupted" counter when both artifacts come from one run.
 """
 import json
 import sys
+
+# kTagBits + kMaxFields * widest value_bits (8 + 5*32): no flipped-bit index
+# can lie beyond the widest possible wire image.
+MAX_WIRE_BITS = 8 + 5 * 32
 
 
 def fail(msg: str) -> None:
     print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
     sys.exit(1)
+
+
+def check_corrupt_event(i: int, ev: dict) -> None:
+    args = ev.get("args")
+    if not isinstance(args, dict):
+        fail(f"corrupt event {i} has no args")
+    for key in ("node", "peer"):
+        if not isinstance(args.get(key), int):
+            fail(f"corrupt event {i} missing int {key!r} (edge unknown)")
+    # The writer omits aux when it is 0 (flipped bit 0).
+    aux = args.get("aux", 0)
+    if not isinstance(aux, int) or not 0 <= aux < MAX_WIRE_BITS:
+        fail(f"corrupt event {i}: flipped-bit index {aux!r} not in "
+             f"[0, {MAX_WIRE_BITS})")
+    if not isinstance(args.get("msg_kind"), int):
+        fail(f"corrupt event {i} missing int 'msg_kind'")
 
 
 def main() -> None:
@@ -27,6 +51,7 @@ def main() -> None:
     if not isinstance(events, list) or not events:
         fail("traceEvents missing or empty")
     prev = None
+    corrupt_events = 0
     for i, ev in enumerate(events):
         ts = ev.get("ts")
         if not isinstance(ts, (int, float)):
@@ -34,6 +59,9 @@ def main() -> None:
         if prev is not None and ts < prev:
             fail(f"ts decreases at event {i}: {prev} -> {ts}")
         prev = ts
+        if ev.get("cat") == "corrupt":
+            corrupt_events += 1
+            check_corrupt_event(i, ev)
 
     if len(sys.argv) > 2:
         with open(sys.argv[2]) as f:
@@ -44,8 +72,15 @@ def main() -> None:
         for name, hist in metrics["histograms"].items():
             if hist["total"] != sum(int(c) for c in hist["counts"].values()):
                 fail(f"histogram {name!r}: total != sum of counts")
+        # Per-node Chrome traces carry every corrupt event, so when the two
+        # artifacts come from the same run the counts must agree.
+        want = metrics["counters"].get("messages_corrupted")
+        if want is not None and int(want) != corrupt_events:
+            fail(f"messages_corrupted counter {want} != "
+                 f"{corrupt_events} corrupt trace events")
 
-    print(f"validate_trace: OK ({len(events)} events)")
+    print(f"validate_trace: OK ({len(events)} events, "
+          f"{corrupt_events} corrupt)")
 
 
 if __name__ == "__main__":

@@ -43,7 +43,9 @@ void accumulate(RunStats& into, const RunStats& from) {
   into.messages_dropped += from.messages_dropped;
   into.messages_delayed += from.messages_delayed;
   into.messages_duplicated += from.messages_duplicated;
+  into.messages_corrupted += from.messages_corrupted;
   into.nodes_crashed += from.nodes_crashed;
+  into.node_stall_rounds += from.node_stall_rounds;
   into.neighbors_suspected += from.neighbors_suspected;
 }
 
@@ -54,11 +56,16 @@ std::string RunStats::debug_string() const {
      << bandwidth_bits << " max_edge_msgs=" << max_edge_messages
      << " max_node_bits=" << max_node_bits;
   if (messages_dropped || messages_delayed || messages_duplicated ||
-      nodes_crashed || neighbors_suspected) {
+      messages_corrupted || nodes_crashed || node_stall_rounds ||
+      neighbors_suspected) {
     os << " dropped=" << messages_dropped << " delayed=" << messages_delayed
        << " duplicated=" << messages_duplicated
        << " crashed=" << nodes_crashed
        << " suspected=" << neighbors_suspected;
+    // Keep the counters introduced with the corruption/stall fault classes
+    // out of older outputs: print them only when nonzero.
+    if (messages_corrupted) os << " corrupted=" << messages_corrupted;
+    if (node_stall_rounds) os << " stall_rounds=" << node_stall_rounds;
   }
   return std::move(os).str();
 }
@@ -85,6 +92,25 @@ void RoundCtx::send_all(const Message& m) {
   const std::uint32_t d = degree();
   for (std::uint32_t i = 0; i < d; ++i) send(i, m);
 }
+
+namespace {
+
+// Applies FaultDecision::corrupt_bit to a message: wire bit layout is the
+// kTagBits kind bits followed by num_fields fields of value_bits bits each
+// (matching Message::bit_cost, which bounded the draw).
+Message corrupt_message(Message m, std::uint32_t bit,
+                        std::uint32_t value_bits) {
+  if (bit < static_cast<std::uint32_t>(kTagBits)) {
+    m.kind = static_cast<std::uint8_t>(m.kind ^ (1u << bit));
+  } else {
+    const std::uint32_t i = (bit - kTagBits) / value_bits;
+    const std::uint32_t j = (bit - kTagBits) % value_bits;
+    m.f[i] ^= (1u << j);
+  }
+  return m;
+}
+
+}  // namespace
 
 // The engine-backed round context: the real graph, the real round number,
 // the engine's frozen inboxes and buffered sends. One Ctx lives on a worker
@@ -236,6 +262,14 @@ void Engine::run_node(NodeId v, ShardAccum& acc) {
   deliveries_[v].clear();
   if (record_events_) node_events_[v].clear();
   if (crashed_[v] != 0) return;  // crash-stop: no execution, no sends
+  if (faults_ && faults_->stalled(v, round_)) {
+    // Transient stall: no execution, no sends, and the round's frozen inbox
+    // is never read — step()'s swap discards it, so count it as dropped here
+    // (shard-local; v's inbox is owned by v's shard this round).
+    acc.stats.messages_dropped += inboxes_[v].size();
+    ++acc.stats.node_stall_rounds;
+    return;
+  }
   Ctx ctx(*this, v, acc);
   try {
     processes_[v]->on_round(ctx);
@@ -343,7 +377,7 @@ void Engine::account_node(NodeId v, ShardAccum& acc) {
         if (record_trace_) record(TraceEventKind::kDrop, to, m, 0);
         continue;
       }
-      const FaultDecision d = faults_->decide(stream, edge);
+      const FaultDecision d = faults_->decide(stream, edge, cost);
       if (d.dropped) {
         ++acc.stats.messages_dropped;
         if (record_trace_) record(TraceEventKind::kDrop, to, m, 0);
@@ -360,7 +394,15 @@ void Engine::account_node(NodeId v, ShardAccum& acc) {
             record(TraceEventKind::kDelay, to, m, d.extra_delay[c]);
           }
         }
-        deliveries_[v].push_back(ResolvedDelivery{to, rec, d.extra_delay[c]});
+        Received copy = rec;
+        if (d.corrupt_bit[c] != kNoCorruption) {
+          copy.msg = corrupt_message(copy.msg, d.corrupt_bit[c], value_bits_);
+          ++acc.stats.messages_corrupted;
+          if (record_trace_) {
+            record(TraceEventKind::kCorrupt, to, copy.msg, d.corrupt_bit[c]);
+          }
+        }
+        deliveries_[v].push_back(ResolvedDelivery{to, copy, d.extra_delay[c]});
       }
       continue;
     }

@@ -18,8 +18,10 @@
 //
 // Beyond the idealized model, an optional FaultPlan (congest/faults.h)
 // perturbs the transport deterministically: messages may be dropped,
-// duplicated or delayed, links may fail at scheduled rounds, and nodes may
-// crash-stop. Faulty runs that stall are better driven through
+// duplicated, delayed or payload-corrupted (one wire bit flipped per
+// corrupted copy), links may fail at scheduled rounds, and nodes may
+// crash-stop or stall transiently. Faulty runs that stall are better driven
+// through
 // run_bounded(), which reports an Outcome with partial stats instead of
 // throwing. The reliable-delivery adapter (congest/reliable.h) restores the
 // synchronous abstraction for unmodified protocols on top of lossy links.
@@ -242,13 +244,17 @@ struct RunStats {
   std::uint32_t bandwidth_bits = 0;     // the enforced budget B
 
   // Fault accounting (all zero in fault-free runs). Dropped counts messages
-  // lost to drop probability, failed links, and deliveries to crashed nodes;
-  // duplicated counts the extra copies; delayed counts copies held back
-  // beyond the normal one-round latency.
+  // lost to drop probability, failed links, deliveries to crashed nodes, and
+  // inboxes discarded by stalled nodes; duplicated counts the extra copies;
+  // delayed counts copies held back beyond the normal one-round latency;
+  // corrupted counts delivered copies with a flipped payload bit.
   std::uint64_t messages_dropped = 0;
   std::uint64_t messages_delayed = 0;
   std::uint64_t messages_duplicated = 0;
+  std::uint64_t messages_corrupted = 0;
   std::uint32_t nodes_crashed = 0;
+  // Rounds in which some node was stalled (one count per stalled node-round).
+  std::uint64_t node_stall_rounds = 0;
   // Failure-detector verdicts: NeighborDown declarations made by delivery
   // layers (one per directed edge that went silent past suspect_after).
   std::uint64_t neighbors_suspected = 0;

@@ -23,6 +23,7 @@ FaultInjector::FaultInjector(const Graph& g, const FaultPlan& plan)
   check_prob(plan.drop_prob, "drop_prob");
   check_prob(plan.duplicate_prob, "duplicate_prob");
   check_prob(plan.delay_prob, "delay_prob");
+  check_prob(plan.corrupt_prob, "corrupt_prob");
   if (plan.delay_prob > 0.0 && plan.max_extra_delay == 0) {
     throw std::invalid_argument(
         "FaultPlan: delay_prob > 0 requires max_extra_delay >= 1");
@@ -40,9 +41,11 @@ FaultInjector::FaultInjector(const Graph& g, const FaultPlan& plan)
   const std::size_t directed_edges = offsets[n];
 
   drop_prob_.assign(directed_edges, plan.drop_prob);
+  corrupt_prob_.assign(directed_edges, plan.corrupt_prob);
   link_down_round_.assign(directed_edges,
                           std::numeric_limits<std::uint64_t>::max());
   crash_round_.assign(n, std::numeric_limits<std::uint64_t>::max());
+  stall_windows_.assign(n, {});
 
   // Every entry that names nodes or edges is validated here, before any
   // per-node / per-edge vector is indexed — the Engine constructs the
@@ -78,8 +81,14 @@ FaultInjector::FaultInjector(const Graph& g, const FaultPlan& plan)
     drop_prob_[directed_index(e.from, e.to, "edge_drop_overrides[]")] =
         e.drop_prob;
   }
+  for (const EdgeCorruptRate& e : plan.edge_corrupt_overrides) {
+    check_prob(e.corrupt_prob, "edge_corrupt_overrides[].corrupt_prob");
+    corrupt_prob_[directed_index(e.from, e.to, "edge_corrupt_overrides[]")] =
+        e.corrupt_prob;
+  }
   for (const LinkFailure& f : plan.link_failures) {
-    // A failed link is dead in both directions.
+    // A failed link is dead in both directions. Duplicate entries for one
+    // link resolve to the earliest failure round, independent of plan order.
     const std::size_t fwd = directed_index(f.u, f.v, "link_failures[]");
     const std::size_t bwd = directed_index(f.v, f.u, "link_failures[]");
     link_down_round_[fwd] = std::min(link_down_round_[fwd], f.round);
@@ -91,7 +100,24 @@ FaultInjector::FaultInjector(const Graph& g, const FaultPlan& plan)
                                   std::to_string(c.v) + ", out of range (n=" +
                                   std::to_string(n) + ")");
     }
+    // Duplicate entries resolve to the earliest crash round (order-free).
     crash_round_[c.v] = std::min(crash_round_[c.v], c.round);
+  }
+  for (const NodeStall& s : plan.stalls) {
+    if (s.v >= n) {
+      throw std::invalid_argument("FaultPlan: stalls[] names node " +
+                                  std::to_string(s.v) + ", out of range (n=" +
+                                  std::to_string(n) + ")");
+    }
+    if (s.duration == 0) {
+      throw std::invalid_argument(
+          "FaultPlan: stalls[] entry has duration 0; a stall must cover at "
+          "least one round");
+    }
+    if (s.round > std::numeric_limits<std::uint64_t>::max() - s.duration) {
+      throw std::invalid_argument("FaultPlan: stalls[] window overflows");
+    }
+    stall_windows_[s.v].emplace_back(s.round, s.round + s.duration);
   }
 }
 
@@ -117,12 +143,14 @@ Rng FaultInjector::stream(NodeId node, std::uint64_t round) const noexcept {
   return Rng(z);
 }
 
-FaultDecision FaultInjector::decide(Rng& stream,
-                                    std::size_t directed_edge) const {
+FaultDecision FaultInjector::decide(Rng& stream, std::size_t directed_edge,
+                                    std::uint32_t message_bits) const {
   FaultDecision d;
-  // Fixed draw order (drop, duplicate, per-copy delay) keeps runs
-  // reproducible: Rng::chance(0) returns without consuming state, so a plan
-  // field left at zero influences neither the outcome nor the stream.
+  // Fixed draw order (drop, duplicate, per-copy delay, per-copy corruption)
+  // keeps runs reproducible: Rng::chance(0) returns without consuming state,
+  // so a plan field left at zero influences neither the outcome nor the
+  // stream — in particular, plans written before corrupt_prob existed draw
+  // bit-identical fates.
   if (stream.chance(drop_prob_[directed_edge])) {
     d.dropped = true;
     return d;
@@ -132,6 +160,11 @@ FaultDecision FaultInjector::decide(Rng& stream,
     if (stream.chance(plan_.delay_prob)) {
       d.extra_delay[c] =
           static_cast<std::uint32_t>(stream.between(1, plan_.max_extra_delay));
+    }
+  }
+  for (std::uint32_t c = 0; c < d.copies; ++c) {
+    if (stream.chance(corrupt_prob_[directed_edge]) && message_bits > 0) {
+      d.corrupt_bit[c] = static_cast<std::uint32_t>(stream.below(message_bits));
     }
   }
   return d;

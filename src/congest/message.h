@@ -1,12 +1,14 @@
 // Messages in the CONGEST model.
 //
-// A message is a small tagged record of up to four integer fields. Its cost
+// A message is a small tagged record of up to five integer fields. Its cost
 // in bits is what the bandwidth accounting charges: a tag byte plus
 // `num_fields` values of `value_bits` bits each, where value_bits is derived
 // from n (everything a message carries — ids, distances, counts, diameter
 // estimates — is < 2n in this library). This realizes the paper's
 // B = O(log n): with the default budget a message carrying an (id, distance)
-// pair fits comfortably in one round's bandwidth.
+// pair fits comfortably in one round's bandwidth. (The fifth field exists for
+// the reliable layer's per-frame integrity checksum; protocol messages in
+// src/core use at most four.)
 #pragma once
 
 #include <array>
@@ -18,7 +20,7 @@
 namespace dapsp::congest {
 
 inline constexpr int kTagBits = 8;
-inline constexpr int kMaxFields = 4;
+inline constexpr int kMaxFields = 5;
 
 struct Message {
   std::uint8_t kind = 0;
@@ -39,6 +41,10 @@ struct Message {
   static Message make(std::uint8_t kind, std::uint32_t a, std::uint32_t b,
                       std::uint32_t c, std::uint32_t d) {
     return Message{kind, 4, {a, b, c, d}};
+  }
+  static Message make(std::uint8_t kind, std::uint32_t a, std::uint32_t b,
+                      std::uint32_t c, std::uint32_t d, std::uint32_t e) {
+    return Message{kind, 5, {a, b, c, d, e}};
   }
 
   // Cost charged against the per-edge bandwidth.

@@ -5,6 +5,47 @@
 
 namespace dapsp::congest {
 
+namespace {
+
+// 8-bit integrity checksum of a frame body (kind + payload fields, without
+// the trailing checksum field). Each field XOR-folds to a byte and is
+// rotated by a field-index-dependent amount before mixing, so a single
+// flipped wire bit — the fault model's corruption granularity — is detected
+// with certainty: a kind flip toggles the matching checksum bit directly, a
+// payload flip toggles exactly one bit of its field's rotated fold, and a
+// flip inside the checksum field itself mismatches the recomputation (the
+// stored value stays below 256, so even a flip of one of that field's high
+// bits is caught).
+std::uint32_t frame_checksum(const Message& m) {
+  std::uint32_t ck = m.kind;
+  for (int i = 0; i < m.num_fields; ++i) {
+    const std::uint32_t x = m.f[static_cast<std::size_t>(i)];
+    const std::uint32_t fold = (x ^ (x >> 8) ^ (x >> 16) ^ (x >> 24)) & 0xffu;
+    const std::uint32_t rot = (static_cast<std::uint32_t>(i) * 3 + 1) & 7u;
+    ck ^= ((fold << rot) | (fold >> (8 - rot))) & 0xffu;
+  }
+  return ck & 0xffu;
+}
+
+// Appends the checksum as the frame's last wire field. Every kRel* frame is
+// sealed exactly once, at creation.
+Message seal(Message m) {
+  m.f[m.num_fields] = frame_checksum(m);
+  ++m.num_fields;
+  return m;
+}
+
+// True when the trailing checksum verifies against the rest of the frame.
+bool frame_intact(const Message& m) {
+  if (m.num_fields == 0) return false;  // every kRel* frame is sealed
+  Message body = m;
+  --body.num_fields;
+  return m.f[static_cast<std::size_t>(m.num_fields) - 1] ==
+         frame_checksum(body);
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // Per-edge state
 
@@ -133,7 +174,18 @@ void ReliableAdapter::process_inbox(RoundCtx& ctx) {
       ++stats_.stale_frames;
       continue;
     }
+    // Arrival — even of a frame about to fail its checksum — refreshes the
+    // failure detector's clock: crashed nodes send nothing, so any frame is
+    // sound liveness evidence and pure corruption can never produce a false
+    // NeighborDown.
     last_heard_[e] = ctx.round();
+    if (!frame_intact(m)) {
+      // Discard; the ARQ recovers data/marker frames by retransmission and
+      // acks by the sender's stale-frame re-ack path. Beats carry no ARQ,
+      // but a corrupted beat already served its liveness purpose above.
+      ++stats_.corrupt_frames_dropped;
+      continue;
+    }
     if (m.kind == kRelBeat) {
       beat_owed_[e] = 1;  // answered in transmit() unless other traffic flows
       continue;
@@ -274,7 +326,7 @@ void ReliableAdapter::enqueue_markers_upto(std::uint32_t e,
   if (down_[e] != 0) return;
   while (tx.marker_enqueued < round) {
     ++tx.marker_enqueued;
-    tx.queue.push_back(Message::make(kRelMark, take_seq(e)));
+    tx.queue.push_back(seal(Message::make(kRelMark, take_seq(e))));
   }
 }
 
@@ -290,7 +342,7 @@ void ReliableAdapter::encode(std::uint32_t e, const Message& inner,
     f.f[0] = take_seq(e);
     f.f[1] = inner.kind;
     for (std::uint8_t i = 0; i < nf; ++i) f.f[2 + i] = inner.f[i];
-    tx.queue.push_back(f);
+    tx.queue.push_back(seal(f));
     return;
   }
   Message a;
@@ -300,21 +352,21 @@ void ReliableAdapter::encode(std::uint32_t e, const Message& inner,
   a.f[1] = inner.kind;
   a.f[2] = inner.f[0];
   a.f[3] = inner.f[1];
-  tx.queue.push_back(a);
+  tx.queue.push_back(seal(a));
   Message b;
   b.kind = last ? kRelFragBLast : kRelFragB;
   b.num_fields = static_cast<std::uint8_t>(nf - 1);  // seq + 1 or 2 fields
   b.f[0] = take_seq(e);
   b.f[1] = inner.f[2];
   if (nf == 4) b.f[2] = inner.f[3];
-  tx.queue.push_back(b);
+  tx.queue.push_back(seal(b));
 }
 
 void ReliableAdapter::enqueue_round_output(std::uint32_t e,
                                            const std::vector<Message>& outbox) {
   EdgeTx& tx = tx_[e];
   if (outbox.empty()) {
-    tx.queue.push_back(Message::make(kRelMark, take_seq(e)));
+    tx.queue.push_back(seal(Message::make(kRelMark, take_seq(e))));
   } else {
     for (std::size_t i = 0; i < outbox.size(); ++i) {
       encode(e, outbox[i], /*last=*/i + 1 == outbox.size());
@@ -392,7 +444,7 @@ void ReliableAdapter::transmit(RoundCtx& ctx, bool active) {
     bool sent = false;
     EdgeRx& rx = rx_[e];
     if (rx.ack_due) {
-      ctx.send(e, Message::make(kRelAck, rx.ack_seq));
+      ctx.send(e, seal(Message::make(kRelAck, rx.ack_seq)));
       ++stats_.acks_sent;
       rx.ack_due = false;
       rx.ack_accept = false;
@@ -420,11 +472,11 @@ void ReliableAdapter::transmit(RoundCtx& ctx, bool active) {
       // (and is itself never answered — quiescent pairs stay quiet); fresh
       // beats are initiated by active nodes only.
       if (beat_owed_[e] != 0) {
-        ctx.send(e, Message::make(kRelBeatAck));
+        ctx.send(e, seal(Message::make(kRelBeatAck)));
         ++stats_.beats_sent;
         sent = true;
       } else if (active && now - last_sent_any_[e] >= config_.heartbeat_every) {
-        ctx.send(e, Message::make(kRelBeat));
+        ctx.send(e, seal(Message::make(kRelBeat)));
         ++stats_.beats_sent;
         sent = true;
       }

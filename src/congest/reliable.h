@@ -14,6 +14,16 @@
 //   * every inner message is encoded into 1–2 frames (messages with more
 //     than two payload fields are fragmented, since a frame also carries a
 //     sequence number and the inner tag);
+//   * every frame — data, marker, ack, beat — carries a trailing integrity
+//     checksum field (an 8-bit XOR-fold of the kind and the other fields,
+//     with a per-field rotation). A frame whose checksum does not verify is
+//     counted (ReliableStats::corrupt_frames_dropped) and discarded; the
+//     stop-and-wait ARQ then recovers it by retransmission, so payload
+//     corruption (FaultPlan::corrupt_prob, one flipped wire bit per
+//     corrupted copy — a granularity the checksum detects with certainty)
+//     never reaches the inner process. A corrupted arrival still refreshes
+//     the failure detector's last-heard clock: crashed nodes send nothing,
+//     so even a garbled frame is sound evidence the peer is alive;
 //   * frames form a FIFO stream with per-edge sequence numbers (mod 256) and
 //     stop-and-wait ARQ: one frame outstanding, positive acks, retransmit
 //     after `retransmit_after` silent rounds; the receiver dedups stale
@@ -27,9 +37,10 @@
 //     quiescent network also quiesces at the engine level) and supplies it
 //     only when a neighbor's own traffic shows the marker is needed.
 //
-// Bandwidth: a frame plus an ack on one directed edge in one round costs up
-// to 2*kTagBits + 5*value_bits <= kTagBits + 6*value_bits (value_bits >= 8),
-// so wrapped runs need EngineConfig::bandwidth_ids >= kReliableBandwidthIds.
+// Bandwidth: with the trailing checksum the largest frame carries 5 fields,
+// so a frame plus an ack on one directed edge in one round costs up to
+// 2*kTagBits + 7*value_bits <= kTagBits + 8*value_bits (value_bits >= 8),
+// and wrapped runs need EngineConfig::bandwidth_ids >= kReliableBandwidthIds.
 // apply_reliable() sets this up.
 //
 // Failure detection (crash survival, DESIGN.md §10): crash-stop nodes and
@@ -86,7 +97,9 @@
 namespace dapsp::congest {
 
 // Outer wire-protocol tags. Kept in a high slice of the 8-bit kind space so
-// they never collide with protocol tags (src/core uses 1..12).
+// they never collide with protocol tags (src/core uses 1..12). The field
+// lists below omit the trailing integrity checksum every frame additionally
+// carries as its last field.
 enum ReliableKind : std::uint8_t {
   kRelAck = 240,        // (seq): cumulative ack of frame `seq`
   kRelMark = 241,       // (seq): round marker, no data this virtual round
@@ -111,8 +124,8 @@ enum ReliableKind : std::uint8_t {
 inline constexpr std::uint32_t kRelSeqMod = 256;
 
 // Minimum EngineConfig::bandwidth_ids for wrapped runs (frame + ack per
-// directed edge per round).
-inline constexpr std::uint32_t kReliableBandwidthIds = 6;
+// directed edge per round, both checksummed).
+inline constexpr std::uint32_t kReliableBandwidthIds = 8;
 
 // Default failure-detector timeout: safely above the worst-case heartbeat
 // round trip under the globally bounded reordering horizon
@@ -148,6 +161,9 @@ struct ReliableStats {
   std::uint64_t stale_frames = 0;     // duplicates discarded by dedup
   std::uint64_t inner_messages = 0;   // inner sends carried
   std::uint64_t beats_sent = 0;       // heartbeats + heartbeat answers
+  // Frames whose integrity checksum failed to verify: discarded, recovered
+  // by the ARQ. Nonzero only under FaultPlan::corrupt_prob.
+  std::uint64_t corrupt_frames_dropped = 0;
   std::uint32_t neighbors_declared_down = 0;  // detector verdicts
 };
 

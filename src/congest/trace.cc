@@ -24,6 +24,8 @@ const char* to_string(TraceEventKind k) noexcept {
       return "neighbor-down";
     case TraceEventKind::kFrontier:
       return "frontier";
+    case TraceEventKind::kCorrupt:
+      return "corrupt";
   }
   return "?";
 }
@@ -88,12 +90,12 @@ void TraceLog::write_jsonl(std::ostream& os) const {
 }
 
 void TraceLog::write_csv(std::ostream& os) const {
-  os << "kind,node,peer,round,msg_kind,f0,f1,f2,f3,aux\n";
+  os << "kind,node,peer,round,msg_kind,f0,f1,f2,f3,f4,aux\n";
   for (const TraceEvent& ev : events_) {
     os << to_string(ev.kind) << "," << ev.node << ",";
     if (ev.peer != kTraceNoPeer) os << ev.peer;
     os << "," << ev.round << "," << static_cast<unsigned>(ev.msg.kind);
-    for (int i = 0; i < 4; ++i) {
+    for (int i = 0; i < kMaxFields; ++i) {
       os << ",";
       if (i < ev.msg.num_fields) os << ev.msg.f[static_cast<std::size_t>(i)];
     }

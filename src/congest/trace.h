@@ -47,6 +47,8 @@ enum class TraceEventKind : std::uint8_t {
   kNeighborDown = 6,  // node's detector declared peer dead
   kFrontier = 7,      // node joined source `peer`'s BFS frontier; msg.f[0] =
                       // adopted distance (RoundCtx::trace_frontier)
+  kCorrupt = 8,       // a delivered copy of node -> peer had one payload bit
+                      // flipped; aux = flipped bit index, msg = corrupted copy
 };
 
 const char* to_string(TraceEventKind k) noexcept;
@@ -93,7 +95,7 @@ class TraceLog {
   // One JSON object per line: {"kind": "...", "node": ..., "peer": ...,
   // "round": ..., "msg_kind": ..., "f": [...]}.
   void write_jsonl(std::ostream& os) const;
-  // kind,node,peer,round,msg_kind,f0,f1,f2,f3 (header row included).
+  // kind,node,peer,round,msg_kind,f0,f1,f2,f3,f4 (header row included).
   void write_csv(std::ostream& os) const;
 
  private:

@@ -351,10 +351,13 @@ SspResult run_ssp(const Graph& g, std::span<const NodeId> sources,
   out.survived.resize(n);
   for (NodeId v = 0; v < n; ++v) out.survived[v] = engine.crashed(v) ? 0 : 1;
   out.delta.resize(n);
+  out.parent_index.resize(n);
   for (NodeId v = 0; v < n; ++v) {
     auto& p = engine.process_as<SspProcess>(v);
     out.delta[v] = p.ssp().delta();
     if (out.delta[v].empty()) out.delta[v].assign(n, kInfDist);
+    out.parent_index[v] = p.ssp().parent_index();
+    if (out.parent_index[v].empty()) out.parent_index[v].assign(n, kNoParent);
     if (out.survived[v] != 0 && p.degraded()) out.degraded_nodes.push_back(v);
     out.min_girth_witness =
         std::min(out.min_girth_witness, p.ssp().girth_witness());

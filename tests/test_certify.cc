@@ -191,6 +191,56 @@ TEST(Certify, CrashedSourceRowIsNeverCertifiable) {
   EXPECT_EQ(report.certified[0], 0u);
 }
 
+TEST(Certify, CrashedSourceAllInfiniteRowCertifies) {
+  // The repair module's normalization target (core/repair.h step 1): once a
+  // crashed source's row is zeroed to all-infinite over the survivors, it
+  // certifies vacuously — even when the crash splits the survivors into
+  // disconnected components ({0} and {2, 3} here), since each all-infinite
+  // component is internally consistent and nobody claims 0.
+  const Graph g = gen::path(4);
+  const std::vector<std::uint8_t> survived = {1, 0, 1, 1};
+  const std::vector<NodeId> sources = {1};  // the dead node itself
+  const auto report = certify_rows(
+      g, survived, sources, [](NodeId, NodeId) { return kInfDist; });
+  EXPECT_TRUE(report.all_certified());
+  EXPECT_EQ(report.checks_failed, 0u);
+}
+
+TEST(Certify, AllNodesCrashedHarvestIsVacuouslyCertified) {
+  // Total loss degenerates gracefully: with no survivor left to judge (or to
+  // be misinformed), every row certifies vacuously and coverage over the
+  // empty survivor set reads complete — "all zero survivors are covered".
+  const Graph g = gen::petersen();
+  const NodeId n = g.num_nodes();
+  const std::vector<std::uint8_t> survived(n, 0);
+  const auto entry = [](NodeId, NodeId) { return kInfDist; };
+  const auto report = certify_rows(g, survived, all_nodes(n), entry);
+  EXPECT_TRUE(report.all_certified());
+  EXPECT_EQ(report.rows_certified, n);
+  EXPECT_EQ(report.checks_failed, 0u);
+  const auto cov = classify_coverage(survived, all_nodes(n), entry);
+  for (const RowCoverage c : cov) EXPECT_EQ(c, RowCoverage::kComplete);
+}
+
+TEST(Certify, CoverageCompleteStaleRelayRowStillFailsWitnessRule) {
+  // The case coverage accounting alone cannot catch — and the reason
+  // repair_apsp() pre-certifies coverage-complete rows. Ring of 6, node 1
+  // crashes; every survivor keeps its pre-crash distance to source 0. All
+  // entries are finite (coverage complete!) but node 2's stale entry 2 has
+  // no surviving witness: its only live neighbor, node 3, holds 3, so
+  // rule (c) fails.
+  const Graph g = gen::cycle(6);
+  const std::vector<std::uint8_t> survived = {1, 0, 1, 1, 1, 1};
+  const std::vector<NodeId> sources = {0};
+  const DistanceMatrix oracle = seq::apsp(g);
+  const auto entry = [&](NodeId v, NodeId s) { return oracle.at(v, s); };
+  const auto cov = classify_coverage(survived, sources, entry);
+  ASSERT_EQ(cov[0], RowCoverage::kComplete);
+  const auto report = certify_rows(g, survived, sources, entry);
+  EXPECT_EQ(report.certified[0], 0u);
+  EXPECT_GT(report.checks_failed, 0u);
+}
+
 TEST(Certify, PebbleApspOutputCertifiesEndToEnd) {
   // The full pipeline: run Algorithm 1, feed its harvested matrix to the
   // verifier — the paper's output is its own certificate's witness.

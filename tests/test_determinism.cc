@@ -13,6 +13,7 @@
 #include "congest/faults.h"
 #include "congest/reliable.h"
 #include "core/pebble_apsp.h"
+#include "core/repair.h"
 #include "core/ssp.h"
 #include "graph/generators.h"
 #include "testing/suite.h"
@@ -144,6 +145,27 @@ EngineConfig reliable_lossy_config() {
   return cfg;
 }
 
+// Exercises the PR-5 fault classes: payload corruption (base + per-edge
+// override) and a transient stall, on top of loss.
+EngineConfig chaos_config(const Graph& g) {
+  FaultPlan plan;
+  plan.seed = 777;
+  plan.drop_prob = 0.1;
+  plan.duplicate_prob = 0.1;
+  plan.corrupt_prob = 0.3;
+  plan.edge_corrupt_overrides.push_back({g.edges()[0].u, g.edges()[0].v, 0.9});
+  plan.stalls.push_back({g.num_nodes() / 2, 2, 3});
+  EngineConfig cfg;
+  cfg.faults = plan;
+  return cfg;
+}
+
+EngineConfig reliable_chaos_config(const Graph& g) {
+  EngineConfig cfg = chaos_config(g);
+  apply_reliable(cfg);
+  return cfg;
+}
+
 std::vector<Graph> fault_graphs() {
   std::vector<Graph> out;
   out.push_back(gen::grid(4, 5));
@@ -155,7 +177,8 @@ std::vector<Graph> fault_graphs() {
 TEST(Determinism, FaultyRunsAcrossThreadCounts) {
   for (const Graph& g : fault_graphs()) {
     const EngineConfig plans[] = {lossy_config(), structural_config(g),
-                                  reliable_lossy_config()};
+                                  reliable_lossy_config(), chaos_config(g),
+                                  reliable_chaos_config(g)};
     int plan_no = 0;
     for (const EngineConfig& cfg : plans) {
       ++plan_no;
@@ -182,6 +205,48 @@ TEST(Determinism, FaultyRunsAreRepeatable) {
     const FloodRun b = run_flood(g, lossy_config(), t);
     ASSERT_EQ(a.stats, b.stats) << "threads=" << t;
     ASSERT_EQ(a.dist, b.dist) << "threads=" << t;
+  }
+}
+
+// --- Degraded runs and their repair -------------------------------------
+
+// A full chaos campaign — crash + drops + corruption, wrapped, degraded,
+// then repaired — must be byte-identical at every thread count, both in the
+// degraded harvest and in every repair output (suspects, rounds, coverage
+// histograms, certificate).
+TEST(Determinism, RepairCampaignAcrossThreadCounts) {
+  const Graph g = gen::grid(4, 5);
+  auto campaign = [&](std::uint32_t threads) {
+    core::ApspOptions opt;
+    opt.engine.threads = threads;
+    opt.engine.max_rounds = 1000000;
+    FaultPlan plan;
+    plan.seed = 31415;
+    plan.drop_prob = 0.1;
+    plan.corrupt_prob = 0.25;
+    plan.crashes.push_back({g.num_nodes() / 2, 60});
+    opt.engine.faults = plan;
+    apply_reliable(opt.engine);
+    core::ApspResult r = core::run_pebble_apsp(g, opt);
+    core::RepairOptions ropt;
+    ropt.engine.threads = threads;
+    const core::RepairReport report = core::repair_apsp(g, r, ropt);
+    std::string digest = r.stats.debug_string();
+    digest += "|" + report.debug_string();
+    digest += "|suspects:";
+    for (const NodeId s : report.suspect_sources) {
+      digest += std::to_string(s) + ",";
+    }
+    digest += "|" + report.stats.debug_string();
+    return std::make_tuple(std::move(digest), r.dist, r.next_hop);
+  };
+  const auto ref = campaign(1);
+  ASSERT_EQ(std::get<1>(ref), std::get<1>(ref));  // sanity: comparable
+  for (const std::uint32_t t : {2u, 8u}) {
+    const auto run = campaign(t);
+    ASSERT_EQ(std::get<0>(run), std::get<0>(ref)) << "threads=" << t;
+    ASSERT_EQ(std::get<1>(run), std::get<1>(ref)) << "threads=" << t;
+    ASSERT_EQ(std::get<2>(run), std::get<2>(ref)) << "threads=" << t;
   }
 }
 

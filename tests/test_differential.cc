@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/pebble_apsp.h"
+#include "core/repair.h"
 #include "core/ssp.h"
 #include "graph/generators.h"
 #include "graph/graph.h"
@@ -156,6 +157,54 @@ TEST(Differential, SspMatchesBfsRows) {
         ASSERT_EQ(r.delta[v][s], oracle.dist[v])
             << inst.recipe << " |S|=" << sources.size() << " source=" << s
             << " node=" << v;
+      }
+    }
+  }
+}
+
+TEST(Differential, RepairedStaleHarvestsMatchSubgraphOracle) {
+  // Differential probe for the self-healing path (core/repair.h): per
+  // instance, kill 1-2 seeded random nodes, hand repair_apsp() the full
+  // pre-crash oracle tables (the worst kind of degradation: every row
+  // coverage-complete, arbitrarily many silently stale), and demand the
+  // repaired tables equal the sequential oracle on the surviving subgraph —
+  // including disconnections, which random trees produce constantly.
+  std::uint64_t salt = 0;
+  for (const Instance& inst : differential_instances()) {
+    const Graph& g = inst.graph;
+    const NodeId n = g.num_nodes();
+    Rng rng(0xf1c5 + ++salt);
+    std::vector<std::uint8_t> survived(n, 1);
+    survived[static_cast<std::size_t>(rng.below(n))] = 0;
+    if (n > 4 && rng.chance(0.5)) {
+      survived[static_cast<std::size_t>(rng.below(n))] = 0;
+    }
+
+    core::ApspResult r;
+    r.dist = seq::apsp(g);
+    r.next_hop.assign(n, std::vector<NodeId>(n, core::kNoNextHop));
+    r.status = congest::RunStatus::kDegraded;
+    r.survived = survived;
+
+    const core::RepairReport report = core::repair_apsp(g, r);
+    ASSERT_TRUE(report.all_certified())
+        << inst.recipe << ": " << report.debug_string();
+    ASSERT_TRUE(report.bound_ok)
+        << inst.recipe << ": " << report.debug_string();
+
+    std::vector<Edge> live_edges;
+    for (const Edge& e : g.edges()) {
+      if (survived[e.u] != 0 && survived[e.v] != 0) live_edges.push_back(e);
+    }
+    const Graph sub(n, live_edges);
+    for (NodeId s = 0; s < n; ++s) {
+      const seq::BfsResult oracle = seq::bfs(sub, s);
+      for (NodeId v = 0; v < n; ++v) {
+        if (survived[v] == 0) continue;
+        const std::uint32_t want =
+            survived[s] != 0 ? oracle.dist[v] : (v == s ? 0u : kInfDist);
+        ASSERT_EQ(r.dist.at(v, s), want)
+            << inst.recipe << " node=" << v << " source=" << s;
       }
     }
   }

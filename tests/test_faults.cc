@@ -4,6 +4,7 @@
 // ReliableAdapter compute oracle-exact distances on lossy transports.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
 #include <memory>
 #include <vector>
@@ -807,6 +808,240 @@ TEST(CrashSurvival, DelayOnlyWrappedPebbleStaysExact) {
   for (const core::RowCoverage c : r.coverage) {
     EXPECT_EQ(c, core::RowCoverage::kComplete);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Duplicate schedule entries (regression): the injector must honor the
+// EARLIEST round for a node or link listed twice — a crash/failure cannot be
+// postponed by a later duplicate entry, in either listing order.
+
+TEST(FaultPlan, DuplicateCrashEntriesKeepEarliestRound) {
+  const Graph g = gen::path(3);
+  const std::vector<std::vector<NodeCrash>> orders = {
+      {{2, 1}, {2, 5}},  // early entry first
+      {{2, 5}, {2, 1}},  // early entry last
+  };
+  for (const auto& crashes : orders) {
+    FaultPlan plan;
+    plan.crashes = crashes;
+    const FaultInjector inj(g, plan);
+    EXPECT_EQ(inj.crash_round(2), 1u);
+    EXPECT_FALSE(inj.crashed(2, 0));
+    EXPECT_TRUE(inj.crashed(2, 1));
+  }
+}
+
+TEST(FaultPlan, DuplicateLinkFailuresKeepEarliestRound) {
+  const Graph g = gen::path(2);  // directed edges: 0 = 0->1, 1 = 1->0
+  const std::vector<std::vector<LinkFailure>> orders = {
+      {{0, 1, 2}, {1, 0, 7}},  // same undirected link, later duplicate
+      {{0, 1, 7}, {1, 0, 2}},  // reversed order and orientation
+  };
+  for (const auto& failures : orders) {
+    FaultPlan plan;
+    plan.link_failures = failures;
+    const FaultInjector inj(g, plan);
+    for (std::size_t e : {std::size_t{0}, std::size_t{1}}) {
+      EXPECT_FALSE(inj.link_down(e, 1));
+      EXPECT_TRUE(inj.link_down(e, 2));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Payload corruption and transient stalls
+
+TEST(FaultPlan, RejectsBadCorruptionAndStalls) {
+  const Graph g = gen::path(3);
+  {
+    FaultPlan plan;
+    plan.corrupt_prob = 1.5;
+    EXPECT_THROW(FaultInjector(g, plan), std::invalid_argument);
+  }
+  {
+    FaultPlan plan;
+    plan.edge_corrupt_overrides.push_back({0, 2, 0.5});  // not an edge
+    EXPECT_THROW(FaultInjector(g, plan), std::invalid_argument);
+  }
+  {
+    FaultPlan plan;
+    plan.stalls.push_back({7, 0, 1});  // no node 7
+    EXPECT_THROW(FaultInjector(g, plan), std::invalid_argument);
+  }
+  {
+    FaultPlan plan;
+    plan.stalls.push_back({1, 3, 0});  // empty window
+    EXPECT_THROW(FaultInjector(g, plan), std::invalid_argument);
+  }
+}
+
+TEST(Faults, CertainCorruptionFlipsExactlyOneWireBit) {
+  const Graph g = gen::path(2);
+  FaultPlan plan;
+  plan.corrupt_prob = 1.0;
+  Engine e = make_wire(g, plan);
+  e.init([](NodeId v) { return std::make_unique<OneShot>(v); });
+  const RunStats s = e.run();
+  EXPECT_EQ(s.messages_corrupted, 1u);
+  const auto& p1 = e.process_as<OneShot>(1);
+  ASSERT_EQ(p1.received_.size(), 1u);
+  const Message got = p1.received_[0];
+  const Message sent = Message::make(1, 42);
+  EXPECT_EQ(got.num_fields, sent.num_fields);  // the width never changes
+  int flipped = std::popcount(
+      static_cast<std::uint32_t>(got.kind ^ sent.kind));
+  for (int i = 0; i < sent.num_fields; ++i) {
+    flipped += std::popcount(got.f[static_cast<std::size_t>(i)] ^
+                             sent.f[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_EQ(flipped, 1);
+}
+
+TEST(Faults, ZeroProbCorruptionLeavesFaultStreamsIdentical) {
+  // Compatibility guarantee behind the corruption extension: a plan that
+  // CANNOT corrupt (corrupt_prob = 0, even with explicit zero overrides)
+  // draws bit-identical fates to the same plan before the field existed,
+  // because zero-probability draws consume no RNG state.
+  const Graph g = gen::random_connected(24, 20, 9);
+  FaultPlan base;
+  base.seed = 1234;
+  base.drop_prob = 0.2;
+  base.duplicate_prob = 0.1;
+  base.delay_prob = 0.1;
+  base.max_extra_delay = 4;
+  FaultPlan with_zero = base;
+  with_zero.corrupt_prob = 0.0;
+  with_zero.edge_corrupt_overrides.push_back({g.edges()[0].u,
+                                              g.edges()[0].v, 0.0});
+  auto run_once = [&](const FaultPlan& plan) {
+    EngineConfig cfg;
+    cfg.faults = plan;
+    Engine e(g, cfg);
+    e.init([](NodeId v) { return std::make_unique<NaiveFlood>(v); });
+    const RunStats s = e.run();
+    return std::make_pair(s, flood_distances(e));
+  };
+  const auto [s1, d1] = run_once(base);
+  const auto [s2, d2] = run_once(with_zero);
+  EXPECT_EQ(s1.rounds, s2.rounds);
+  EXPECT_EQ(s1.messages, s2.messages);
+  EXPECT_EQ(s1.messages_dropped, s2.messages_dropped);
+  EXPECT_EQ(s1.messages_delayed, s2.messages_delayed);
+  EXPECT_EQ(s1.messages_duplicated, s2.messages_duplicated);
+  EXPECT_EQ(s2.messages_corrupted, 0u);
+  EXPECT_EQ(d1, d2);
+}
+
+TEST(Faults, CorruptionIsReproducible) {
+  const Graph g = gen::random_connected(24, 20, 9);
+  FaultPlan plan;
+  plan.seed = 77;
+  plan.drop_prob = 0.1;
+  plan.corrupt_prob = 0.4;
+  auto run_once = [&] {
+    EngineConfig cfg;
+    cfg.faults = plan;
+    Engine e(g, cfg);
+    e.init([](NodeId v) { return std::make_unique<NaiveFlood>(v); });
+    const RunStats s = e.run();
+    return std::make_pair(s, flood_distances(e));
+  };
+  const auto [s1, d1] = run_once();
+  const auto [s2, d2] = run_once();
+  EXPECT_GT(s1.messages_corrupted, 0u);
+  EXPECT_EQ(s1.messages_corrupted, s2.messages_corrupted);
+  EXPECT_EQ(s1.messages_dropped, s2.messages_dropped);
+  EXPECT_EQ(d1, d2);
+}
+
+TEST(Faults, StallSilencesNodeTransiently) {
+  const Graph g = gen::path(3);
+  class Beacon final : public Process {
+   public:
+    void on_round(RoundCtx& ctx) override {
+      rounds_run_ += 1;
+      received_ += ctx.inbox().size();
+      if (ctx.round() < 6) ctx.send_all(Message::make(1, 7));
+    }
+    bool done() const override { return true; }
+    std::uint64_t rounds_run_ = 0;
+    std::size_t received_ = 0;
+  };
+  FaultPlan plan;
+  plan.stalls.push_back({2, 2, 2});  // rounds 2 and 3
+  EngineConfig cfg;
+  cfg.faults = plan;
+  Engine e(g, cfg);
+  e.init([](NodeId) { return std::make_unique<Beacon>(); });
+  const RunStats s = e.run_rounds(8);
+  EXPECT_EQ(s.node_stall_rounds, 2u);
+  EXPECT_EQ(s.nodes_crashed, 0u);
+  // The stalled node skipped exactly rounds 2 and 3 and then resumed.
+  EXPECT_EQ(e.process_as<Beacon>(2).rounds_run_, 6u);
+  // Its inbox for the stalled rounds (node 1's round-1 and round-2 sends)
+  // was discarded as drops; deliveries before and after were read normally.
+  EXPECT_EQ(s.messages_dropped, 2u);
+  EXPECT_EQ(e.process_as<Beacon>(2).received_, 4u);
+  // The neighbor missed the stalled node's rounds 2-3 sends but nothing else
+  // (node 2 beacons in rounds 0, 1, 4, 5), plus node 0's six sends.
+  EXPECT_EQ(e.process_as<Beacon>(1).received_, 4u + 6u);
+}
+
+TEST(Faults, OverlappingStallsUnion) {
+  const Graph g = gen::path(2);
+  FaultPlan plan;
+  plan.stalls.push_back({1, 2, 2});  // [2, 4)
+  plan.stalls.push_back({1, 3, 3});  // [3, 6)
+  const FaultInjector inj(g, plan);
+  EXPECT_FALSE(inj.stalled(1, 1));
+  for (std::uint64_t r = 2; r < 6; ++r) EXPECT_TRUE(inj.stalled(1, r)) << r;
+  EXPECT_FALSE(inj.stalled(1, 6));
+  EXPECT_FALSE(inj.stalled(0, 3));
+}
+
+TEST(Reliable, WrappedPebbleApspExactUnderCorruption) {
+  // The headline integrity guarantee: with every frame checksummed, payload
+  // corruption (on top of loss) is detected, discarded and recovered by the
+  // ARQ, so wrapped runs remain oracle-exact.
+  for (const Graph& g : test_families()) {
+    const DistanceMatrix oracle = seq::apsp(g);
+    core::ApspOptions opt;
+    opt.engine.faults = lossy_plan(0.1, 2024);
+    opt.engine.faults->corrupt_prob = 0.3;
+    opt.engine.max_rounds = 500000;
+    apply_reliable(opt.engine);
+    const auto r = core::run_pebble_apsp(g, opt);
+    EXPECT_TRUE(r.dist == oracle) << g.summary();
+    EXPECT_GT(r.stats.messages_corrupted, 0u) << g.summary();
+  }
+}
+
+TEST(Reliable, CorruptFramesAreCountedAndDiscarded) {
+  const Graph g = gen::grid(3, 4);
+  FaultPlan plan;
+  plan.seed = 9;
+  plan.corrupt_prob = 0.25;
+  EngineConfig cfg;
+  cfg.faults = plan;
+  cfg.max_rounds = 500000;
+  apply_reliable(cfg);
+  Engine e(g, cfg);
+  e.init([](NodeId v) { return std::make_unique<NaiveFlood>(v); });
+  const Outcome out = e.run_bounded();
+  ASSERT_TRUE(out.ok()) << out.message;
+  EXPECT_EQ(flood_distances(e), seq::bfs(g, 0).dist);
+  // Every corrupted frame the engine injected was caught by some adapter's
+  // checksum — none reached an inner process.
+  std::uint64_t caught = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    caught += dynamic_cast<ReliableAdapter&>(e.process(v))
+                  .stats().corrupt_frames_dropped;
+  }
+  EXPECT_GT(out.stats.messages_corrupted, 0u);
+  EXPECT_EQ(caught, out.stats.messages_corrupted);
+  // No corruption-induced false crash verdicts: corrupt arrivals still count
+  // as liveness evidence.
+  EXPECT_EQ(out.stats.neighbors_suspected, 0u);
 }
 
 TEST(Reliable, HarvestSeesThroughWrapper) {
