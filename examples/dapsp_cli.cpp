@@ -235,6 +235,9 @@ void write_instrumentation(const Args& a, const Instrumentation& instr,
     reg.counter("messages_corrupted") = stats.messages_corrupted;
     reg.counter("nodes_crashed") = stats.nodes_crashed;
     reg.counter("node_stall_rounds") = stats.node_stall_rounds;
+    reg.counter("repairs_attempted") = stats.repairs_attempted;
+    reg.counter("repairs_escalated") = stats.repairs_escalated;
+    reg.counter("checkpoint_bytes") = stats.checkpoint_bytes;
     reg.histogram("edge_bits").merge(instr.metrics.edge_bits);
     reg.histogram("edge_messages").merge(instr.metrics.edge_messages);
     reg.histogram("round_activity").merge(instr.metrics.round_activity);
@@ -297,7 +300,6 @@ int cmd_apsp(const Args& a, const Graph& g) {
   Instrumentation instr;
   instr.attach(a, opt.engine);
   core::ApspResult r = core::run_pebble_apsp(g, opt);
-  write_instrumentation(a, instr, r.stats);
   if (r.aggregates_valid) {
     std::printf("diameter=%u radius=%u girth=", r.diameter, r.radius);
     if (r.girth == seq::kInfGirth) {
@@ -311,7 +313,10 @@ int cmd_apsp(const Args& a, const Graph& g) {
   }
   print_stats(r.stats);
 
-  if (r.status == congest::RunStatus::kCompleted) return 0;
+  if (r.status == congest::RunStatus::kCompleted) {
+    write_instrumentation(a, instr, r.stats);
+    return 0;
+  }
 
   // Degraded harvest: print the damage, optionally self-heal.
   std::size_t survivors = 0;
@@ -320,12 +325,17 @@ int cmd_apsp(const Args& a, const Graph& g) {
               g.num_nodes());
   if (!a.repair) {
     std::printf("-- tables are partial (rerun with --repair to self-heal)\n");
+    write_instrumentation(a, instr, r.stats);
     return 2;
   }
   core::RepairOptions ropt;
   ropt.engine.threads = a.threads;
   const core::RepairReport report = core::repair_apsp(g, r, ropt);
   std::printf("-- %s\n", report.debug_string().c_str());
+  // Fold the repair's engine cost (and the repairs_attempted /
+  // repairs_escalated counters) into the run's instrumentation.
+  congest::accumulate(r.stats, report.stats);
+  write_instrumentation(a, instr, r.stats);
   if (!report.bound_ok) return 3;
   return report.all_certified() ? 0 : 2;
 }

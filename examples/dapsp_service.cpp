@@ -1,0 +1,299 @@
+// dapsp_service — long-running DAPSP service soak driver.
+//
+// Builds an initial graph, then sustains a seeded churn stream (edge
+// inserts/removes, node joins/leaves) interleaved with crash-stops and
+// stored-entry bit-rot, healing incrementally every epoch and checkpointing
+// on a cadence. The process exits 0 iff the final tables are fully certified
+// against the final graph — the soak contract CI leans on.
+//
+//   dapsp_service --universe 24 --updates 500 --chaos 0.05 --scrub-every 50
+//   dapsp_service --updates 200 --checkpoint-every 20 --kill-at 117
+//       (dies mid-run with exit 42; --restore <ckpt> resumes bit-identically)
+//   dapsp_service --restore s.ckpt --updates 200 ...  # resumes bit-identically
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "congest/trace.h"
+#include "core/service.h"
+#include "graph/delta.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "util/metrics.h"
+
+using namespace dapsp;
+
+namespace {
+
+struct Args {
+  std::string gen = "random";  // random|grid|path|cycle|tree
+  std::optional<std::string> graph_file;
+  NodeId universe = 24;
+  std::uint64_t updates = 500;
+  std::uint64_t seed = 1;
+  std::uint32_t batch_max = 3;
+  double chaos = 0.0;  // crash_prob and corrupt_prob per batch
+  std::uint32_t threads = 1;
+  std::uint32_t scrub_every = 0;
+  std::uint64_t checkpoint_every = 0;
+  std::string checkpoint_file = "dapsp_service.ckpt";
+  std::optional<std::string> restore_file;
+  std::uint64_t kill_at = 0;  // die right after this update (0 = never)
+  std::optional<std::string> trace_out;
+  std::optional<std::string> metrics_out;
+  bool quiet = false;
+};
+
+[[noreturn]] void usage() {
+  std::fprintf(
+      stderr,
+      "usage: dapsp_service [options]\n"
+      "  --gen <family>         random|grid|path|cycle|tree (default random)\n"
+      "  -g <file>              initial graph from an edge list instead\n"
+      "  --universe <n>         node universe for --gen (default 24)\n"
+      "  --updates <k>          churn batches to run (default 500)\n"
+      "  --seed <s>             generator + churn plan seed (default 1)\n"
+      "  --batch-max <k>        max deltas per batch (default 3)\n"
+      "  --chaos <p>            per-batch crash AND bit-rot probability\n"
+      "  --threads <t>          engine workers (identical results at any t)\n"
+      "  --scrub-every <k>      certificate scrub after every k-th epoch\n"
+      "  --checkpoint-every <k> checkpoint after every k-th update\n"
+      "  --checkpoint-file <f>  checkpoint path (default dapsp_service.ckpt)\n"
+      "  --restore <f>          resume from a checkpoint file\n"
+      "  --kill-at <k>          exit abruptly (code 42) after update k\n"
+      "  --trace-out <f>        service delta/epoch trace (.json/.jsonl/.csv)\n"
+      "  --metrics-out <f>      service counters (.json or .csv)\n"
+      "  --quiet                suppress per-epoch progress lines\n"
+      "exit codes: 0 final tables fully certified   1 not certified/error\n"
+      "            2 usage                          42 --kill-at fired\n");
+  std::exit(2);
+}
+
+Args parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (arg == "--gen") {
+      a.gen = next();
+    } else if (arg == "-g" || arg == "--graph") {
+      a.graph_file = next();
+    } else if (arg == "--universe") {
+      a.universe = static_cast<NodeId>(std::stoul(next()));
+    } else if (arg == "--updates") {
+      a.updates = std::stoull(next());
+    } else if (arg == "--seed") {
+      a.seed = std::stoull(next());
+    } else if (arg == "--batch-max") {
+      a.batch_max = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (arg == "--chaos") {
+      a.chaos = std::stod(next());
+    } else if (arg == "--threads") {
+      a.threads = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (arg == "--scrub-every") {
+      a.scrub_every = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (arg == "--checkpoint-every") {
+      a.checkpoint_every = std::stoull(next());
+    } else if (arg == "--checkpoint-file") {
+      a.checkpoint_file = next();
+    } else if (arg == "--restore") {
+      a.restore_file = next();
+    } else if (arg == "--kill-at") {
+      a.kill_at = std::stoull(next());
+    } else if (arg == "--trace-out") {
+      a.trace_out = next();
+    } else if (arg == "--metrics-out") {
+      a.metrics_out = next();
+    } else if (arg == "--quiet") {
+      a.quiet = true;
+    } else {
+      usage();
+    }
+  }
+  return a;
+}
+
+Graph make_graph(const Args& a) {
+  if (a.graph_file) {
+    std::ifstream in(*a.graph_file);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", a.graph_file->c_str());
+      std::exit(1);
+    }
+    return io::read_edge_list(in);
+  }
+  const NodeId n = a.universe;
+  if (a.gen == "random") return gen::random_connected(n, n / 2, a.seed);
+  if (a.gen == "path") return gen::path(n);
+  if (a.gen == "cycle") return gen::cycle(n);
+  if (a.gen == "tree") return gen::balanced_tree(n, 2);
+  if (a.gen == "grid") {
+    NodeId rows = static_cast<NodeId>(std::sqrt(static_cast<double>(n)));
+    while (rows > 1 && n % rows != 0) --rows;
+    return gen::grid(rows, n / rows);
+  }
+  std::fprintf(stderr, "unknown --gen family %s\n", a.gen.c_str());
+  std::exit(2);
+}
+
+bool has_suffix(const std::string& s, const char* suffix) {
+  const std::size_t len = std::strlen(suffix);
+  return s.size() >= len && s.compare(s.size() - len, len, suffix) == 0;
+}
+
+std::ofstream open_or_die(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  return out;
+}
+
+void write_outputs(const Args& a, const congest::TraceLog& trace,
+                   const core::ServiceStats& st) {
+  if (a.trace_out) {
+    std::ofstream out = open_or_die(*a.trace_out);
+    if (has_suffix(*a.trace_out, ".jsonl")) {
+      trace.write_jsonl(out);
+    } else if (has_suffix(*a.trace_out, ".csv")) {
+      trace.write_csv(out);
+    } else {
+      trace.write_chrome_json(out);
+    }
+    std::fprintf(stderr, "trace: %zu events -> %s\n", trace.size(),
+                 a.trace_out->c_str());
+  }
+  if (a.metrics_out) {
+    MetricsRegistry reg;
+    reg.counter("service_epochs") = st.epochs;
+    reg.counter("service_deltas") = st.deltas_applied;
+    reg.counter("service_crashes") = st.crashes;
+    reg.counter("service_corrupted") = st.corrupted_entries;
+    reg.counter("service_rows_repaired") = st.rows_repaired;
+    reg.counter("service_epochs_failed") = st.epochs_failed;
+    reg.counter("service_scrubs") = st.scrubs;
+    reg.counter("service_checkpoints") = st.checkpoints;
+    reg.counter("repairs_attempted") = st.run.repairs_attempted;
+    reg.counter("repairs_escalated") = st.run.repairs_escalated;
+    reg.counter("checkpoint_bytes") = st.run.checkpoint_bytes;
+    reg.counter("rounds") = st.run.rounds;
+    reg.counter("messages") = st.run.messages;
+    reg.counter("total_bits") = st.run.total_bits;
+    std::ofstream out = open_or_die(*a.metrics_out);
+    if (has_suffix(*a.metrics_out, ".csv")) {
+      reg.write_csv(out);
+    } else {
+      reg.write_json(out);
+    }
+    std::fprintf(stderr, "metrics -> %s\n", a.metrics_out->c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = parse(argc, argv);
+
+  congest::TraceLog trace;
+  core::ServiceConfig cfg;
+  cfg.engine.threads = a.threads;
+  cfg.scrub_every = a.scrub_every;
+  if (a.trace_out) cfg.engine.trace = &trace;
+
+  DeltaPlanConfig pc;
+  pc.seed = a.seed;
+  pc.max_batch = a.batch_max;
+  pc.crash_prob = a.chaos;
+  pc.corrupt_prob = a.chaos;
+  DeltaPlan plan(pc);
+
+  std::optional<core::DapspService> svc;
+  std::uint64_t done = 0;
+  try {
+    if (a.restore_file) {
+      std::ifstream in(*a.restore_file, std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", a.restore_file->c_str());
+        return 1;
+      }
+      std::vector<std::uint64_t> words;
+      svc.emplace(core::DapspService::restore(in, cfg, &words));
+      if (words.size() != 3) {
+        std::fprintf(stderr, "checkpoint is missing the plan state\n");
+        return 1;
+      }
+      plan.resume(words[0], words[1]);
+      done = words[2];
+      std::fprintf(stderr, "restored epoch %llu, %llu/%llu updates done\n",
+                   static_cast<unsigned long long>(svc->epoch()),
+                   static_cast<unsigned long long>(done),
+                   static_cast<unsigned long long>(a.updates));
+    } else {
+      const Graph g = make_graph(a);
+      svc.emplace(g, cfg);
+      std::fprintf(stderr, "initial build: n=%u m=%zu, all rows certified\n",
+                   g.num_nodes(), g.num_edges());
+    }
+
+    const std::uint64_t progress_step =
+        a.quiet ? 0 : std::max<std::uint64_t>(1, a.updates / 20);
+    for (std::uint64_t u = done; u < a.updates; ++u) {
+      const ChurnBatch batch = plan.next(svc->dynamic_graph());
+      const core::EpochReport ep = svc->step(batch);
+      if (progress_step && (u + 1) % progress_step == 0) {
+        std::fprintf(stderr, "[%llu/%llu] %s\n",
+                     static_cast<unsigned long long>(u + 1),
+                     static_cast<unsigned long long>(a.updates),
+                     ep.debug_string().c_str());
+      }
+      if (a.checkpoint_every && (u + 1) % a.checkpoint_every == 0) {
+        const std::uint64_t words[3] = {plan.rng_state(),
+                                        plan.batches_generated(), u + 1};
+        std::ofstream out(a.checkpoint_file, std::ios::binary);
+        if (!out) {
+          std::fprintf(stderr, "cannot write %s\n", a.checkpoint_file.c_str());
+          return 1;
+        }
+        svc->checkpoint(out, words);
+      }
+      if (a.kill_at && u + 1 == a.kill_at) {
+        std::fprintf(stderr, "killed at update %llu (by request)\n",
+                     static_cast<unsigned long long>(u + 1));
+        write_outputs(a, trace, svc->stats());
+        return 42;
+      }
+    }
+
+    // Bit-rot is invisible to the delta analyzer: end with a certificate
+    // scrub whenever corruption may still be latent, so exit status reflects
+    // the true table state.
+    if (svc->stats().corrupted_entries > 0 || !svc->fully_certified()) {
+      const core::EpochReport ep = svc->scrub();
+      if (!a.quiet) {
+        std::fprintf(stderr, "final scrub: %s\n", ep.debug_string().c_str());
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
+  const core::ServiceStats& st = svc->stats();
+  std::printf("service: %s\n", st.debug_string().c_str());
+  const bool certified = svc->fully_certified();
+  std::printf("final: n_active=%u m=%zu epoch=%llu %s\n",
+              svc->dynamic_graph().num_active(),
+              svc->dynamic_graph().num_edges(),
+              static_cast<unsigned long long>(svc->epoch()),
+              certified ? "FULLY-CERTIFIED" : "NOT-CERTIFIED");
+  write_outputs(a, trace, st);
+  return certified ? 0 : 1;
+}

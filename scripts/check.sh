@@ -59,9 +59,33 @@ chaos_smoke() {
     --drop 0.1 --corrupt 0.25 --crash 12@60 --fault-seed 7 --repair
 }
 
+# Churn-soak smoke (DESIGN.md section 14): 500 updates of seeded graph churn
+# with interleaved crash-stops and bit-rot through the long-running service.
+# Exit code 0 means the run ended with every row certified against the final
+# graph; the trace validator then cross-checks the service's kDelta/kEpoch
+# events against its metrics counters.
+churn_smoke() {
+  local dir="$1" tmp
+  echo "== churn soak smoke (${dir}) =="
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "${tmp}"' RETURN
+  "${dir}/examples/dapsp_service" --updates 500 --universe 24 --seed 7 \
+    --chaos 0.05 --scrub-every 50 --checkpoint-every 100 \
+    --checkpoint-file "${tmp}/svc.ckpt" \
+    --trace-out "${tmp}/service_trace.json" \
+    --metrics-out "${tmp}/service_metrics.json" --quiet
+  if command -v python3 >/dev/null 2>&1; then
+    python3 scripts/validate_trace.py \
+      "${tmp}/service_trace.json" "${tmp}/service_metrics.json"
+  else
+    echo "python3 not found; skipping service trace validation"
+  fi
+}
+
 run_config build RelWithDebInfo "$@"
 trace_smoke build
 chaos_smoke build
+churn_smoke build
 run_config build-asan Asan "$@"
 
 echo "All checks passed. (Run scripts/check.sh --tsan for the TSan config.)"

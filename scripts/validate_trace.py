@@ -8,9 +8,13 @@ event timestamps (ts = CONGEST round) are non-decreasing in file order — the
 ordering guarantee of the sharded trace collector (DESIGN.md section 12).
 "corrupt" events (a fault-plan single-bit payload flip, DESIGN.md section
 13) are validated structurally: each must name the edge it happened on and
-carry a plausible flipped-bit index. With a second argument, also checks the
---metrics-out JSON shape, and cross-checks the corrupt-event count against
-the "messages_corrupted" counter when both artifacts come from one run.
+carry a plausible flipped-bit index. "delta" / "epoch" events (the
+long-running service's churn stream and per-epoch repair outcomes, DESIGN.md
+section 14) are validated against their aux encodings. With a second
+argument, also checks the --metrics-out JSON shape, and cross-checks event
+counts against the run's counters: corrupt events vs "messages_corrupted",
+and — for a dapsp_service run — delta/crash/epoch events vs the
+service_deltas / service_crashes / service_epochs / service_scrubs counters.
 """
 import json
 import sys
@@ -18,6 +22,12 @@ import sys
 # kTagBits + kMaxFields * widest value_bits (8 + 5*32): no flipped-bit index
 # can lie beyond the widest possible wire image.
 MAX_WIRE_BITS = 8 + 5 * 32
+
+# kDelta aux encoding (core/service.cc): low byte = DeltaKind (0..3), bit 8
+# marks an unannounced crash (only ever set on a node-leave).
+DELTA_CRASH_BIT = 0x100
+NODE_LEAVE = 3
+MAX_EPOCH_OUTCOME = 3  # clean / repaired / retried / escalated
 
 
 def fail(msg: str) -> None:
@@ -41,6 +51,39 @@ def check_corrupt_event(i: int, ev: dict) -> None:
         fail(f"corrupt event {i} missing int 'msg_kind'")
 
 
+def check_delta_event(i: int, ev: dict) -> bool:
+    """Validates one service churn event; returns True for a crash-leave."""
+    args = ev.get("args")
+    if not isinstance(args, dict):
+        fail(f"delta event {i} has no args")
+    if not isinstance(args.get("node"), int):
+        fail(f"delta event {i} missing int 'node'")
+    aux = args.get("aux", 0)
+    kind = aux & 0xFF
+    if aux & ~(DELTA_CRASH_BIT | 0xFF):
+        fail(f"delta event {i}: unknown aux bits in {aux:#x}")
+    if kind > NODE_LEAVE:
+        fail(f"delta event {i}: delta kind {kind} out of range")
+    crash = bool(aux & DELTA_CRASH_BIT)
+    if crash and kind != NODE_LEAVE:
+        fail(f"delta event {i}: crash bit on a non-leave delta (aux {aux:#x})")
+    # Node join/leave deltas are self-events (peer == node).
+    if kind >= 2 and args.get("peer") != args["node"]:
+        fail(f"delta event {i}: node delta with peer != node")
+    return crash
+
+
+def check_epoch_event(i: int, ev: dict) -> None:
+    args = ev.get("args")
+    if not isinstance(args, dict):
+        fail(f"epoch event {i} has no args")
+    outcome = args.get("aux", 0)
+    if not isinstance(outcome, int) or not 0 <= outcome <= MAX_EPOCH_OUTCOME:
+        fail(f"epoch event {i}: outcome {outcome!r} out of range")
+    if not isinstance(args.get("peer", 0), int):
+        fail(f"epoch event {i}: suspect-row count missing")
+
+
 def main() -> None:
     if len(sys.argv) < 2:
         fail("usage: validate_trace.py trace.json [metrics.json]")
@@ -52,6 +95,7 @@ def main() -> None:
         fail("traceEvents missing or empty")
     prev = None
     corrupt_events = 0
+    delta_events = crash_events = epoch_events = 0
     for i, ev in enumerate(events):
         ts = ev.get("ts")
         if not isinstance(ts, (int, float)):
@@ -59,9 +103,18 @@ def main() -> None:
         if prev is not None and ts < prev:
             fail(f"ts decreases at event {i}: {prev} -> {ts}")
         prev = ts
-        if ev.get("cat") == "corrupt":
+        cat = ev.get("cat")
+        if cat == "corrupt":
             corrupt_events += 1
             check_corrupt_event(i, ev)
+        elif cat == "delta":
+            if check_delta_event(i, ev):
+                crash_events += 1
+            else:
+                delta_events += 1
+        elif cat == "epoch":
+            epoch_events += 1
+            check_epoch_event(i, ev)
 
     if len(sys.argv) > 2:
         with open(sys.argv[2]) as f:
@@ -78,9 +131,26 @@ def main() -> None:
         if want is not None and int(want) != corrupt_events:
             fail(f"messages_corrupted counter {want} != "
                  f"{corrupt_events} corrupt trace events")
+        # A dapsp_service run emits one kDelta event per applied delta (the
+        # crash bit marking unannounced leaves) and one kEpoch event per
+        # step() or scrub(); the service counters must agree exactly.
+        counters = metrics["counters"]
+        for name, got in (("service_deltas", delta_events),
+                          ("service_crashes", crash_events)):
+            want = counters.get(name)
+            if want is not None and int(want) != got:
+                fail(f"{name} counter {want} != {got} trace events")
+        epochs = counters.get("service_epochs")
+        scrubs = counters.get("service_scrubs")
+        if epochs is not None and scrubs is not None:
+            want_epochs = int(epochs) + int(scrubs)
+            if want_epochs != epoch_events:
+                fail(f"service_epochs + service_scrubs = {want_epochs} != "
+                     f"{epoch_events} epoch trace events")
 
     print(f"validate_trace: OK ({len(events)} events, "
-          f"{corrupt_events} corrupt)")
+          f"{corrupt_events} corrupt, {delta_events} delta, "
+          f"{crash_events} crash, {epoch_events} epoch)")
 
 
 if __name__ == "__main__":

@@ -117,7 +117,17 @@ FaultInjector::FaultInjector(const Graph& g, const FaultPlan& plan)
     if (s.round > std::numeric_limits<std::uint64_t>::max() - s.duration) {
       throw std::invalid_argument("FaultPlan: stalls[] window overflows");
     }
-    stall_windows_[s.v].emplace_back(s.round, s.round + s.duration);
+    // Canonicalize against the node's crash: a crashed node can no longer
+    // stall, so a window is truncated at the (earliest-wins, resolved above)
+    // crash round and dropped entirely when it starts at or after it. This
+    // mirrors the earliest-wins rule for duplicate crash/link entries and is
+    // behavior-neutral — the engine checks crashed(v) before stalled(v) — but
+    // it keeps stalled() and node_stall_rounds accounting from ever naming
+    // rounds the node was already dead for.
+    const std::uint64_t end =
+        std::min(s.round + s.duration, crash_round_[s.v]);
+    if (s.round >= end) continue;
+    stall_windows_[s.v].emplace_back(s.round, end);
   }
 }
 

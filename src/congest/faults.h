@@ -67,7 +67,9 @@ struct NodeCrash {
 // `round + duration` on it resumes normally. Messages addressed to it while
 // stalled are lost exactly as if the node were briefly deaf; messages it
 // sent before stalling are still delivered. Overlapping stalls for one node
-// union naturally.
+// union naturally. Windows overlapping the node's crash round are
+// canonicalized at plan compilation: truncated at the crash round (a dead
+// node cannot also stall) and dropped when they begin at or after it.
 struct NodeStall {
   NodeId v = 0;
   std::uint64_t round = 0;

@@ -26,6 +26,10 @@ const char* to_string(TraceEventKind k) noexcept {
       return "frontier";
     case TraceEventKind::kCorrupt:
       return "corrupt";
+    case TraceEventKind::kDelta:
+      return "delta";
+    case TraceEventKind::kEpoch:
+      return "epoch";
   }
   return "?";
 }

@@ -49,6 +49,13 @@ enum class TraceEventKind : std::uint8_t {
                       // adopted distance (RoundCtx::trace_frontier)
   kCorrupt = 8,       // a delivered copy of node -> peer had one payload bit
                       // flipped; aux = flipped bit index, msg = corrupted copy
+  kDelta = 9,         // service graph mutation applied (core/service.h):
+                      // node = u, peer = v (or u for node deltas), round =
+                      // service epoch, aux = graph delta kind (graph/delta.h)
+  kEpoch = 10,        // service repair epoch completed: node = epoch index,
+                      // peer = suspect-row count, round = service epoch,
+                      // aux = outcome (0 clean, 1 repaired, 2 retried,
+                      // 3 escalated to full recompute)
 };
 
 const char* to_string(TraceEventKind k) noexcept;

@@ -80,33 +80,59 @@ RepairReport repair_apsp(const Graph& g, ApspResult& result,
     }
   }
 
-  // 2. Find suspects among the surviving sources. Lost and partial rows are
-  // suspect by coverage alone; coverage-complete rows still get the
-  // distributed certificate, which catches stale-relay rows (finite
-  // everywhere but failing the shortest-path-witness rule (c)).
+  // 2. Find suspects among the surviving sources. Either the caller already
+  // knows them (core/service.h's dirty-region analyzer hands them in — no
+  // detection sweep at all), or every surviving row is put through the
+  // distributed certificate and the failures are the suspects. Certifying
+  // *all* surviving rows — not only coverage-complete ones — is what makes
+  // repair idempotent: an exact-but-partial row (e.g. all-infinite entries
+  // across a surviving cut) passes the certificate and is left alone on a
+  // second repair instead of being blanket-suspected again; the certificate's
+  // completeness (certify.h) guarantees no stale row slips through.
   CertifyOptions copts;
   copts.engine = sanitized(options.engine);
   std::vector<NodeId> suspects;
-  std::vector<NodeId> complete_rows;
-  for (NodeId s = 0; s < n; ++s) {
-    if (result.survived[s] == 0) continue;
-    if (before[s] == RowCoverage::kComplete) {
-      complete_rows.push_back(s);
-    } else {
-      suspects.push_back(s);
+  if (options.suspects) {
+    suspects = *options.suspects;
+    std::sort(suspects.begin(), suspects.end());
+    suspects.erase(std::unique(suspects.begin(), suspects.end()),
+                   suspects.end());
+    for (const NodeId s : suspects) {
+      if (s >= n || result.survived[s] == 0) {
+        throw std::invalid_argument(
+            "repair_apsp: supplied suspect " + std::to_string(s) +
+            (s >= n ? " is out of range" : " names a dead source"));
+      }
+    }
+  } else {
+    std::vector<NodeId> surviving;
+    surviving.reserve(n);
+    for (NodeId s = 0; s < n; ++s) {
+      if (result.survived[s] != 0) surviving.push_back(s);
+    }
+    if (!surviving.empty()) {
+      const CertifyReport pre =
+          certify_rows(g, result.survived, surviving, entry, copts);
+      for (std::size_t k = 0; k < surviving.size(); ++k) {
+        if (pre.certified[k] == 0) suspects.push_back(surviving[k]);
+      }
+      fold_stats(report.stats, pre.stats);
     }
   }
-  if (!complete_rows.empty()) {
-    const CertifyReport pre =
-        certify_rows(g, result.survived, complete_rows, entry, copts);
-    for (std::size_t k = 0; k < complete_rows.size(); ++k) {
-      if (pre.certified[k] == 0) suspects.push_back(complete_rows[k]);
-    }
-    fold_stats(report.stats, pre.stats);
-  }
-  std::sort(suspects.begin(), suspects.end());
   report.suspect_sources = suspects;
   report.rows_repaired = static_cast<std::uint32_t>(suspects.size());
+  report.stats.repairs_attempted = 1;
+
+  // Supplied-empty fast path: nothing to repair, and with certify_all off
+  // nothing to certify either — return a zero-cost report (the convergence
+  // contract service epochs with a clean dirty set rely on).
+  if (suspects.empty() && options.suspects && !options.certify_all) {
+    const std::vector<RowCoverage> after_now =
+        classify_coverage(result.survived, all_sources, entry);
+    add_coverage(report.coverage_after, after_now);
+    result.coverage = after_now;
+    return report;
+  }
 
   // 3. Connected components of the surviving subgraph. Members are collected
   // ascending, so members[0] — the subgraph's node 0 after relabeling — is
@@ -209,15 +235,20 @@ RepairReport repair_apsp(const Graph& g, ApspResult& result,
     }
   }
 
-  // 5. Re-certify every row — crashed sources included, whose all-infinite
-  // rows certify vacuously — and refresh the result's coverage picture.
+  // 5. Re-certify — every row (crashed sources included, whose all-infinite
+  // rows certify vacuously) by default, only the repaired rows in
+  // incremental mode — and refresh the result's coverage picture.
   const std::vector<RowCoverage> after =
       classify_coverage(result.survived, all_sources, entry);
   add_coverage(report.coverage_after, after);
   result.coverage = after;
-  report.certificate =
-      certify_rows(g, result.survived, all_sources, entry, copts);
-  fold_stats(report.stats, report.certificate.stats);
+  const std::vector<NodeId>& cert_sources =
+      options.certify_all ? all_sources : suspects;
+  if (!cert_sources.empty()) {
+    report.certificate =
+        certify_rows(g, result.survived, cert_sources, entry, copts);
+    fold_stats(report.stats, report.certificate.stats);
+  }
   return report;
 }
 

@@ -12,10 +12,12 @@
 //      rows of crashed sources to all-infinite (a dead source is unreachable
 //      in the surviving subgraph, so all-infinite is its exact — and
 //      certifiable — row);
-//   2. find suspects: S_missing = surviving sources whose row is kLost or
-//      kPartial, plus coverage-complete rows that fail the distributed
-//      certificate (certify_rows rule (c) catches stale-relay rows whose
-//      entries no surviving neighborhood can witness);
+//   2. find suspects: either supplied by the caller (RepairOptions::suspects
+//      — the service's dirty-region analyzer path, skipping detection
+//      entirely), or every surviving row is run through the distributed
+//      certificate and the failures become S_missing (rule (c) catches
+//      stale-relay rows whose entries no surviving neighborhood can witness;
+//      exact-but-partial rows pass, making repeated repair a no-op);
 //   3. repair: per connected component of the surviving subgraph, re-run
 //      S-SP with the component's suspects as the source set and merge the
 //      resulting delta / parent_index into dist / next_hop (cross-component
@@ -37,6 +39,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -59,6 +62,22 @@ struct RepairOptions {
   // models the post-incident network, where the surviving subgraph is
   // healthy. threads / bandwidth_ids / max_rounds are honored.
   congest::EngineConfig engine{};
+
+  // Externally-supplied suspect rows (core/service.h's dirty-region
+  // analyzer). When set, the detection pass is skipped and exactly these
+  // surviving sources are recomputed, so the repair costs O(|suspects| + D)
+  // rounds with no O(n) certification sweep. Out-of-range or dead sources
+  // throw. A supplied *empty* set short-circuits: with certify_all false no
+  // engine runs at all and the report comes back zero-cost. nullopt = detect
+  // suspects from coverage + certificates, as before.
+  std::optional<std::vector<NodeId>> suspects;
+
+  // When false, the post-repair certificate covers only the repaired rows
+  // instead of all n — incremental-service mode, where global certification
+  // is amortized across epochs (core/service.h tracks per-row status and
+  // scrubs periodically). Default true: certify everything, the one-shot
+  // recovery behavior.
+  bool certify_all = true;
 };
 
 struct RepairReport {
@@ -75,8 +94,10 @@ struct RepairReport {
   std::uint64_t round_bound = kRepairRoundSlack;
   bool bound_ok = true;  // repair_rounds of every component within its bound
 
-  // Post-repair certificate over ALL source rows (crashed sources certify
-  // as all-infinite). The acceptance bar: certificate.all_certified().
+  // Post-repair certificate: over ALL source rows (crashed sources certify
+  // as all-infinite) by default, or only the repaired rows when
+  // RepairOptions::certify_all is false. The acceptance bar:
+  // certificate.all_certified().
   CertifyReport certificate;
 
   // Row-coverage distribution before and after the repair, indexed by the

@@ -1,0 +1,777 @@
+#include "core/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <istream>
+#include <iterator>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "util/rng.h"
+
+namespace dapsp::core {
+
+namespace {
+
+using congest::TraceEvent;
+using congest::TraceEventKind;
+
+// kDelta aux encoding: low byte = DeltaKind; bit 8 marks an *unannounced*
+// crash (applied as a node-leave the analyzer treats identically, but worth
+// telling apart in traces).
+constexpr std::uint32_t kDeltaCrashBit = 0x100u;
+
+constexpr char kCheckpointMagic[8] = {'D', 'S', 'V', 'C', '0', '0', '0', '1'};
+
+void put_u32(std::vector<std::uint8_t>& b, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) b.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& b, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) b.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+// FNV-1a 64 over the blob body — catches truncation and bit damage of a
+// checkpoint file before any field is trusted.
+std::uint64_t blob_checksum(std::span<const std::uint8_t> bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+struct BlobReader {
+  const std::uint8_t* p;
+  std::size_t left;
+
+  void need(std::size_t k) const {
+    if (left < k) {
+      throw std::runtime_error("DapspService::restore: truncated checkpoint");
+    }
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
+    p += 4;
+    left -= 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{p[i]} << (8 * i);
+    p += 8;
+    left -= 8;
+    return v;
+  }
+  std::uint8_t u8() {
+    need(1);
+    const std::uint8_t v = *p;
+    ++p;
+    --left;
+    return v;
+  }
+};
+
+std::uint32_t abs_diff(std::uint32_t a, std::uint32_t b) {
+  return a > b ? a - b : b - a;
+}
+
+}  // namespace
+
+const char* to_string(RowStatus s) noexcept {
+  switch (s) {
+    case RowStatus::kExact:
+      return "exact";
+    case RowStatus::kRepaired:
+      return "repaired";
+    case RowStatus::kStale:
+      return "stale";
+  }
+  return "?";
+}
+
+const char* to_string(EpochOutcome o) noexcept {
+  switch (o) {
+    case EpochOutcome::kClean:
+      return "clean";
+    case EpochOutcome::kRepaired:
+      return "repaired";
+    case EpochOutcome::kRetried:
+      return "retried";
+    case EpochOutcome::kEscalated:
+      return "escalated";
+  }
+  return "?";
+}
+
+DirtyReport analyze_dirty_rows(const DistanceMatrix& dist,
+                               std::span<const std::uint8_t> active_before,
+                               std::span<const Edge> edges_before,
+                               const DynamicGraph& after) {
+  const NodeId n = after.universe();
+  if (dist.n() != n || active_before.size() != n) {
+    throw std::invalid_argument(
+        "analyze_dirty_rows: table/mask sizes do not match the universe");
+  }
+
+  DirtyReport dr;
+  std::vector<std::uint8_t> is_joined(n, 0), is_left(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    const bool before = active_before[v] != 0;
+    const bool now = after.active(v);
+    if (now && !before) {
+      is_joined[v] = 1;
+      dr.joined.push_back(v);
+    } else if (before && !now) {
+      is_left[v] = 1;
+      dr.left.push_back(v);
+    }
+  }
+
+  // Canonical edge diffs (both lists sorted u-major, v-minor, u < v).
+  const std::vector<Edge> edges_after = after.sorted_edges();
+  const auto edge_lt = [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  };
+  std::vector<Edge> ins_raw, rem_raw;
+  std::set_difference(edges_after.begin(), edges_after.end(),
+                      edges_before.begin(), edges_before.end(),
+                      std::back_inserter(ins_raw), edge_lt);
+  std::set_difference(edges_before.begin(), edges_before.end(),
+                      edges_after.begin(), edges_after.end(),
+                      std::back_inserter(rem_raw), edge_lt);
+  for (const Edge& e : ins_raw) {
+    // Edges at a joined endpoint are its attachment frontier — covered by
+    // the join rule, not the insert rule (the joined side has no meaningful
+    // old distance to compare).
+    if (is_joined[e.u] || is_joined[e.v]) continue;
+    dr.inserted.push_back(e);
+  }
+  for (const Edge& e : rem_raw) {
+    // Edges at a left endpoint are covered by the leave boundary rule.
+    if (is_left[e.u] || is_left[e.v]) continue;
+    dr.removed.push_back(e);
+  }
+
+  // Adjacent joins break the patch premise (a frontier node's distances must
+  // be *old* certified values): hand the whole epoch to a full recompute.
+  for (const NodeId w : dr.joined) {
+    for (const NodeId x : after.neighbors(w)) {
+      if (is_joined[x]) {
+        dr.needs_full = true;
+        return dr;
+      }
+    }
+  }
+
+  // Pre-batch adjacency of the left nodes (their boundary edges).
+  std::vector<std::vector<NodeId>> left_boundary(dr.left.size());
+  if (!dr.left.empty()) {
+    for (const Edge& e : edges_before) {
+      for (std::size_t i = 0; i < dr.left.size(); ++i) {
+        const NodeId x = dr.left[i];
+        if (e.u == x && !is_left[e.v] && after.active(e.v)) {
+          left_boundary[i].push_back(e.v);
+        } else if (e.v == x && !is_left[e.u] && after.active(e.u)) {
+          left_boundary[i].push_back(e.u);
+        }
+      }
+    }
+  }
+
+  for (NodeId s = 0; s < n; ++s) {
+    if (!after.active(s)) continue;
+    if (is_joined[s]) {
+      dr.dirty.push_back(s);  // fresh row, always recomputed
+      continue;
+    }
+    bool d = false;
+    for (const Edge& e : dr.inserted) {
+      const std::uint32_t a = dist.at(e.u, s), b = dist.at(e.v, s);
+      if (a == kInfDist && b == kInfDist) continue;
+      if (a == kInfDist || b == kInfDist || abs_diff(a, b) >= 2) {
+        d = true;
+        break;
+      }
+    }
+    // Shared by the removal and leave rules: did downstream node `hi` (old
+    // distance pd + 1) keep an alternative parent at distance pd in the
+    // post-batch graph? If so its distance — and everything beyond it — is
+    // unchanged (the old shortest-path suffix from hi survives; distances
+    // strictly increase along it, so it cannot reuse the lost connection).
+    // Checking against the *after* adjacency keeps multi-delta batches
+    // sound: a parent lost to another delta in the same batch doesn't count.
+    const auto has_alt_parent = [&](NodeId hi, std::uint32_t pd) {
+      for (const NodeId y : after.neighbors(hi)) {
+        // A joined node has no trustworthy old-table entry yet.
+        if (!is_joined[y] && dist.at(y, s) == pd) return true;
+      }
+      return false;
+    };
+    if (!d) {
+      for (const Edge& e : dr.removed) {
+        const std::uint32_t a = dist.at(e.u, s), b = dist.at(e.v, s);
+        if (a == kInfDist && b == kInfDist) continue;
+        // A certified table is 1-Lipschitz across existing edges, so one
+        // infinite endpoint means the table was already suspect.
+        if (a == kInfDist || b == kInfDist) {
+          d = true;
+          break;
+        }
+        // The edge mattered for row s only if it sat on a shortest path
+        // (diff 1) AND the downstream endpoint lost its last parent.
+        if (abs_diff(a, b) != 1) continue;
+        const NodeId hi = a > b ? e.u : e.v;
+        if (!has_alt_parent(hi, std::min(a, b))) {
+          d = true;
+          break;
+        }
+      }
+    }
+    if (!d) {
+      for (std::size_t i = 0; i < dr.left.size() && !d; ++i) {
+        const NodeId x = dr.left[i];
+        const std::uint32_t a = dist.at(x, s);
+        if (a == kInfDist) continue;  // x was unreachable: no s-path used it
+        for (const NodeId y : left_boundary[i]) {
+          const std::uint32_t b = dist.at(y, s);
+          // y's shortest path may have run through x — unless y kept
+          // another parent at x's old distance.
+          if (b != kInfDist && b == a + 1 && !has_alt_parent(y, a)) {
+            d = true;
+            break;
+          }
+        }
+      }
+    }
+    if (!d) {
+      for (const NodeId w : dr.joined) {
+        std::uint32_t mn = kInfDist;
+        bool any_inf = false;
+        std::uint32_t mx = 0;
+        for (const NodeId x : after.neighbors(w)) {
+          const std::uint32_t dx = dist.at(x, s);
+          if (dx == kInfDist) {
+            any_inf = true;
+          } else {
+            mn = std::min(mn, dx);
+            mx = std::max(mx, dx);
+          }
+        }
+        if (mn == kInfDist) continue;  // frontier unreachable (or empty)
+        if (any_inf || mx > mn + 2) {
+          // w shortcuts between frontier nodes (or bridges s's component to
+          // an unreachable one): the row changes beyond the one new entry.
+          d = true;
+          break;
+        }
+      }
+    }
+    if (d) dr.dirty.push_back(s);
+  }
+  return dr;
+}
+
+void DapspService::validate_config() const {
+  if (!(config_.escalate_fraction > 0.0 && config_.escalate_fraction <= 1.0)) {
+    throw std::invalid_argument(
+        "ServiceConfig: escalate_fraction must lie in (0, 1]");
+  }
+  if (config_.max_repair_attempts == 0) {
+    throw std::invalid_argument(
+        "ServiceConfig: max_repair_attempts must be >= 1");
+  }
+}
+
+DapspService::DapspService(const Graph& initial, const ServiceConfig& config)
+    : config_(config), graph_(initial), served_dist_(initial.num_nodes()) {
+  validate_config();
+  const NodeId n = initial.num_nodes();
+  apsp_.dist = DistanceMatrix(n);
+  apsp_.next_hop.assign(n, std::vector<NodeId>(n, kNoNextHop));
+  apsp_.survived.assign(n, 1);
+  apsp_.status = congest::RunStatus::kCompleted;
+  served_next_hop_.assign(n, std::vector<NodeId>(n, kNoNextHop));
+  row_status_.assign(n, RowStatus::kStale);
+
+  // Initial build: one full S-SP recompute (works on disconnected inputs —
+  // the repair layer runs per component), certified over every row.
+  RepairOptions ropts;
+  ropts.engine = config_.engine;
+  if (config_.watchdog_rounds) ropts.engine.max_rounds = config_.watchdog_rounds;
+  std::vector<NodeId> all(n);
+  for (NodeId v = 0; v < n; ++v) all[v] = v;
+  ropts.suspects = all;
+  ropts.certify_all = true;
+  const RepairReport rep = repair_apsp(initial, apsp_, ropts);
+  if (!rep.all_certified()) {
+    throw std::runtime_error(
+        "DapspService: initial build failed to certify: " +
+        rep.debug_string());
+  }
+  stats_.rows_repaired += rep.rows_repaired;
+  congest::accumulate(stats_.run, rep.stats);
+  std::vector<NodeId> rows(all);
+  refresh_served(rows, RowStatus::kExact);
+}
+
+DapspService::DapspService(RestoreTag, const ServiceConfig& config,
+                           DynamicGraph graph)
+    : config_(config), graph_(std::move(graph)) {
+  validate_config();
+}
+
+void DapspService::zero_row(NodeId x) {
+  const NodeId n = graph_.universe();
+  for (NodeId v = 0; v < n; ++v) {
+    apsp_.dist.set(v, x, kInfDist);
+    apsp_.next_hop[v][x] = kNoNextHop;
+    served_dist_.set(v, x, kInfDist);
+    served_next_hop_[v][x] = kNoNextHop;
+  }
+  row_status_[x] = RowStatus::kStale;
+}
+
+void DapspService::patch_join_entries(const DirtyReport& dr) {
+  // For clean rows (not about to be recomputed) the joined node's entry is
+  // determined by its frontier: D_s(w) = 1 + min over attachments. Suspect
+  // rows get patched too — harmlessly, their repair overwrites everything.
+  const NodeId n = graph_.universe();
+  for (const NodeId w : dr.joined) {
+    const auto frontier = graph_.neighbors(w);
+    for (NodeId s = 0; s < n; ++s) {
+      if (!graph_.active(s) || s == w) continue;
+      std::uint32_t mn = kInfDist;
+      NodeId arg = kNoNextHop;
+      for (const NodeId x : frontier) {
+        const std::uint32_t dx = apsp_.dist.at(x, s);
+        if (dx < mn) {
+          mn = dx;
+          arg = x;
+        }
+      }
+      apsp_.dist.set(w, s, mn == kInfDist ? kInfDist : mn + 1);
+      apsp_.next_hop[w][s] = arg;
+    }
+  }
+}
+
+void DapspService::refresh_served(std::span<const NodeId> rows,
+                                  RowStatus status) {
+  const NodeId n = graph_.universe();
+  for (const NodeId s : rows) {
+    for (NodeId v = 0; v < n; ++v) {
+      served_dist_.set(v, s, apsp_.dist.at(v, s));
+      served_next_hop_[v][s] = apsp_.next_hop[v][s];
+    }
+    row_status_[s] = status;
+  }
+}
+
+void DapspService::run_repair_ladder(
+    std::optional<std::vector<NodeId>> suspects, bool force_escalate,
+    EpochReport& ep) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  const auto wall_blown = [&]() {
+    if (config_.watchdog_wall_ms == 0) return false;
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - wall_start);
+    return static_cast<std::uint64_t>(elapsed.count()) >
+           config_.watchdog_wall_ms;
+  };
+
+  const Graph snap = graph_.snapshot();
+  apsp_.survived = graph_.active_mask();
+
+  std::vector<NodeId> all_active;
+  for (NodeId v = 0; v < graph_.universe(); ++v) {
+    if (graph_.active(v)) all_active.push_back(v);
+  }
+
+  // The ladder's rungs: incremental (when the analyzer supplied suspects),
+  // certificate-driven detection, full recompute. force_escalate (oversized
+  // region / needs_full) jumps straight to the last rung.
+  struct Rung {
+    std::optional<std::vector<NodeId>> suspects;
+    bool certify_all = true;
+    bool escalation = false;
+  };
+  std::vector<Rung> rungs;
+  if (!force_escalate) {
+    if (suspects) rungs.push_back({suspects, false, false});
+    rungs.push_back({std::nullopt, true, false});
+  }
+  rungs.push_back({all_active, true, true});
+  if (rungs.size() > config_.max_repair_attempts) {
+    // Keep the first rungs but always end on the full recompute.
+    rungs.erase(rungs.begin() + (config_.max_repair_attempts - 1),
+                rungs.end() - 1);
+  }
+
+  for (std::size_t i = 0; i < rungs.size(); ++i) {
+    if (i > 0) {
+      if (config_.backoff_base_ms > 0) {
+        const std::uint64_t ms = config_.backoff_base_ms << (i - 1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+        stats_.backoff_ms += ms;
+      }
+      // Wall watchdog: skip intermediate rungs, keep only the final
+      // escalation (the one guaranteed-simple recovery path).
+      if (wall_blown() && i + 1 < rungs.size()) continue;
+    }
+    const Rung& rung = rungs[i];
+    ++ep.attempts;
+    if (rung.escalation) {
+      ep.escalated = true;
+      ep.stats.repairs_escalated += 1;
+    }
+    RepairOptions ropts;
+    ropts.engine = config_.engine;
+    if (config_.watchdog_rounds) {
+      ropts.engine.max_rounds = config_.watchdog_rounds;
+    }
+    ropts.suspects = rung.suspects;
+    ropts.certify_all = rung.certify_all;
+    try {
+      const RepairReport rep = repair_apsp(snap, apsp_, ropts);
+      congest::accumulate(ep.stats, rep.stats);
+      if (!rep.all_certified()) continue;  // failed attempt: next rung
+      ep.certified = true;
+      ep.suspect_rows = rep.rows_repaired;
+      ep.repair_rounds = rep.repair_rounds;
+      ep.round_bound = rep.round_bound;
+      ep.bound_ok = rep.bound_ok;
+      stats_.rows_repaired += rep.rows_repaired;
+      if (rung.certify_all) {
+        // Every active row certified against the current graph.
+        refresh_served(all_active, RowStatus::kExact);
+      } else {
+        refresh_served(rep.suspect_sources, RowStatus::kRepaired);
+      }
+      return;
+    } catch (const congest::RoundLimitError&) {
+      // Watchdog trip: the attempt is over budget, move up the ladder.
+      continue;
+    } catch (const congest::CongestionError&) {
+      continue;
+    }
+  }
+
+  // Every rung failed: mark what we meant to heal stale; the served snapshot
+  // keeps answering from the last certified state.
+  ep.certified = false;
+  ++stats_.epochs_failed;
+  const std::vector<NodeId>& stale = suspects ? *suspects : all_active;
+  for (const NodeId s : stale) {
+    if (graph_.active(s)) row_status_[s] = RowStatus::kStale;
+  }
+}
+
+void DapspService::emit_epoch_event(const EpochReport& ep) {
+  if (config_.engine.trace == nullptr) return;
+  TraceEvent ev;
+  ev.kind = TraceEventKind::kEpoch;
+  ev.node = static_cast<NodeId>(ep.epoch);
+  ev.peer = ep.suspect_rows;
+  ev.round = ep.epoch;
+  ev.aux = static_cast<std::uint32_t>(ep.outcome);
+  config_.engine.trace->append(ev);
+}
+
+EpochReport DapspService::step(const ChurnBatch& batch) {
+  ++epoch_;
+  EpochReport ep;
+  ep.epoch = epoch_;
+
+  const std::vector<Edge> edges_before = graph_.sorted_edges();
+  const std::vector<std::uint8_t> active_before = graph_.active_mask();
+
+  congest::TraceLog* trace = config_.engine.trace;
+  const auto emit_delta = [&](const GraphDelta& d, bool crash) {
+    if (trace == nullptr) return;
+    TraceEvent ev;
+    ev.kind = TraceEventKind::kDelta;
+    ev.node = d.u;
+    ev.peer = d.v;
+    ev.round = epoch_;
+    ev.aux = static_cast<std::uint32_t>(d.kind) | (crash ? kDeltaCrashBit : 0);
+    trace->append(ev);
+  };
+
+  for (const GraphDelta& d : batch.deltas) {
+    graph_.apply(d);
+    emit_delta(d, false);
+    ++ep.deltas_applied;
+  }
+  for (const NodeId v : batch.crashes) {
+    if (!graph_.active(v)) continue;  // already gone; nothing to crash
+    const GraphDelta d{DeltaKind::kNodeLeave, v, v};
+    graph_.apply(d);
+    emit_delta(d, true);
+    ++ep.crashes;
+    ep.stats.nodes_crashed += 1;
+  }
+
+  // Analyze against the pre-epoch table, then retire dead rows.
+  const DirtyReport dr = analyze_dirty_rows(apsp_.dist, active_before,
+                                            edges_before, graph_);
+  for (const NodeId x : dr.left) zero_row(x);
+
+  // Suspects = the analyzed dirty set plus any rows still stale from failed
+  // earlier epochs (or a restore) — staleness carries over until healed.
+  std::vector<NodeId> suspects = dr.dirty;
+  for (NodeId s = 0; s < graph_.universe(); ++s) {
+    if (graph_.active(s) && row_status_[s] == RowStatus::kStale) {
+      suspects.push_back(s);
+    }
+  }
+  std::sort(suspects.begin(), suspects.end());
+  suspects.erase(std::unique(suspects.begin(), suspects.end()),
+                 suspects.end());
+
+  bool force = dr.needs_full;
+  if (!force && !suspects.empty()) {
+    const double frac = static_cast<double>(suspects.size()) /
+                        static_cast<double>(std::max<NodeId>(
+                            graph_.num_active(), 1));
+    if (frac > config_.escalate_fraction) force = true;
+  }
+
+  if (suspects.empty() && !force) {
+    ep.outcome = EpochOutcome::kClean;
+    ep.certified = true;
+  } else {
+    if (!force) patch_join_entries(dr);
+    run_repair_ladder(force ? std::nullopt
+                            : std::optional<std::vector<NodeId>>(suspects),
+                      force, ep);
+    if (ep.certified && !force && !dr.joined.empty()) {
+      // The direct-patched entries of clean rows (one cell per joined node
+      // per row) are exact by construction — serve them too.
+      for (const NodeId w : dr.joined) {
+        for (NodeId s = 0; s < graph_.universe(); ++s) {
+          if (!graph_.active(s)) continue;
+          served_dist_.set(w, s, apsp_.dist.at(w, s));
+          served_next_hop_[w][s] = apsp_.next_hop[w][s];
+        }
+      }
+    }
+    ep.outcome = ep.escalated ? EpochOutcome::kEscalated
+                 : ep.attempts > 1
+                     ? EpochOutcome::kRetried
+                     : EpochOutcome::kRepaired;
+  }
+
+  // Bit-rot lands after the epoch's certification (it models decay between
+  // epochs); it is invisible to the analyzer and waits for a scrub — or for
+  // its row to turn suspect for other reasons.
+  if (batch.corrupt_flips > 0) {
+    Rng rot(batch.corrupt_seed);
+    for (std::uint32_t i = 0; i < batch.corrupt_flips; ++i) {
+      const NodeId v = static_cast<NodeId>(rot.below(graph_.universe()));
+      const NodeId s = static_cast<NodeId>(rot.below(graph_.universe()));
+      if (!graph_.active(v) || !graph_.active(s)) continue;
+      const std::uint32_t bit = static_cast<std::uint32_t>(rot.below(16));
+      apsp_.dist.set(v, s, apsp_.dist.at(v, s) ^ (1u << bit));
+      ++ep.corrupted_entries;
+    }
+  }
+
+  stats_.epochs += 1;
+  stats_.deltas_applied += ep.deltas_applied;
+  stats_.crashes += ep.crashes;
+  stats_.corrupted_entries += ep.corrupted_entries;
+  congest::accumulate(stats_.run, ep.stats);
+  emit_epoch_event(ep);
+
+  if (config_.scrub_every > 0 && epoch_ % config_.scrub_every == 0) {
+    scrub();
+  }
+  return ep;
+}
+
+EpochReport DapspService::scrub() {
+  EpochReport ep;
+  ep.epoch = epoch_;
+  run_repair_ladder(std::nullopt, false, ep);
+  ep.outcome = ep.escalated  ? EpochOutcome::kEscalated
+               : ep.attempts > 1 ? EpochOutcome::kRetried
+                                 : EpochOutcome::kRepaired;
+  stats_.scrubs += 1;
+  congest::accumulate(stats_.run, ep.stats);
+  emit_epoch_event(ep);
+  return ep;
+}
+
+bool DapspService::fully_certified() const {
+  for (NodeId s = 0; s < graph_.universe(); ++s) {
+    if (graph_.active(s) && row_status_[s] == RowStatus::kStale) return false;
+  }
+  return true;
+}
+
+ServiceQuery DapspService::query(NodeId from, NodeId to) const {
+  if (from >= graph_.universe() || to >= graph_.universe()) {
+    throw std::invalid_argument("DapspService::query: node out of universe");
+  }
+  ServiceQuery q;
+  if (!graph_.active(from) || !graph_.active(to)) return q;
+  q.active = true;
+  q.dist = served_dist_.at(from, to);
+  q.next_hop = served_next_hop_[from][to];
+  q.status = row_status_[to];
+  return q;
+}
+
+std::vector<std::uint8_t> DapspService::checkpoint_blob(
+    std::span<const std::uint64_t> user_words) {
+  const NodeId n = graph_.universe();
+  std::vector<std::uint8_t> b;
+  b.reserve(64 + std::size_t{n} * n * 16);
+  for (const char c : kCheckpointMagic) {
+    b.push_back(static_cast<std::uint8_t>(c));
+  }
+  put_u32(b, n);
+  put_u64(b, epoch_);
+  put_u64(b, user_words.size());
+  for (const std::uint64_t w : user_words) put_u64(b, w);
+  for (NodeId v = 0; v < n; ++v) b.push_back(graph_.active(v) ? 1 : 0);
+  const std::vector<Edge> edges = graph_.sorted_edges();
+  put_u64(b, edges.size());
+  for (const Edge& e : edges) {
+    put_u32(b, e.u);
+    put_u32(b, e.v);
+  }
+  for (NodeId s = 0; s < n; ++s) {
+    b.push_back(static_cast<std::uint8_t>(row_status_[s]));
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId s = 0; s < n; ++s) put_u32(b, apsp_.dist.at(v, s));
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId s = 0; s < n; ++s) put_u32(b, apsp_.next_hop[v][s]);
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId s = 0; s < n; ++s) put_u32(b, served_dist_.at(v, s));
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId s = 0; s < n; ++s) put_u32(b, served_next_hop_[v][s]);
+  }
+  put_u64(b, blob_checksum(b));
+
+  stats_.checkpoints += 1;
+  stats_.run.checkpoint_bytes += b.size();
+  return b;
+}
+
+void DapspService::checkpoint(std::ostream& out,
+                              std::span<const std::uint64_t> user_words) {
+  const std::vector<std::uint8_t> b = checkpoint_blob(user_words);
+  out.write(reinterpret_cast<const char*>(b.data()),
+            static_cast<std::streamsize>(b.size()));
+  if (!out) {
+    throw std::runtime_error("DapspService::checkpoint: write failed");
+  }
+}
+
+DapspService DapspService::restore(std::istream& in,
+                                   const ServiceConfig& config,
+                                   std::vector<std::uint64_t>* user_words_out) {
+  std::vector<std::uint8_t> b(std::istreambuf_iterator<char>(in), {});
+  if (b.size() < 8 + 4 + 8 + 8 + 8 ||
+      std::memcmp(b.data(), kCheckpointMagic, 8) != 0) {
+    throw std::runtime_error(
+        "DapspService::restore: not a service checkpoint (bad magic)");
+  }
+  const std::span<const std::uint8_t> body(b.data(), b.size() - 8);
+  BlobReader tail{b.data() + b.size() - 8, 8};
+  if (tail.u64() != blob_checksum(body)) {
+    throw std::runtime_error(
+        "DapspService::restore: checkpoint checksum mismatch");
+  }
+
+  BlobReader r{b.data() + 8, b.size() - 16};
+  const NodeId n = r.u32();
+  if (n == 0) {
+    throw std::runtime_error("DapspService::restore: empty universe");
+  }
+  const std::uint64_t epoch = r.u64();
+  const std::uint64_t user_count = r.u64();
+  std::vector<std::uint64_t> user(user_count);
+  for (std::uint64_t i = 0; i < user_count; ++i) user[i] = r.u64();
+
+  std::vector<std::uint8_t> active(n);
+  for (NodeId v = 0; v < n; ++v) active[v] = r.u8();
+  DynamicGraph g(n);
+  for (NodeId v = 0; v < n; ++v) {
+    if (!active[v]) g.apply({DeltaKind::kNodeLeave, v, v});
+  }
+  const std::uint64_t m = r.u64();
+  for (std::uint64_t i = 0; i < m; ++i) {
+    const NodeId u = r.u32();
+    const NodeId v = r.u32();
+    g.apply({DeltaKind::kEdgeInsert, u, v});  // throws on inconsistent blobs
+  }
+
+  DapspService svc(RestoreTag{}, config, std::move(g));
+  svc.epoch_ = epoch;
+  svc.row_status_.resize(n);
+  for (NodeId s = 0; s < n; ++s) {
+    const std::uint8_t raw = r.u8();
+    if (raw > static_cast<std::uint8_t>(RowStatus::kStale)) {
+      throw std::runtime_error("DapspService::restore: bad row status");
+    }
+    svc.row_status_[s] = static_cast<RowStatus>(raw);
+  }
+  svc.apsp_.dist = DistanceMatrix(n);
+  svc.apsp_.next_hop.assign(n, std::vector<NodeId>(n, kNoNextHop));
+  svc.served_dist_ = DistanceMatrix(n);
+  svc.served_next_hop_.assign(n, std::vector<NodeId>(n, kNoNextHop));
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId s = 0; s < n; ++s) svc.apsp_.dist.set(v, s, r.u32());
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId s = 0; s < n; ++s) svc.apsp_.next_hop[v][s] = r.u32();
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId s = 0; s < n; ++s) svc.served_dist_.set(v, s, r.u32());
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId s = 0; s < n; ++s) svc.served_next_hop_[v][s] = r.u32();
+  }
+  svc.apsp_.survived = svc.graph_.active_mask();
+  svc.apsp_.status = congest::RunStatus::kCompleted;
+
+  if (user_words_out != nullptr) *user_words_out = std::move(user);
+  return svc;
+}
+
+std::string EpochReport::debug_string() const {
+  std::ostringstream os;
+  os << "epoch " << epoch << ": " << to_string(outcome)
+     << " deltas=" << deltas_applied << " crashes=" << crashes
+     << " suspects=" << suspect_rows << " attempts=" << attempts
+     << " rounds=" << repair_rounds << "/bound=" << round_bound
+     << (bound_ok ? "" : " BOUND-EXCEEDED")
+     << (certified ? "" : " NOT-CERTIFIED");
+  return std::move(os).str();
+}
+
+std::string ServiceStats::debug_string() const {
+  std::ostringstream os;
+  os << "epochs=" << epochs << " deltas=" << deltas_applied
+     << " crashes=" << crashes << " corrupted=" << corrupted_entries
+     << " rows_repaired=" << rows_repaired << " failed=" << epochs_failed
+     << " scrubs=" << scrubs << " checkpoints=" << checkpoints << " | "
+     << run.debug_string();
+  return std::move(os).str();
+}
+
+}  // namespace dapsp::core

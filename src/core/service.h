@@ -1,0 +1,279 @@
+// Long-running DAPSP service: churn, incremental repair, supervision
+// (DESIGN.md §14, ROADMAP item 2).
+//
+// The paper computes APSP once, for one static graph. DapspService keeps the
+// answer *alive* while the graph mutates under it: every epoch it ingests one
+// ChurnBatch (graph/delta.h — edge inserts/removes, node joins/leaves, plus
+// crash-stops and stored-entry bit-rot), maps the batch to the set of
+// invalidated certificate rows, and heals exactly those rows through the
+// repair machinery (core/repair.h) at O(|affected| + D) rounds instead of
+// re-running the O(n)-round Algorithm 1.
+//
+// Dirty-region analysis (analyze_dirty_rows). The certificate rules of
+// core/certify.h are sound AND complete — a row certifies iff it equals the
+// true distances on the current graph — so deltas can be screened against the
+// *previous, certified* table:
+//   * inserted edge {u, v} (both endpoints pre-existing): row s changes iff
+//     |D_s(u) - D_s(v)| >= 2 (the new edge shortcuts something); a diff <= 1
+//     leaves the certificate — hence the distances — intact;
+//   * removed edge {u, v}: row s can only change if the edge sat on a
+//     shortest path (|diff| == 1 in an unweighted graph) AND the downstream
+//     endpoint lost its last parent — if it keeps another post-batch
+//     neighbor at the same parent distance, its distance and everything
+//     beyond it are unchanged (the old shortest-path suffix survives).
+//     Checking parents against the post-batch adjacency keeps multi-delta
+//     batches sound: distance *increases* must propagate through some node
+//     whose every old parent connection was lost this batch, and that
+//     node's check fires;
+//   * left/crashed node x: row s changes iff some surviving neighbor y of x
+//     had D_s(y) = D_s(x) + 1 and y has no alternative parent at D_s(x) in
+//     the post-batch graph (same argument; this also catches disconnections
+//     — the first node beyond a cut always has that boundary pattern). Row
+//     x itself is dead and gets zeroed;
+//   * joined node w with attachment frontier F: row w is always recomputed.
+//     For another row s, paths through w can only shortcut between frontier
+//     nodes, so the row changes iff some y in F has D_s(y) > min_F D_s + 2
+//     (or is infinite while the min is finite); otherwise the row is clean
+//     and the single new entry is patched directly:
+//     D_s(w) = 1 + min_{x in F} D_s(x), next_hop = the argmin. Two joined
+//     nodes that are adjacent to each other break the "frontier distances
+//     are old exact values" premise — the analyzer reports needs_full and
+//     the service escalates to a full recompute.
+//
+// Supervision. Each epoch runs an escalation ladder under a watchdog that
+// bounds every attempt in engine rounds (RepairOptions engine.max_rounds)
+// and optionally wall-clock: (1) incremental repair of exactly the analyzed
+// suspects, certifying only those rows; (2) on failure, retry with
+// certificate-driven detection over all rows; (3) full recompute (suspects =
+// every active node). Oversized dirty regions (> escalate_fraction of the
+// active population) and needs_full skip straight to (3). Failed epochs
+// leave the suspects marked kStale and the service keeps running.
+//
+// Graceful degradation. Queries are answered from a *served snapshot* that
+// is refreshed per row only when that row certifies, with a per-row status:
+// kExact (certified, untouched since the last full pass), kRepaired
+// (certified after an incremental heal), kStale (certification pending or
+// failed — the snapshot still answers, with the staleness disclosed).
+// Bit-rot corruption is invisible to the delta analyzer by design; the
+// periodic scrub() — a certificate-driven detection repair over all rows —
+// is what catches it (ServiceConfig::scrub_every automates the cadence).
+//
+// Checkpoint/restore. checkpoint() serializes the full *state* (graph,
+// working tables, served snapshot, row statuses, epoch counter, caller
+// words for e.g. DeltaPlan resume) with a trailing checksum; restore()
+// rebuilds a service that continues bit-identically — state excludes the
+// cumulative stats, so a restored run and a straight-through run produce
+// identical checkpoints from the same epoch onward, at any thread count.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "congest/engine.h"
+#include "core/pebble_apsp.h"
+#include "core/repair.h"
+#include "graph/delta.h"
+#include "graph/graph.h"
+
+namespace dapsp::core {
+
+// Per-source-row serving status (see header note).
+enum class RowStatus : std::uint8_t {
+  kExact = 0,
+  kRepaired = 1,
+  kStale = 2,
+};
+
+const char* to_string(RowStatus s) noexcept;
+
+// What the dirty-region analyzer concluded about one batch of deltas.
+struct DirtyReport {
+  // Rows whose stored distances may differ from the new graph's (sorted,
+  // active sources only; joined nodes always appear).
+  std::vector<NodeId> dirty;
+  // The analyzer could not bound the affected region (adjacent joins):
+  // treat every row as suspect.
+  bool needs_full = false;
+
+  // The canonical batch diff the rules were evaluated over.
+  std::vector<NodeId> joined;     // newly active
+  std::vector<NodeId> left;       // newly inactive (leaves and crashes)
+  std::vector<Edge> inserted;     // added edges between pre-existing actives
+  std::vector<Edge> removed;      // removed edges between still-active nodes
+};
+
+// Screens a batch against the previous (certified) distance table. `dist` is
+// the pre-batch working table indexed (node, source); `active_before` /
+// `edges_before` describe the pre-batch graph; `after` is the post-batch
+// state. Pure analysis — mutates nothing.
+DirtyReport analyze_dirty_rows(const DistanceMatrix& dist,
+                               std::span<const std::uint8_t> active_before,
+                               std::span<const Edge> edges_before,
+                               const DynamicGraph& after);
+
+// How an epoch's repair resolved (also the kEpoch trace event's aux value).
+enum class EpochOutcome : std::uint8_t {
+  kClean = 0,      // empty dirty set — nothing ran
+  kRepaired = 1,   // incremental repair succeeded first try
+  kRetried = 2,    // needed the detection retry
+  kEscalated = 3,  // full recompute fired (oversized region, needs_full,
+                   // exhausted retries, or watchdog trips)
+};
+
+const char* to_string(EpochOutcome o) noexcept;
+
+struct EpochReport {
+  std::uint64_t epoch = 0;
+  EpochOutcome outcome = EpochOutcome::kClean;
+  std::uint32_t deltas_applied = 0;
+  std::uint32_t crashes = 0;
+  std::uint32_t corrupted_entries = 0;
+  std::uint32_t suspect_rows = 0;  // rows recomputed this epoch
+  std::uint32_t attempts = 0;      // repair attempts consumed
+  bool escalated = false;
+  bool certified = true;  // the epoch's repaired rows certified
+
+  // Engine rounds of the successful attempt (max over components — the
+  // network-parallel cost), plus its asserted O(|S| + D) bound.
+  std::uint64_t repair_rounds = 0;
+  std::uint64_t round_bound = 0;
+  bool bound_ok = true;
+
+  // Everything the epoch's engine runs cost, summed over attempts.
+  congest::RunStats stats;
+
+  std::string debug_string() const;
+};
+
+struct ServiceStats {
+  std::uint64_t epochs = 0;
+  std::uint64_t deltas_applied = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t corrupted_entries = 0;
+  std::uint64_t rows_repaired = 0;
+  std::uint64_t epochs_failed = 0;  // all attempts failed; rows left stale
+  std::uint64_t scrubs = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t backoff_ms = 0;  // total retry backoff slept
+
+  // Accumulated engine stats over every repair/certify run, including the
+  // service counters (repairs_attempted / repairs_escalated /
+  // checkpoint_bytes) surfaced in RunStats::debug_string().
+  congest::RunStats run;
+
+  std::string debug_string() const;
+};
+
+struct ServiceConfig {
+  // Engine knobs for all repair/certify sub-runs (threads, bandwidth_ids are
+  // honored; faults and instrumentation are stripped by the repair layer —
+  // attach `engine.trace` to receive the service's own kDelta/kEpoch
+  // events instead).
+  congest::EngineConfig engine{};
+
+  // Escalate straight to a full recompute when the dirty set exceeds this
+  // fraction of the active population (incremental repair would not be
+  // cheaper). Must lie in (0, 1].
+  double escalate_fraction = 0.5;
+
+  // Attempts per epoch before giving up (>= 1): incremental, detection
+  // retry, full recompute — the ladder truncates to this many rungs.
+  std::uint32_t max_repair_attempts = 3;
+
+  // Watchdog: per-attempt engine round budget (0 = the engine default of
+  // 64n + 1024) and wall-clock budget for the whole epoch (0 = unbounded).
+  // A round-limit trip fails the attempt; blowing the wall budget jumps
+  // straight to the final escalation rung.
+  std::uint64_t watchdog_rounds = 0;
+  std::uint64_t watchdog_wall_ms = 0;
+
+  // Retry backoff: sleep backoff_base_ms * 2^(attempt-1) between failed
+  // attempts (0 = don't sleep; the default keeps tests and benches fast).
+  std::uint64_t backoff_base_ms = 0;
+
+  // Run scrub() automatically after every k-th epoch (0 = never). Scrubbing
+  // is what catches bit-rot corruption, which is invisible to the delta
+  // analyzer.
+  std::uint32_t scrub_every = 0;
+};
+
+// One distance query, answered from the served snapshot.
+struct ServiceQuery {
+  bool active = false;  // both endpoints currently active
+  std::uint32_t dist = kInfDist;
+  NodeId next_hop = kNoNextHop;
+  RowStatus status = RowStatus::kStale;  // status of the consulted row
+};
+
+class DapspService {
+ public:
+  // Builds the initial certified tables for `initial` (all nodes active) via
+  // a full S-SP recompute — works on disconnected graphs too. Throws on an
+  // empty graph or invalid config.
+  DapspService(const Graph& initial, const ServiceConfig& config = {});
+
+  // One service epoch: apply the batch, analyze, heal, serve. See header.
+  EpochReport step(const ChurnBatch& batch);
+
+  // Certificate-driven repair over all rows (catches corruption and any
+  // analyzer miss); refreshes every row to kExact on success.
+  EpochReport scrub();
+
+  const DynamicGraph& dynamic_graph() const noexcept { return graph_; }
+  std::uint64_t epoch() const noexcept { return epoch_; }
+  const ServiceStats& stats() const noexcept { return stats_; }
+  const ApspResult& tables() const noexcept { return apsp_; }
+
+  RowStatus row_status(NodeId s) const { return row_status_[s]; }
+  // True when no active row is stale — every served row is certified
+  // against the current graph (modulo not-yet-scrubbed bit-rot).
+  bool fully_certified() const;
+
+  // Distance from `from` to `to` per the served snapshot. Inactive
+  // endpoints answer active = false with everything else defaulted.
+  ServiceQuery query(NodeId from, NodeId to) const;
+
+  // Serializes the full service state (see header; excludes stats) plus the
+  // caller's words (e.g. DeltaPlan rng state + batch counter). Counts the
+  // blob size into stats().run.checkpoint_bytes.
+  void checkpoint(std::ostream& out,
+                  std::span<const std::uint64_t> user_words = {});
+  std::vector<std::uint8_t> checkpoint_blob(
+      std::span<const std::uint64_t> user_words = {});
+
+  // Rebuilds a service from a checkpoint stream. Throws std::runtime_error
+  // on a bad magic, checksum mismatch, or truncation. `user_words_out`
+  // receives the caller words stored at checkpoint time.
+  static DapspService restore(std::istream& in, const ServiceConfig& config,
+                              std::vector<std::uint64_t>* user_words_out);
+
+ private:
+  struct RestoreTag {};
+  DapspService(RestoreTag, const ServiceConfig& config, DynamicGraph graph);
+
+  void validate_config() const;
+  // Zero source row x (dead) in working and served tables.
+  void zero_row(NodeId x);
+  // Direct-patch entry (w, s) of clean rows for a joined node (see header).
+  void patch_join_entries(const DirtyReport& dr);
+  // The repair ladder shared by step() and scrub(). `suspects` nullopt =
+  // detection mode for the first rung. Fills the report's repair fields.
+  void run_repair_ladder(std::optional<std::vector<NodeId>> suspects,
+                         bool force_escalate, EpochReport& ep);
+  void refresh_served(std::span<const NodeId> rows, RowStatus status);
+  void emit_epoch_event(const EpochReport& ep);
+
+  ServiceConfig config_;
+  DynamicGraph graph_;
+  ApspResult apsp_;  // working tables over the fixed universe
+  DistanceMatrix served_dist_;
+  std::vector<std::vector<NodeId>> served_next_hop_;
+  std::vector<RowStatus> row_status_;
+  std::uint64_t epoch_ = 0;
+  ServiceStats stats_;
+};
+
+}  // namespace dapsp::core

@@ -46,6 +46,11 @@ class Rng {
   // Derive an independent child generator (for nested components).
   Rng fork() noexcept { return Rng((*this)()); }
 
+  // The full generator state (SplitMix64 is its counter). Re-seeding a new
+  // Rng with this value resumes the exact stream — the serialization hook
+  // used by checkpointable components (graph/delta.h plans).
+  std::uint64_t state() const noexcept { return state_; }
+
  private:
   std::uint64_t state_;
 };

@@ -1044,6 +1044,41 @@ TEST(Reliable, CorruptFramesAreCountedAndDiscarded) {
   EXPECT_EQ(out.stats.neighbors_suspected, 0u);
 }
 
+TEST(FaultPlan, StallWindowsTruncateAtTheCrashRound) {
+  const Graph g = gen::path(3);
+  FaultPlan plan;
+  plan.crashes = {{1, 5}};
+  plan.stalls = {{1, 3, 10}};  // [3, 13) overlaps the crash at round 5
+  const FaultInjector inj(g, plan);
+  EXPECT_TRUE(inj.stalled(1, 3));
+  EXPECT_TRUE(inj.stalled(1, 4));
+  // Canonicalized: from the crash round on the node is dead, not stalled.
+  EXPECT_FALSE(inj.stalled(1, 5));
+  EXPECT_FALSE(inj.stalled(1, 12));
+  EXPECT_TRUE(inj.crashed(1, 5));
+}
+
+TEST(FaultPlan, StallWindowsStartingAtOrAfterTheCrashAreDropped) {
+  const Graph g = gen::path(3);
+  for (const std::uint64_t start : {std::uint64_t{5}, std::uint64_t{9}}) {
+    FaultPlan plan;
+    plan.crashes = {{1, 5}};
+    plan.stalls = {{1, start, 4}};
+    const FaultInjector inj(g, plan);
+    for (std::uint64_t r = start; r < start + 4; ++r) {
+      EXPECT_FALSE(inj.stalled(1, r)) << "start " << start << " round " << r;
+    }
+  }
+  // Duplicate crash entries resolve earliest-wins *before* the truncation,
+  // regardless of order.
+  FaultPlan plan;
+  plan.crashes = {{1, 9}, {1, 4}};
+  plan.stalls = {{1, 2, 10}};
+  const FaultInjector inj(g, plan);
+  EXPECT_TRUE(inj.stalled(1, 3));
+  EXPECT_FALSE(inj.stalled(1, 4));
+}
+
 TEST(Reliable, HarvestSeesThroughWrapper) {
   const Graph g = gen::path(4);
   EngineConfig cfg;

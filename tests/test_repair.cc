@@ -153,6 +153,76 @@ TEST(Repair, StaleRelayRowsAreDetectedAndRecomputed) {
             1u);
 }
 
+TEST(Repair, RepairTwiceIsANoOp) {
+  // Idempotency: after a certified repair, a second detection-mode repair
+  // finds no suspects and rewrites nothing — exact-but-partial rows (the
+  // all-infinite entries across the cut) pass the certificate instead of
+  // being blanket-suspected again.
+  const Graph g = gen::cycle(6);
+  ApspResult r = stale_harvest(g, {1});
+  const RepairReport first = repair_apsp(g, r);
+  ASSERT_TRUE(first.all_certified());
+  ASSERT_GT(first.rows_repaired, 0u);
+  const DistanceMatrix settled = r.dist;
+
+  const RepairReport second = repair_apsp(g, r);
+  EXPECT_TRUE(second.all_certified());
+  EXPECT_TRUE(second.suspect_sources.empty());
+  EXPECT_EQ(second.rows_repaired, 0u);
+  EXPECT_EQ(second.repair_rounds, 0u);
+  EXPECT_TRUE(second.bound_ok);
+  EXPECT_TRUE(r.dist == settled);
+}
+
+TEST(Repair, ExternalSuspectsSkipDetection) {
+  // The caller (the service's dirty-region analyzer) names the suspects:
+  // repair recomputes exactly those rows, certifies only them when asked,
+  // and the result is oracle-exact for the named rows.
+  const Graph g = gen::cycle(6);
+  ApspResult r = stale_harvest(g, {1});
+  RepairOptions opts;
+  opts.suspects = std::vector<NodeId>{0, 2};
+  opts.certify_all = false;
+  const RepairReport report = repair_apsp(g, r, opts);
+  EXPECT_EQ(report.suspect_sources, (std::vector<NodeId>{0, 2}));
+  EXPECT_EQ(report.rows_repaired, 2u);
+  EXPECT_TRUE(report.all_certified());
+  EXPECT_TRUE(report.bound_ok);
+  check_repaired_exact(g, r, report);
+}
+
+TEST(Repair, EmptyExternalSuspectSetIsZeroCost) {
+  // A clean epoch: the analyzer found nothing dirty. With certify_all off
+  // the repair returns immediately — no engine runs at all.
+  const Graph g = gen::grid(3, 4);
+  ApspResult r = run_pebble_apsp(g);
+  const DistanceMatrix before = r.dist;
+  RepairOptions opts;
+  opts.suspects = std::vector<NodeId>{};
+  opts.certify_all = false;
+  const RepairReport report = repair_apsp(g, r, opts);
+  EXPECT_EQ(report.rows_repaired, 0u);
+  EXPECT_EQ(report.repair_rounds, 0u);
+  EXPECT_EQ(report.stats.rounds, 0u);
+  EXPECT_EQ(report.stats.messages, 0u);
+  EXPECT_EQ(report.stats.repairs_attempted, 1u);
+  EXPECT_TRUE(report.all_certified());
+  EXPECT_TRUE(r.dist == before);
+  EXPECT_EQ(report.coverage_after.count(
+                static_cast<std::uint64_t>(RowCoverage::kComplete)),
+            g.num_nodes());
+}
+
+TEST(Repair, RejectsBadExternalSuspects) {
+  const Graph g = gen::path(4);
+  ApspResult r = stale_harvest(g, {1});
+  RepairOptions opts;
+  opts.suspects = std::vector<NodeId>{7};  // out of range
+  EXPECT_THROW(repair_apsp(g, r, opts), std::invalid_argument);
+  opts.suspects = std::vector<NodeId>{1};  // dead source
+  EXPECT_THROW(repair_apsp(g, r, opts), std::invalid_argument);
+}
+
 TEST(Repair, DisconnectedSurvivorComponentsRepairIndependently) {
   // Path 0-1-2-3, node 1 dead: survivors split into {0} and {2, 3}. The
   // singleton component repairs locally (no protocol run); cross-component
