@@ -16,15 +16,23 @@
 //     bit-identical at 1, 2 and 8 engine threads, and a restore-continue run
 //     ends bit-identical to the straight-through run.
 //
+//  4. Recovery — time from a cold DurableDapspService::recover() to a fully
+//     certified service, as the journal suffix grows (checkpoints pinned at
+//     epoch 0, so recovery replays the whole stream). The recovered state
+//     must be bit-identical to the state the crashed run acknowledged.
+//
 // The bench exits nonzero if any certification, scaling, bound, or
 // determinism assertion fails.
+#include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "core/durable.h"
 #include "core/service.h"
 #include "graph/delta.h"
 #include "graph/generators.h"
@@ -43,7 +51,8 @@ struct JsonRow {
   std::uint64_t escalated = 0;
   std::uint64_t crashes = 0;
   std::uint64_t corrupted = 0;
-  double exponent = 0.0;  // scaling rows: fitted rounds-vs-n exponent
+  double exponent = 0.0;    // scaling rows: fitted rounds-vs-n exponent
+  double recover_ms = 0.0;  // recovery rows: cold recover() wall time
   bool ok = false;
 };
 
@@ -67,13 +76,14 @@ void write_json(const char* path) {
         "  {\"section\": \"%s\", \"graph\": \"%s\", \"n\": %u, "
         "\"updates\": %llu, \"mean_rounds\": %.3f, \"mean_suspects\": %.3f, "
         "\"escalated\": %llu, \"crashes\": %llu, \"corrupted\": %llu, "
-        "\"exponent\": %.3f, \"ok\": %s}%s\n",
+        "\"exponent\": %.3f, \"recover_ms\": %.3f, \"ok\": %s}%s\n",
         r.section.c_str(), r.graph.c_str(), r.n,
         static_cast<unsigned long long>(r.updates), r.mean_rounds,
         r.mean_suspects, static_cast<unsigned long long>(r.escalated),
         static_cast<unsigned long long>(r.crashes),
         static_cast<unsigned long long>(r.corrupted), r.exponent,
-        r.ok ? "true" : "false", i + 1 < rows.size() ? "," : "");
+        r.recover_ms, r.ok ? "true" : "false",
+        i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "]\n");
   std::fclose(f);
@@ -312,6 +322,76 @@ bool bench_checkpoint(const Graph& g, const std::string& label) {
   return threads_ok && resume_ok;
 }
 
+bool bench_recovery(const Graph& g, const std::string& label) {
+  namespace fs = std::filesystem;
+  bench::Table t("recovery: cold recover() vs journal suffix length (" +
+                 label + ", n=" + std::to_string(g.num_nodes()) + ")");
+  t.header({"journal-len", "replayed", "recover-ms", "identical",
+            "certified"});
+  DeltaPlanConfig pc;
+  pc.seed = 31;
+  pc.max_batch = 3;
+  pc.crash_prob = 0.05;
+  pc.corrupt_prob = 0.05;
+  bool ok = true;
+  for (const std::uint64_t suffix : {4u, 8u, 16u, 32u}) {
+    const fs::path dir = fs::temp_directory_path() /
+                         ("dapsp_bench_rec_" + label + "_" +
+                          std::to_string(suffix));
+    fs::remove_all(dir);
+    core::DurableConfig dc;
+    dc.dir = dir.string();
+    dc.checkpoint_every = 0;  // only the epoch-0 rotation: recovery replays
+                              // the entire acknowledged stream from the WAL
+    std::vector<std::uint8_t> want;
+    {
+      core::DurableDapspService d(g, dc);
+      DeltaPlan plan(pc);
+      for (std::uint64_t u = 0; u < suffix; ++u) {
+        const ChurnBatch b = plan.next(d.service().dynamic_graph());
+        const std::uint64_t words[3] = {plan.rng_state(),
+                                        plan.batches_generated(), u + 1};
+        d.ack_and_step(b, words);
+      }
+      want = d.service().checkpoint_blob(d.plan_words());
+    }  // dropped without a final rotation, like a crash after the last ack
+
+    const auto t0 = std::chrono::steady_clock::now();
+    core::RecoveryReport rr;
+    core::DurableDapspService d =
+        core::DurableDapspService::recover(dc, &g, &rr);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    const bool identical =
+        d.service().checkpoint_blob(d.plan_words()) == want;
+    const bool certified = d.service().fully_certified();
+    const bool row_ok =
+        identical && certified && rr.batches_replayed == suffix;
+    ok = ok && row_ok;
+    fs::remove_all(dir);
+
+    t.cell(suffix);
+    t.cell(rr.batches_replayed);
+    t.cell(ms);
+    t.cell(std::string(identical ? "IDENTICAL" : "DIVERGED"));
+    t.cell(std::string(certified ? "YES" : "NO"));
+    t.end_row();
+
+    JsonRow row;
+    row.section = "recovery";
+    row.graph = label;
+    row.n = g.num_nodes();
+    row.updates = suffix;
+    row.recover_ms = ms;
+    row.ok = row_ok;
+    json_rows().push_back(row);
+  }
+  bench::note("every recovery bit-identical to the acknowledged state and "
+              "fully certified: " + std::string(ok ? "OK" : "FAIL"));
+  return ok;
+}
+
 }  // namespace
 }  // namespace dapsp
 
@@ -334,6 +414,7 @@ int main() {
   ok = bench_scaling("grid", grids, 40) && ok;
 
   ok = bench_checkpoint(gen::random_connected(20, 16, 11), "random") && ok;
+  ok = bench_recovery(gen::random_connected(20, 16, 11), "random") && ok;
 
   write_json("BENCH_service.json");
   if (!ok) {

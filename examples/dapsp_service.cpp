@@ -10,6 +10,19 @@
 //   dapsp_service --updates 200 --checkpoint-every 20 --kill-at 117
 //       (dies mid-run with exit 42; --restore <ckpt> resumes bit-identically)
 //   dapsp_service --restore s.ckpt --updates 200 ...  # resumes bit-identically
+//
+// Durable mode (--durable-dir) swaps the single checkpoint file for the WAL
+// + atomic-rotation protocol of core/durable.h: every batch is journaled
+// before it is applied, checkpoints rotate between two generations, and
+// --recover resumes after ANY kill — including one injected at an exact
+// durable byte offset:
+//
+//   dapsp_service --durable-dir d --updates 60 --checkpoint-every 8
+//   dapsp_service --durable-dir d --updates 60 --kill-at-byte 5000
+//       (exit 42 with a torn journal or half-written checkpoint)
+//   dapsp_service --durable-dir d --updates 60 --recover --ckpt-dump out.bin
+//       (replays the suffix, finishes, dumps a final checkpoint that is
+//        byte-identical to an uninterrupted run's — the kill-matrix check)
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -19,10 +32,12 @@
 #include <vector>
 
 #include "congest/trace.h"
+#include "core/durable.h"
 #include "core/service.h"
 #include "graph/delta.h"
 #include "graph/generators.h"
 #include "graph/io.h"
+#include "util/journal.h"
 #include "util/metrics.h"
 
 using namespace dapsp;
@@ -43,6 +58,10 @@ struct Args {
   std::string checkpoint_file = "dapsp_service.ckpt";
   std::optional<std::string> restore_file;
   std::uint64_t kill_at = 0;  // die right after this update (0 = never)
+  std::optional<std::string> durable_dir;
+  bool recover = false;
+  std::uint64_t kill_at_byte = 0;  // die at this durable byte (0 = never)
+  std::optional<std::string> ckpt_dump;
   std::optional<std::string> trace_out;
   std::optional<std::string> metrics_out;
   bool quiet = false;
@@ -65,6 +84,11 @@ struct Args {
       "  --checkpoint-file <f>  checkpoint path (default dapsp_service.ckpt)\n"
       "  --restore <f>          resume from a checkpoint file\n"
       "  --kill-at <k>          exit abruptly (code 42) after update k\n"
+      "  --kill-at-epoch <k>    alias for --kill-at\n"
+      "  --durable-dir <d>      WAL + rotating-checkpoint mode (core/durable)\n"
+      "  --recover              resume from --durable-dir after a kill\n"
+      "  --kill-at-byte <b>     exit 42 when durable byte b is written\n"
+      "  --ckpt-dump <f>        write the final checkpoint blob to f\n"
       "  --trace-out <f>        service delta/epoch trace (.json/.jsonl/.csv)\n"
       "  --metrics-out <f>      service counters (.json or .csv)\n"
       "  --quiet                suppress per-epoch progress lines\n"
@@ -105,8 +129,16 @@ Args parse(int argc, char** argv) {
       a.checkpoint_file = next();
     } else if (arg == "--restore") {
       a.restore_file = next();
-    } else if (arg == "--kill-at") {
+    } else if (arg == "--kill-at" || arg == "--kill-at-epoch") {
       a.kill_at = std::stoull(next());
+    } else if (arg == "--durable-dir") {
+      a.durable_dir = next();
+    } else if (arg == "--recover") {
+      a.recover = true;
+    } else if (arg == "--kill-at-byte") {
+      a.kill_at_byte = std::stoull(next());
+    } else if (arg == "--ckpt-dump") {
+      a.ckpt_dump = next();
     } else if (arg == "--trace-out") {
       a.trace_out = next();
     } else if (arg == "--metrics-out") {
@@ -158,7 +190,9 @@ std::ofstream open_or_die(const std::string& path) {
 }
 
 void write_outputs(const Args& a, const congest::TraceLog& trace,
-                   const core::ServiceStats& st) {
+                   const core::ServiceStats& st,
+                   const core::DurableStats* ds = nullptr,
+                   const CrashPoint* crash = nullptr) {
   if (a.trace_out) {
     std::ofstream out = open_or_die(*a.trace_out);
     if (has_suffix(*a.trace_out, ".jsonl")) {
@@ -187,6 +221,18 @@ void write_outputs(const Args& a, const congest::TraceLog& trace,
     reg.counter("rounds") = st.run.rounds;
     reg.counter("messages") = st.run.messages;
     reg.counter("total_bits") = st.run.total_bits;
+    if (ds != nullptr) {
+      reg.counter("service_journal_appends") = ds->journal_appends;
+      reg.counter("service_journal_bytes") = ds->journal_bytes;
+      reg.counter("service_checkpoint_rotations") = ds->checkpoints_rotated;
+      reg.counter("service_recoveries") = ds->recoveries;
+      reg.counter("service_batches_replayed") = ds->batches_replayed;
+    }
+    if (crash != nullptr) {
+      // Total bytes this process pushed through the durable stream — the
+      // sweep range for --kill-at-byte.
+      reg.counter("durable_bytes") = crash->written;
+    }
     std::ofstream out = open_or_die(*a.metrics_out);
     if (has_suffix(*a.metrics_out, ".csv")) {
       reg.write_csv(out);
@@ -197,10 +243,120 @@ void write_outputs(const Args& a, const congest::TraceLog& trace,
   }
 }
 
+void dump_blob(const std::string& path, std::span<const std::uint8_t> blob) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  out.write(reinterpret_cast<const char*>(blob.data()),
+            static_cast<std::streamsize>(blob.size()));
+  std::fprintf(stderr, "checkpoint dump: %zu bytes -> %s\n", blob.size(),
+               path.c_str());
+}
+
+// WAL + rotating-checkpoint mode. The run always ends with a scrub, so the
+// --ckpt-dump blob is canonical: a killed-at-any-byte run, recovered and
+// finished, dumps the exact bytes of an uninterrupted run.
+int run_durable(const Args& a) {
+  congest::TraceLog trace;
+  CrashPoint crash;
+  crash.kill_at_byte = a.kill_at_byte;
+  crash.hard_exit = true;
+
+  core::DurableConfig dcfg;
+  dcfg.dir = *a.durable_dir;
+  dcfg.checkpoint_every = static_cast<std::uint32_t>(a.checkpoint_every);
+  dcfg.service.engine.threads = a.threads;
+  dcfg.service.scrub_every = a.scrub_every;
+  if (a.trace_out) dcfg.service.engine.trace = &trace;
+  dcfg.crash = &crash;
+
+  DeltaPlanConfig pc;
+  pc.seed = a.seed;
+  pc.max_batch = a.batch_max;
+  pc.crash_prob = a.chaos;
+  pc.corrupt_prob = a.chaos;
+  DeltaPlan plan(pc);
+
+  std::optional<core::DurableDapspService> d;
+  std::uint64_t done = 0;
+  try {
+    const Graph g = make_graph(a);
+    if (a.recover) {
+      core::RecoveryReport rr;
+      d.emplace(core::DurableDapspService::recover(dcfg, &g, &rr));
+      std::fprintf(stderr, "recovery: %s\n", rr.debug_string().c_str());
+      const std::span<const std::uint64_t> words = d->plan_words();
+      if (words.size() == 3) {
+        plan.resume(words[0], words[1]);
+        done = words[2];
+      } else if (!words.empty()) {
+        std::fprintf(stderr, "checkpoint is missing the plan state\n");
+        return 1;
+      }
+    } else {
+      d.emplace(g, dcfg);
+      std::fprintf(stderr, "initial build: n=%u m=%zu, generation 0 durable\n",
+                   g.num_nodes(), g.num_edges());
+    }
+
+    const std::uint64_t progress_step =
+        a.quiet ? 0 : std::max<std::uint64_t>(1, a.updates / 20);
+    for (std::uint64_t u = done; u < a.updates; ++u) {
+      const ChurnBatch batch = plan.next(d->service().dynamic_graph());
+      const std::uint64_t words[3] = {plan.rng_state(),
+                                      plan.batches_generated(), u + 1};
+      const core::EpochReport ep = d->ack_and_step(batch, words);
+      if (progress_step && (u + 1) % progress_step == 0) {
+        std::fprintf(stderr, "[%llu/%llu] %s\n",
+                     static_cast<unsigned long long>(u + 1),
+                     static_cast<unsigned long long>(a.updates),
+                     ep.debug_string().c_str());
+      }
+      if (a.kill_at && u + 1 == a.kill_at) {
+        std::fprintf(stderr, "killed at update %llu (by request)\n",
+                     static_cast<unsigned long long>(u + 1));
+        return 42;
+      }
+    }
+
+    // Unconditional: makes the final state (row statuses included) a pure
+    // function of the final graph + epoch, whatever the crash history was.
+    d->service().scrub();
+    d->rotate_checkpoint();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
+  const core::ServiceStats& st = d->service().stats();
+  std::printf("service: %s\n", st.debug_string().c_str());
+  std::printf("durable: %s\n", d->durable_stats().debug_string().c_str());
+  const bool certified = d->service().fully_certified();
+  std::printf("final: n_active=%u m=%zu epoch=%llu %s\n",
+              d->service().dynamic_graph().num_active(),
+              d->service().dynamic_graph().num_edges(),
+              static_cast<unsigned long long>(d->service().epoch()),
+              certified ? "FULLY-CERTIFIED" : "NOT-CERTIFIED");
+  write_outputs(a, trace, st, &d->durable_stats(), &crash);
+  if (a.ckpt_dump) {
+    const std::vector<std::uint8_t> blob =
+        d->service().checkpoint_blob(d->plan_words());
+    dump_blob(*a.ckpt_dump, blob);
+  }
+  return certified ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Args a = parse(argc, argv);
+  if (a.durable_dir) return run_durable(a);
+  if (a.recover || a.kill_at_byte) {
+    std::fprintf(stderr, "--recover/--kill-at-byte require --durable-dir\n");
+    return 2;
+  }
 
   congest::TraceLog trace;
   core::ServiceConfig cfg;
@@ -295,5 +451,10 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(svc->epoch()),
               certified ? "FULLY-CERTIFIED" : "NOT-CERTIFIED");
   write_outputs(a, trace, st);
+  if (a.ckpt_dump) {
+    const std::uint64_t words[3] = {plan.rng_state(), plan.batches_generated(),
+                                    a.updates};
+    dump_blob(*a.ckpt_dump, svc->checkpoint_blob(words));
+  }
   return certified ? 0 : 1;
 }

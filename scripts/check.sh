@@ -2,9 +2,12 @@
 # Full local check: build + test in the default (RelWithDebInfo) config and
 # under ASan+UBSan.
 #
-# Usage: scripts/check.sh [--tsan] [extra ctest args...]
-#   --tsan  run only the ThreadSanitizer configuration (the concurrency
-#           surface: engine, faults, determinism) instead of the full matrix.
+# Usage: scripts/check.sh [--tsan] [--kill-matrix [dir]] [extra ctest args...]
+#   --tsan         run only the ThreadSanitizer configuration (the concurrency
+#                  surface: engine, faults, determinism) instead of the full
+#                  matrix.
+#   --kill-matrix  run only the crash-point sweep against an existing build
+#                  directory (default build-asan) — no rebuild.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -82,10 +85,70 @@ churn_smoke() {
   fi
 }
 
+# Kill-matrix smoke (DESIGN.md section 15): sweep process kills across the
+# whole durable byte stream (journal appends AND checkpoint rotations), then
+# recover each one. Every swept offset must exit 42 (killed), recover with
+# exit 0, and produce a final checkpoint bit-identical to the uninterrupted
+# reference run — no acknowledged update lost, no divergence.
+kill_matrix_smoke() {
+  local dir="$1" tmp
+  echo "== kill matrix smoke (${dir}) =="
+  if ! command -v python3 >/dev/null 2>&1; then
+    echo "python3 not found; skipping kill matrix smoke"
+    return 0
+  fi
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "${tmp}"' RETURN
+  local svc="${dir}/examples/dapsp_service"
+  local flags=(--updates 24 --universe 12 --seed 7 --chaos 0.05
+               --checkpoint-every 6 --quiet)
+  # Reference: durable mode end-to-end, no kills. durable_bytes in the
+  # metrics is the total durable stream length — the sweep range.
+  "${svc}" --durable-dir "${tmp}/ref" "${flags[@]}" \
+    --ckpt-dump "${tmp}/ref.bin" \
+    --trace-out "${tmp}/ref_trace.json" \
+    --metrics-out "${tmp}/ref_metrics.json"
+  python3 scripts/validate_trace.py \
+    "${tmp}/ref_trace.json" "${tmp}/ref_metrics.json"
+  local bytes
+  bytes="$(python3 -c "import json; print(json.load(open(
+      '${tmp}/ref_metrics.json'))['counters']['durable_bytes'])")"
+  local points=16 step=$(( bytes / 17 )) k at rc
+  for (( k = 1; k <= points; k++ )); do
+    at=$(( k * step ))
+    rm -rf "${tmp}/run"
+    rc=0
+    "${svc}" --durable-dir "${tmp}/run" "${flags[@]}" \
+      --kill-at-byte "${at}" || rc=$?
+    if [[ "${rc}" -ne 42 ]]; then
+      echo "kill matrix: offset ${at}: expected exit 42 (killed), got ${rc}"
+      exit 1
+    fi
+    "${svc}" --durable-dir "${tmp}/run" --recover "${flags[@]}" \
+      --ckpt-dump "${tmp}/rec.bin" \
+      --trace-out "${tmp}/rec_trace.json" \
+      --metrics-out "${tmp}/rec_metrics.json"
+    python3 scripts/validate_trace.py \
+      "${tmp}/rec_trace.json" "${tmp}/rec_metrics.json" >/dev/null
+    if ! cmp -s "${tmp}/ref.bin" "${tmp}/rec.bin"; then
+      echo "kill matrix: offset ${at}: recovered checkpoint differs"
+      exit 1
+    fi
+  done
+  echo "kill matrix: ${points} crash points swept," \
+       "all recovered bit-identically"
+}
+
+if [[ "${1:-}" == "--kill-matrix" ]]; then
+  kill_matrix_smoke "${2:-build-asan}"
+  exit 0
+fi
+
 run_config build RelWithDebInfo "$@"
 trace_smoke build
 chaos_smoke build
 churn_smoke build
 run_config build-asan Asan "$@"
+kill_matrix_smoke build-asan
 
 echo "All checks passed. (Run scripts/check.sh --tsan for the TSan config.)"

@@ -73,6 +73,44 @@ def check_delta_event(i: int, ev: dict) -> bool:
     return crash
 
 
+def check_journal_event(i: int, ev: dict) -> int:
+    """Validates one WAL-append event; returns the payload byte count."""
+    args = ev.get("args")
+    if not isinstance(args, dict):
+        fail(f"journal event {i} has no args")
+    if not isinstance(args.get("node"), int):
+        fail(f"journal event {i} missing int 'node' (record index)")
+    payload = args.get("peer", 0)
+    if not isinstance(payload, int) or payload <= 0:
+        fail(f"journal event {i}: payload byte count {payload!r} not positive")
+    return payload
+
+
+# kRecovery aux bits (core/durable.h): generation fallback, journal tail
+# truncated, fresh start.
+RECOVERY_AUX_MASK = 0x7
+
+
+def check_recovery_event(i: int, ev: dict) -> int:
+    """Validates one recovery event; returns the replayed-batch count."""
+    args = ev.get("args")
+    if not isinstance(args, dict):
+        fail(f"recovery event {i} has no args")
+    aux = args.get("aux", 0)
+    if not isinstance(aux, int) or aux & ~RECOVERY_AUX_MASK:
+        fail(f"recovery event {i}: unknown aux bits in {aux!r}")
+    replayed = args.get("peer", 0)
+    if not isinstance(replayed, int) or replayed < 0:
+        fail(f"recovery event {i}: replayed-batch count {replayed!r} bad")
+    # node carries the checkpoint epoch, ts/round the recovered epoch; the
+    # journal can only move the epoch forward.
+    if isinstance(args.get("node"), int) and isinstance(ev.get("ts"), int):
+        if args["node"] > ev["ts"]:
+            fail(f"recovery event {i}: checkpoint epoch {args['node']} "
+                 f"beyond recovered epoch {ev['ts']}")
+    return replayed
+
+
 def check_epoch_event(i: int, ev: dict) -> None:
     args = ev.get("args")
     if not isinstance(args, dict):
@@ -96,6 +134,8 @@ def main() -> None:
     prev = None
     corrupt_events = 0
     delta_events = crash_events = epoch_events = 0
+    journal_events = recovery_events = 0
+    journal_payload_bytes = replayed_batches = 0
     for i, ev in enumerate(events):
         ts = ev.get("ts")
         if not isinstance(ts, (int, float)):
@@ -115,6 +155,12 @@ def main() -> None:
         elif cat == "epoch":
             epoch_events += 1
             check_epoch_event(i, ev)
+        elif cat == "journal":
+            journal_events += 1
+            journal_payload_bytes += check_journal_event(i, ev)
+        elif cat == "recovery":
+            recovery_events += 1
+            replayed_batches += check_recovery_event(i, ev)
 
     if len(sys.argv) > 2:
         with open(sys.argv[2]) as f:
@@ -147,10 +193,27 @@ def main() -> None:
             if want_epochs != epoch_events:
                 fail(f"service_epochs + service_scrubs = {want_epochs} != "
                      f"{epoch_events} epoch trace events")
+        # Durable-mode runs emit one kJournal event per acknowledged append
+        # and one kRecovery event per recover(); the counters must agree
+        # (all are per-process, like the trace itself).
+        for name, got in (("service_journal_appends", journal_events),
+                          ("service_recoveries", recovery_events),
+                          ("service_batches_replayed", replayed_batches)):
+            want = counters.get(name)
+            if want is not None and int(want) != got:
+                fail(f"{name} counter {want} != {got} from trace events")
+        # Each on-disk record is its payload plus a 12-byte len+checksum
+        # frame (util/journal.h).
+        want = counters.get("service_journal_bytes")
+        if want is not None and journal_events and \
+                int(want) != journal_payload_bytes + 12 * journal_events:
+            fail(f"service_journal_bytes counter {want} != "
+                 f"{journal_payload_bytes} payload + 12*{journal_events}")
 
     print(f"validate_trace: OK ({len(events)} events, "
           f"{corrupt_events} corrupt, {delta_events} delta, "
-          f"{crash_events} crash, {epoch_events} epoch)")
+          f"{crash_events} crash, {epoch_events} epoch, "
+          f"{journal_events} journal, {recovery_events} recovery)")
 
 
 if __name__ == "__main__":

@@ -30,6 +30,10 @@ const char* to_string(TraceEventKind k) noexcept {
       return "delta";
     case TraceEventKind::kEpoch:
       return "epoch";
+    case TraceEventKind::kJournal:
+      return "journal";
+    case TraceEventKind::kRecovery:
+      return "recovery";
   }
   return "?";
 }

@@ -56,6 +56,15 @@ enum class TraceEventKind : std::uint8_t {
                       // peer = suspect-row count, round = service epoch,
                       // aux = outcome (0 clean, 1 repaired, 2 retried,
                       // 3 escalated to full recompute)
+  kJournal = 11,      // durable service WAL record acknowledged
+                      // (core/durable.h): node = record index this process,
+                      // peer = payload bytes, round = epoch the record
+                      // creates
+  kRecovery = 12,     // durable recovery completed: node = checkpoint epoch
+                      // (low 32 bits), peer = journal batches replayed,
+                      // round = recovered epoch, aux = bit 0 checkpoint
+                      // generation fallback, bit 1 journal tail truncated,
+                      // bit 2 fresh start (no usable checkpoint)
 };
 
 const char* to_string(TraceEventKind k) noexcept;

@@ -10,6 +10,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "util/journal.h"
 #include "util/rng.h"
 
 namespace dapsp::core {
@@ -24,66 +25,132 @@ using congest::TraceEventKind;
 // telling apart in traces).
 constexpr std::uint32_t kDeltaCrashBit = 0x100u;
 
-constexpr char kCheckpointMagic[8] = {'D', 'S', 'V', 'C', '0', '0', '0', '1'};
-
-void put_u32(std::vector<std::uint8_t>& b, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) b.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-}
-
-void put_u64(std::vector<std::uint8_t>& b, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) b.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-}
+// First four bytes identify the file kind, the next four its format
+// version — classify_checkpoint_blob tells the two mismatches apart.
+constexpr char kCheckpointMagic[4] = {'D', 'S', 'V', 'C'};
+constexpr char kCheckpointVersion[4] = {'0', '0', '0', '1'};
 
 // FNV-1a 64 over the blob body — catches truncation and bit damage of a
 // checkpoint file before any field is trusted.
 std::uint64_t blob_checksum(std::span<const std::uint8_t> bytes) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (const std::uint8_t b : bytes) {
-    h ^= b;
-    h *= 0x100000001b3ULL;
-  }
-  return h;
+  return fnv1a64(bytes);
 }
-
-struct BlobReader {
-  const std::uint8_t* p;
-  std::size_t left;
-
-  void need(std::size_t k) const {
-    if (left < k) {
-      throw std::runtime_error("DapspService::restore: truncated checkpoint");
-    }
-  }
-  std::uint32_t u32() {
-    need(4);
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
-    p += 4;
-    left -= 4;
-    return v;
-  }
-  std::uint64_t u64() {
-    need(8);
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) v |= std::uint64_t{p[i]} << (8 * i);
-    p += 8;
-    left -= 8;
-    return v;
-  }
-  std::uint8_t u8() {
-    need(1);
-    const std::uint8_t v = *p;
-    ++p;
-    --left;
-    return v;
-  }
-};
 
 std::uint32_t abs_diff(std::uint32_t a, std::uint32_t b) {
   return a > b ? a - b : b - a;
 }
 
 }  // namespace
+
+const char* to_string(CheckpointError e) noexcept {
+  switch (e) {
+    case CheckpointError::kNone:
+      return "none";
+    case CheckpointError::kMissing:
+      return "missing";
+    case CheckpointError::kTruncated:
+      return "truncated";
+    case CheckpointError::kBadMagic:
+      return "bad-magic";
+    case CheckpointError::kVersionMismatch:
+      return "version-mismatch";
+    case CheckpointError::kChecksumMismatch:
+      return "checksum-mismatch";
+    case CheckpointError::kBadPayload:
+      return "bad-payload";
+  }
+  return "?";
+}
+
+CheckpointError classify_checkpoint_blob(
+    std::span<const std::uint8_t> blob) noexcept {
+  if (blob.empty()) return CheckpointError::kMissing;
+  if (blob.size() < 8) return CheckpointError::kTruncated;
+  if (std::memcmp(blob.data(), kCheckpointMagic, 4) != 0) {
+    return CheckpointError::kBadMagic;
+  }
+  if (std::memcmp(blob.data() + 4, kCheckpointVersion, 4) != 0) {
+    return CheckpointError::kVersionMismatch;
+  }
+  // Dry structural parse (sizes only): the blob is self-delimiting, so its
+  // exact length is recomputable — shorter is truncation, longer means
+  // appended bytes the checksum cannot cover.
+  const std::uint64_t size = blob.size();
+  std::uint64_t need = 8;  // magic + version
+  const auto fits = [&](std::uint64_t more) {
+    if (more > size - need) return false;
+    need += more;
+    return true;
+  };
+  const auto read_u32 = [&](std::uint64_t at) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= std::uint32_t{blob[static_cast<std::size_t>(at) +
+                              static_cast<std::size_t>(i)]}
+           << (8 * i);
+    }
+    return v;
+  };
+  const auto read_u64 = [&](std::uint64_t at) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= std::uint64_t{blob[static_cast<std::size_t>(at) +
+                              static_cast<std::size_t>(i)]}
+           << (8 * i);
+    }
+    return v;
+  };
+  if (!fits(4)) return CheckpointError::kTruncated;
+  const std::uint64_t n = read_u32(need - 4);
+  if (n == 0) return CheckpointError::kBadPayload;
+  if (!fits(8)) return CheckpointError::kTruncated;  // epoch
+  if (!fits(8)) return CheckpointError::kTruncated;  // user word count
+  const std::uint64_t user_count = read_u64(need - 8);
+  if (user_count > size / 8 || !fits(user_count * 8)) {
+    return CheckpointError::kTruncated;
+  }
+  if (!fits(n)) return CheckpointError::kTruncated;  // active mask
+  if (!fits(8)) return CheckpointError::kTruncated;  // edge count
+  const std::uint64_t m = read_u64(need - 8);
+  if (m > size / 8 || !fits(m * 8)) return CheckpointError::kTruncated;
+  if (!fits(n)) return CheckpointError::kTruncated;  // row statuses
+  // Four n*n u32 tables, then the trailing checksum.
+  if (n > (std::uint64_t{1} << 20) || !fits(4 * n * n * 4)) {
+    return CheckpointError::kTruncated;
+  }
+  if (!fits(8)) return CheckpointError::kTruncated;  // checksum
+  if (need != size) return CheckpointError::kChecksumMismatch;  // extra bytes
+  const std::span<const std::uint8_t> body = blob.first(blob.size() - 8);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const std::uint8_t b : body) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  if (h != read_u64(size - 8)) return CheckpointError::kChecksumMismatch;
+  return CheckpointError::kNone;
+}
+
+std::uint64_t peek_checkpoint_epoch(
+    std::span<const std::uint8_t> blob) noexcept {
+  if (blob.size() < 20) return 0;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= std::uint64_t{blob[12 + static_cast<std::size_t>(i)]} << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t backoff_delay_ms(std::uint64_t base_ms,
+                               std::uint64_t exp) noexcept {
+  if (base_ms == 0) return 0;
+  if (base_ms >= kMaxBackoffMs || exp >= 63) return kMaxBackoffMs;
+  const std::uint64_t shifted = base_ms << exp;
+  // Saturate on wrap (base << exp no longer round-trips) or past the cap.
+  if ((shifted >> exp) != base_ms || shifted > kMaxBackoffMs) {
+    return kMaxBackoffMs;
+  }
+  return shifted;
+}
 
 const char* to_string(RowStatus s) noexcept {
   switch (s) {
@@ -418,7 +485,10 @@ void DapspService::run_repair_ladder(
   for (std::size_t i = 0; i < rungs.size(); ++i) {
     if (i > 0) {
       if (config_.backoff_base_ms > 0) {
-        const std::uint64_t ms = config_.backoff_base_ms << (i - 1);
+        // Saturating: the degraded streak keeps raising the exponent across
+        // epochs, and a plain shift would overflow (UB) past 2^63.
+        const std::uint64_t ms = backoff_delay_ms(
+            config_.backoff_base_ms, (i - 1) + degraded_streak_);
         std::this_thread::sleep_for(std::chrono::milliseconds(ms));
         stats_.backoff_ms += ms;
       }
@@ -449,6 +519,7 @@ void DapspService::run_repair_ladder(
       ep.round_bound = rep.round_bound;
       ep.bound_ok = rep.bound_ok;
       stats_.rows_repaired += rep.rows_repaired;
+      degraded_streak_ = 0;
       if (rung.certify_all) {
         // Every active row certified against the current graph.
         refresh_served(all_active, RowStatus::kExact);
@@ -467,6 +538,7 @@ void DapspService::run_repair_ladder(
   // Every rung failed: mark what we meant to heal stale; the served snapshot
   // keeps answering from the last certified state.
   ep.certified = false;
+  ++degraded_streak_;
   ++stats_.epochs_failed;
   const std::vector<NodeId>& stale = suspects ? *suspects : all_active;
   for (const NodeId s : stale) {
@@ -547,6 +619,7 @@ EpochReport DapspService::step(const ChurnBatch& batch) {
   if (suspects.empty() && !force) {
     ep.outcome = EpochOutcome::kClean;
     ep.certified = true;
+    degraded_streak_ = 0;
   } else {
     if (!force) patch_join_entries(dr);
     run_repair_ladder(force ? std::nullopt
@@ -638,6 +711,9 @@ std::vector<std::uint8_t> DapspService::checkpoint_blob(
   for (const char c : kCheckpointMagic) {
     b.push_back(static_cast<std::uint8_t>(c));
   }
+  for (const char c : kCheckpointVersion) {
+    b.push_back(static_cast<std::uint8_t>(c));
+  }
   put_u32(b, n);
   put_u64(b, epoch_);
   put_u64(b, user_words.size());
@@ -684,24 +760,22 @@ void DapspService::checkpoint(std::ostream& out,
 DapspService DapspService::restore(std::istream& in,
                                    const ServiceConfig& config,
                                    std::vector<std::uint64_t>* user_words_out) {
-  std::vector<std::uint8_t> b(std::istreambuf_iterator<char>(in), {});
-  if (b.size() < 8 + 4 + 8 + 8 + 8 ||
-      std::memcmp(b.data(), kCheckpointMagic, 8) != 0) {
-    throw std::runtime_error(
-        "DapspService::restore: not a service checkpoint (bad magic)");
-  }
-  const std::span<const std::uint8_t> body(b.data(), b.size() - 8);
-  BlobReader tail{b.data() + b.size() - 8, 8};
-  if (tail.u64() != blob_checksum(body)) {
-    throw std::runtime_error(
-        "DapspService::restore: checkpoint checksum mismatch");
-  }
+  const std::vector<std::uint8_t> b(std::istreambuf_iterator<char>(in), {});
+  return restore_blob(b, config, user_words_out);
+}
 
-  BlobReader r{b.data() + 8, b.size() - 16};
-  const NodeId n = r.u32();
-  if (n == 0) {
-    throw std::runtime_error("DapspService::restore: empty universe");
+DapspService DapspService::restore_blob(
+    std::span<const std::uint8_t> blob, const ServiceConfig& config,
+    std::vector<std::uint64_t>* user_words_out) {
+  const CheckpointError err = classify_checkpoint_blob(blob);
+  if (err != CheckpointError::kNone) {
+    throw std::runtime_error(std::string("DapspService::restore: ") +
+                             to_string(err) + " checkpoint");
   }
+  // Magic, version and trailing checksum verified by the classification;
+  // parse the body between them.
+  ByteReader r(blob.subspan(8, blob.size() - 16), "DapspService::restore");
+  const NodeId n = r.u32();
   const std::uint64_t epoch = r.u64();
   const std::uint64_t user_count = r.u64();
   std::vector<std::uint64_t> user(user_count);
@@ -751,6 +825,26 @@ DapspService DapspService::restore(std::istream& in,
 
   if (user_words_out != nullptr) *user_words_out = std::move(user);
   return svc;
+}
+
+std::optional<DapspService> DapspService::try_restore_blob(
+    std::span<const std::uint8_t> blob, const ServiceConfig& config,
+    std::vector<std::uint64_t>* user_words_out, CheckpointError* error_out) {
+  CheckpointError err = classify_checkpoint_blob(blob);
+  if (err == CheckpointError::kNone) {
+    try {
+      std::optional<DapspService> svc =
+          restore_blob(blob, config, user_words_out);
+      if (error_out != nullptr) *error_out = CheckpointError::kNone;
+      return svc;
+    } catch (const std::exception&) {
+      // Checksum held but a field is inconsistent (bad row status, edge at
+      // an inactive endpoint, trailing body bytes...).
+      err = CheckpointError::kBadPayload;
+    }
+  }
+  if (error_out != nullptr) *error_out = err;
+  return std::nullopt;
 }
 
 std::string EpochReport::debug_string() const {

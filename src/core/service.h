@@ -80,6 +80,44 @@
 
 namespace dapsp::core {
 
+// Why a checkpoint blob was rejected — the distinct failure modes a durable
+// deployment must tell apart (DESIGN.md §15). kTruncated is what a process
+// kill mid-write leaves; kChecksumMismatch is bit damage of a full-length
+// blob; kVersionMismatch is a checkpoint from a different format version
+// (right magic, wrong version word) and must not be repaired away.
+enum class CheckpointError : std::uint8_t {
+  kNone = 0,
+  kMissing = 1,           // no bytes at all
+  kTruncated = 2,         // shorter than its own structure claims
+  kBadMagic = 3,          // not a service checkpoint
+  kVersionMismatch = 4,   // "DSVC" magic, different version word
+  kChecksumMismatch = 5,  // full structure, body damaged (or bytes appended)
+  kBadPayload = 6,        // checksum holds but a field is inconsistent
+};
+
+const char* to_string(CheckpointError e) noexcept;
+
+// Classifies a checkpoint blob without building a service from it. Pure and
+// noexcept: a dry structural parse plus the trailing-checksum check.
+// (kBadPayload cases that need full deserialization — an inconsistent edge
+// list, say — are only caught by restore_blob/try_restore_blob.)
+CheckpointError classify_checkpoint_blob(
+    std::span<const std::uint8_t> blob) noexcept;
+
+// The epoch stored in a checkpoint blob. Only meaningful when
+// classify_checkpoint_blob returned kNone.
+std::uint64_t peek_checkpoint_epoch(std::span<const std::uint8_t> blob) noexcept;
+
+// Retry backoff saturates here instead of overflowing: long degraded
+// streaks shift the exponential multiplier far past 64 bits, and a service
+// that sleeps "forever" (or UB-shifts into a tiny value) is as broken as
+// one that hot-loops.
+inline constexpr std::uint64_t kMaxBackoffMs = 60'000;
+
+// base_ms * 2^exp, clamped to kMaxBackoffMs (0 stays 0 at any exponent).
+std::uint64_t backoff_delay_ms(std::uint64_t base_ms,
+                               std::uint64_t exp) noexcept;
+
 // Per-source-row serving status (see header note).
 enum class RowStatus : std::uint8_t {
   kExact = 0,
@@ -226,6 +264,12 @@ class DapspService {
   std::uint64_t epoch() const noexcept { return epoch_; }
   const ServiceStats& stats() const noexcept { return stats_; }
   const ApspResult& tables() const noexcept { return apsp_; }
+  const ServiceConfig& config() const noexcept { return config_; }
+
+  // Consecutive failed epochs (reset by any certified epoch). Feeds the
+  // retry backoff exponent, saturating via backoff_delay_ms. Not part of
+  // the checkpointed state — a restored service starts its streak at 0.
+  std::uint64_t degraded_streak() const noexcept { return degraded_streak_; }
 
   RowStatus row_status(NodeId s) const { return row_status_[s]; }
   // True when no active row is stale — every served row is certified
@@ -245,10 +289,21 @@ class DapspService {
       std::span<const std::uint64_t> user_words = {});
 
   // Rebuilds a service from a checkpoint stream. Throws std::runtime_error
-  // on a bad magic, checksum mismatch, or truncation. `user_words_out`
-  // receives the caller words stored at checkpoint time.
+  // naming the CheckpointError (missing / truncated / bad magic / version
+  // mismatch / checksum mismatch / bad payload). `user_words_out` receives
+  // the caller words stored at checkpoint time.
   static DapspService restore(std::istream& in, const ServiceConfig& config,
                               std::vector<std::uint64_t>* user_words_out);
+  // Same, from an in-memory blob.
+  static DapspService restore_blob(std::span<const std::uint8_t> blob,
+                                   const ServiceConfig& config,
+                                   std::vector<std::uint64_t>* user_words_out);
+  // Non-throwing variant: returns std::nullopt and the classification in
+  // `error_out` instead. Used by generation-fallback recovery
+  // (core/durable.h), which must survive a damaged newest checkpoint.
+  static std::optional<DapspService> try_restore_blob(
+      std::span<const std::uint8_t> blob, const ServiceConfig& config,
+      std::vector<std::uint64_t>* user_words_out, CheckpointError* error_out);
 
  private:
   struct RestoreTag {};
@@ -273,6 +328,7 @@ class DapspService {
   std::vector<std::vector<NodeId>> served_next_hop_;
   std::vector<RowStatus> row_status_;
   std::uint64_t epoch_ = 0;
+  std::uint64_t degraded_streak_ = 0;
   ServiceStats stats_;
 };
 

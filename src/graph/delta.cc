@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/journal.h"
+
 namespace dapsp {
 
 namespace {
@@ -33,6 +35,49 @@ const char* to_string(DeltaKind k) noexcept {
       return "node-leave";
   }
   return "?";
+}
+
+std::vector<std::uint8_t> encode_churn_batch(const ChurnBatch& b) {
+  std::vector<std::uint8_t> out;
+  out.reserve(24 + b.deltas.size() * 9 + b.crashes.size() * 4);
+  put_u32(out, static_cast<std::uint32_t>(b.deltas.size()));
+  for (const GraphDelta& d : b.deltas) {
+    out.push_back(static_cast<std::uint8_t>(d.kind));
+    put_u32(out, d.u);
+    put_u32(out, d.v);
+  }
+  put_u32(out, static_cast<std::uint32_t>(b.crashes.size()));
+  for (const NodeId v : b.crashes) put_u32(out, v);
+  put_u32(out, b.corrupt_flips);
+  put_u64(out, b.corrupt_seed);
+  return out;
+}
+
+ChurnBatch decode_churn_batch(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes, "decode_churn_batch");
+  ChurnBatch b;
+  const std::uint32_t n_deltas = r.u32();
+  b.deltas.reserve(n_deltas);
+  for (std::uint32_t i = 0; i < n_deltas; ++i) {
+    GraphDelta d;
+    const std::uint8_t kind = r.u8();
+    if (kind > static_cast<std::uint8_t>(DeltaKind::kNodeLeave)) {
+      throw std::runtime_error("decode_churn_batch: bad delta kind");
+    }
+    d.kind = static_cast<DeltaKind>(kind);
+    d.u = r.u32();
+    d.v = r.u32();
+    b.deltas.push_back(d);
+  }
+  const std::uint32_t n_crashes = r.u32();
+  b.crashes.reserve(n_crashes);
+  for (std::uint32_t i = 0; i < n_crashes; ++i) b.crashes.push_back(r.u32());
+  b.corrupt_flips = r.u32();
+  b.corrupt_seed = r.u64();
+  if (r.left() != 0) {
+    throw std::runtime_error("decode_churn_batch: trailing bytes");
+  }
+  return b;
 }
 
 std::string to_string(const GraphDelta& d) {

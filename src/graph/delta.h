@@ -137,7 +137,18 @@ struct ChurnBatch {
   bool empty() const noexcept {
     return deltas.empty() && crashes.empty() && corrupt_flips == 0;
   }
+
+  friend bool operator==(const ChurnBatch&, const ChurnBatch&) = default;
 };
+
+// Wire format for one ChurnBatch — the payload of a write-ahead journal
+// record (util/journal.h) and the replay entry point of durable recovery
+// (core/durable.h). Little-endian, self-delimiting, versioned by the
+// journal that carries it.
+std::vector<std::uint8_t> encode_churn_batch(const ChurnBatch& b);
+// Throws std::runtime_error on truncated input or an out-of-range delta
+// kind; trailing bytes after the batch are also an error.
+ChurnBatch decode_churn_batch(std::span<const std::uint8_t> bytes);
 
 struct DeltaPlanConfig {
   std::uint64_t seed = 1;

@@ -1,0 +1,334 @@
+// Deterministic crash-point fuzzer for the durable service (core/durable.h).
+//
+// The fault model is crash-only: a kill can land at ANY byte of the durable
+// stream (journal appends, checkpoint staging files) and leaves exactly the
+// written prefix. The fuzzer drives DurableDapspService through seeded churn
+// with a soft CrashPoint budget, "kills" the process by catching
+// CrashPointReached and discarding the service object, then recovers from
+// disk — sweeping single-kill offsets across the whole stream and composing
+// multi-kill schedules (including kills inside recovery itself).
+//
+// Invariants asserted at every recovery and at every completion:
+//   * no acknowledged update lost, none invented: the recovered epoch lies
+//     in [last completed ack, last attempted ack];
+//   * the run always converges to fully certified;
+//   * the final canonical checkpoint blob is byte-identical to an
+//     uninterrupted run's (replay determinism).
+//
+// Failing schedules are shrunk to a minimal reproducer with a ddmin-style
+// delta debugger before being reported.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/durable.h"
+#include "graph/delta.h"
+#include "graph/generators.h"
+#include "util/journal.h"
+
+namespace dapsp::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr NodeId kUniverse = 12;
+constexpr std::uint64_t kUpdates = 16;
+constexpr std::uint32_t kCheckpointEvery = 5;
+
+Graph initial_graph() { return gen::random_connected(kUniverse, 6, 7); }
+
+DeltaPlanConfig plan_config() {
+  DeltaPlanConfig pc;
+  pc.seed = 3;
+  pc.max_batch = 3;
+  pc.crash_prob = 0.1;
+  pc.corrupt_prob = 0.1;
+  return pc;
+}
+
+// A fresh scratch directory under the test temp root.
+std::string scratch_dir(const std::string& name) {
+  const std::string dir = (fs::path(::testing::TempDir()) / name).string();
+  fs::remove_all(dir);
+  return dir;
+}
+
+// Ack bookkeeping across incarnations of one simulated process lineage.
+struct AckCounters {
+  std::uint64_t attempted = 0;  // highest epoch whose ack_and_step began
+  std::uint64_t completed = 0;  // highest epoch whose ack_and_step returned
+};
+
+struct IncarnationResult {
+  bool completed = false;     // ran to the end (budget never fired)
+  bool invariant_ok = true;   // recovery bounds + certification held
+  std::string violation;
+  std::vector<std::uint8_t> blob;  // canonical final blob when completed
+};
+
+// One process incarnation: fresh start or recovery, then churn to the end
+// unless the caller's crash budget fires. Mirrors examples/dapsp_service
+// --durable-dir, including the unconditional final scrub that makes the
+// final blob canonical.
+IncarnationResult incarnation(const std::string& dir, bool fresh,
+                              CrashPoint& crash, AckCounters& acks,
+                              std::uint32_t threads = 1) {
+  IncarnationResult res;
+  DurableConfig dcfg;
+  dcfg.dir = dir;
+  dcfg.checkpoint_every = kCheckpointEvery;
+  dcfg.service.engine.threads = threads;
+  dcfg.crash = &crash;
+
+  DeltaPlan plan(plan_config());
+  std::uint64_t done = 0;
+  try {
+    const Graph g = initial_graph();
+    std::optional<DurableDapspService> d;
+    if (fresh) {
+      d.emplace(g, dcfg);
+    } else {
+      RecoveryReport rr;
+      d.emplace(DurableDapspService::recover(dcfg, &g, &rr));
+      if (rr.recovered_epoch < acks.completed ||
+          rr.recovered_epoch > acks.attempted) {
+        std::ostringstream os;
+        os << "recovered epoch " << rr.recovered_epoch
+           << " outside the acked window [" << acks.completed << ", "
+           << acks.attempted << "] (" << rr.debug_string() << ")";
+        res.invariant_ok = false;
+        res.violation = std::move(os).str();
+        return res;
+      }
+      const std::span<const std::uint64_t> words = d->plan_words();
+      if (words.size() == 3) {
+        plan.resume(words[0], words[1]);
+        done = words[2];
+      }
+    }
+    for (std::uint64_t u = done; u < kUpdates; ++u) {
+      const ChurnBatch batch = plan.next(d->service().dynamic_graph());
+      const std::uint64_t words[3] = {plan.rng_state(),
+                                      plan.batches_generated(), u + 1};
+      acks.attempted = std::max(acks.attempted, u + 1);
+      d->ack_and_step(batch, words);
+      acks.completed = std::max(acks.completed, u + 1);
+    }
+    d->service().scrub();
+    d->rotate_checkpoint();
+    if (!d->service().fully_certified()) {
+      res.invariant_ok = false;
+      res.violation = "run finished but tables are not fully certified";
+      return res;
+    }
+    res.completed = true;
+    res.blob = d->service().checkpoint_blob(d->plan_words());
+  } catch (const CrashPointReached&) {
+    // The injected kill — this incarnation is dead, state is on disk.
+  } catch (const std::exception& e) {
+    // Unexpected: acked-update loss or state corruption surfaces here.
+    res.invariant_ok = false;
+    res.violation = e.what();
+  }
+  return res;
+}
+
+// Runs a kill schedule: incarnation i dies at durable byte schedule[i] (of
+// ITS OWN stream), then one unbudgeted incarnation must finish. Returns
+// true when every invariant held and the final blob matches `ref`.
+bool schedule_passes(const std::vector<std::uint64_t>& schedule,
+                     const std::vector<std::uint8_t>& ref,
+                     std::string* why = nullptr) {
+  const auto fail = [&](const std::string& msg) {
+    if (why != nullptr) *why = msg;
+    return false;
+  };
+  const std::string dir = scratch_dir("cp_schedule");
+  AckCounters acks;
+  bool fresh = true;
+  for (const std::uint64_t k : schedule) {
+    CrashPoint crash;
+    crash.kill_at_byte = k;
+    const IncarnationResult r = incarnation(dir, fresh, crash, acks);
+    fresh = false;
+    if (!r.invariant_ok) return fail(r.violation);
+    if (r.completed) break;  // budget landed beyond the end of the run
+  }
+  CrashPoint no_kill;
+  const IncarnationResult r = incarnation(dir, fresh, no_kill, acks);
+  if (!r.invariant_ok) return fail(r.violation);
+  if (!r.completed) return fail("unbudgeted final incarnation crashed");
+  if (r.blob != ref) return fail("final checkpoint differs from reference");
+  return true;
+}
+
+// ddmin-style schedule shrinker: removes complement chunks while the
+// predicate still fails, converging to a 1-minimal failing subsequence
+// (order preserved).
+template <typename Fails>
+std::vector<std::uint64_t> shrink_schedule(std::vector<std::uint64_t> failing,
+                                           Fails fails) {
+  std::size_t granularity = 2;
+  while (failing.size() >= 2) {
+    const std::size_t chunk =
+        (failing.size() + granularity - 1) / granularity;
+    bool reduced = false;
+    for (std::size_t start = 0; start < failing.size() && !reduced;
+         start += chunk) {
+      std::vector<std::uint64_t> candidate;
+      for (std::size_t i = 0; i < failing.size(); ++i) {
+        if (i < start || i >= start + chunk) candidate.push_back(failing[i]);
+      }
+      if (!candidate.empty() && fails(candidate)) {
+        failing = std::move(candidate);
+        granularity = std::max<std::size_t>(2, granularity - 1);
+        reduced = true;
+      }
+    }
+    if (!reduced) {
+      if (chunk == 1) break;  // 1-minimal
+      granularity = std::min(failing.size(), granularity * 2);
+    }
+  }
+  return failing;
+}
+
+std::string schedule_string(const std::vector<std::uint64_t>& s) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < s.size(); ++i) os << (i ? ", " : "{") << s[i];
+  os << "}";
+  return std::move(os).str();
+}
+
+// Straight-through reference: final blob + the total durable byte count
+// (the sweep range).
+struct Reference {
+  std::vector<std::uint8_t> blob;
+  std::uint64_t durable_bytes = 0;
+};
+
+const Reference& reference() {
+  static const Reference ref = [] {
+    Reference r;
+    CrashPoint counter;  // budget off; still counts durable bytes
+    AckCounters acks;
+    const IncarnationResult res =
+        incarnation(scratch_dir("cp_reference"), true, counter, acks);
+    EXPECT_TRUE(res.completed && res.invariant_ok) << res.violation;
+    r.blob = res.blob;
+    r.durable_bytes = counter.written;
+    return r;
+  }();
+  return ref;
+}
+
+// ------------------------------------------------------------------- fuzzer
+
+TEST(CrashPointFuzzer, SingleKillSweepAcrossTheWholeDurableStream) {
+  const Reference& ref = reference();
+  ASSERT_FALSE(ref.blob.empty());
+  ASSERT_GT(ref.durable_bytes, 1000u);
+
+  // >= 64 offsets spread over every durable byte ever written: inside the
+  // generation-0 checkpoint, journal headers, every record, every rotation.
+  const std::uint64_t step = std::max<std::uint64_t>(1, ref.durable_bytes / 64);
+  int swept = 0;
+  for (std::uint64_t k = 1; k <= ref.durable_bytes; k += step) {
+    ++swept;
+    std::string why;
+    if (!schedule_passes({k}, ref.blob, &why)) {
+      ADD_FAILURE() << "kill at durable byte " << k << ": " << why;
+    }
+  }
+  EXPECT_GE(swept, 64);
+}
+
+TEST(CrashPointFuzzer, MultiKillSchedulesIncludingKillsDuringRecovery) {
+  const Reference& ref = reference();
+  const std::vector<std::vector<std::uint64_t>> schedules = {
+      {1, 1, 1, 1},        // die at the first durable byte, four times
+      {8, 8, 8},           // inside the journal header / first record
+      {2000, 500, 2500},   // mid-checkpoint, then mid-journal, twice over
+      {5000, 5000},        // deep into the second incarnation's stream
+      {300, 40, 7000, 61}, // mixed: checkpoint, header, late journal, early
+  };
+  for (const std::vector<std::uint64_t>& schedule : schedules) {
+    std::string why;
+    if (!schedule_passes(schedule, ref.blob, &why)) {
+      // Auto-shrink before reporting: the minimal reproducer is what a
+      // human wants to replay with --kill-at-byte.
+      const std::vector<std::uint64_t> minimal = shrink_schedule(
+          schedule, [&](const std::vector<std::uint64_t>& s) {
+            return !schedule_passes(s, ref.blob);
+          });
+      ADD_FAILURE() << "schedule " << schedule_string(schedule)
+                    << " failed: " << why
+                    << "\n  minimal reproducer: " << schedule_string(minimal);
+    }
+  }
+}
+
+TEST(CrashPointFuzzer, RecoveryIsThreadCountInvariant) {
+  const Reference& ref = reference();
+  // Kill mid-stream, then recover the SAME on-disk state at 1/2/8 engine
+  // threads — each from its own copy, since recovery repairs in place.
+  const std::string dir = scratch_dir("cp_threads");
+  AckCounters acks;
+  CrashPoint crash;
+  crash.kill_at_byte = 6000;
+  const IncarnationResult killed = incarnation(dir, true, crash, acks);
+  ASSERT_FALSE(killed.completed);
+  ASSERT_TRUE(killed.invariant_ok) << killed.violation;
+
+  std::vector<std::vector<std::uint8_t>> blobs;
+  for (const std::uint32_t threads : {1u, 2u, 8u}) {
+    const std::string copy =
+        scratch_dir("cp_threads_t" + std::to_string(threads));
+    fs::copy(dir, copy, fs::copy_options::recursive);
+    AckCounters acks_copy = acks;
+    CrashPoint no_kill;
+    const IncarnationResult r =
+        incarnation(copy, false, no_kill, acks_copy, threads);
+    ASSERT_TRUE(r.completed && r.invariant_ok)
+        << "threads=" << threads << ": " << r.violation;
+    blobs.push_back(r.blob);
+  }
+  EXPECT_EQ(blobs[0], ref.blob);
+  EXPECT_EQ(blobs[0], blobs[1]);
+  EXPECT_EQ(blobs[0], blobs[2]);
+}
+
+// ---------------------------------------------------------------- delta-debug
+
+TEST(DeltaDebug, ShrinksToTheMinimalFailingSubsequence) {
+  // Synthetic predicate: a schedule fails iff it contains both 7 and 13.
+  int calls = 0;
+  const auto fails = [&](const std::vector<std::uint64_t>& s) {
+    ++calls;
+    const bool has7 = std::find(s.begin(), s.end(), 7u) != s.end();
+    const bool has13 = std::find(s.begin(), s.end(), 13u) != s.end();
+    return has7 && has13;
+  };
+  std::vector<std::uint64_t> noisy = {3, 7, 99, 42, 13, 5, 6, 8};
+  ASSERT_TRUE(fails(noisy));
+  const std::vector<std::uint64_t> minimal = shrink_schedule(noisy, fails);
+  EXPECT_EQ(minimal, (std::vector<std::uint64_t>{7, 13}));
+  EXPECT_GT(calls, 2);
+}
+
+TEST(DeltaDebug, SingletonCauseShrinksToOneElement) {
+  const auto fails = [](const std::vector<std::uint64_t>& s) {
+    return std::find(s.begin(), s.end(), 42u) != s.end();
+  };
+  const std::vector<std::uint64_t> minimal =
+      shrink_schedule({1, 2, 42, 3, 4, 5}, fails);
+  EXPECT_EQ(minimal, (std::vector<std::uint64_t>{42}));
+}
+
+}  // namespace
+}  // namespace dapsp::core

@@ -9,12 +9,16 @@
 #include <string>
 #include <vector>
 
+#include <filesystem>
+
 #include "congest/engine.h"
 #include "congest/faults.h"
 #include "congest/reliable.h"
+#include "core/durable.h"
 #include "core/pebble_apsp.h"
 #include "core/repair.h"
 #include "core/ssp.h"
+#include "graph/delta.h"
 #include "graph/generators.h"
 #include "testing/suite.h"
 
@@ -309,6 +313,57 @@ TEST(Determinism, CongestionErrorIsPartitionIndependent) {
   }
   ASSERT_EQ(errors[0], errors[1]);
   ASSERT_EQ(errors[0], errors[2]);
+}
+
+TEST(Determinism, DurableRecoveryReplayAcrossThreadCounts) {
+  namespace fs = std::filesystem;
+  const Graph g = gen::random_connected(12, 6, 7);
+  DeltaPlanConfig pc;
+  pc.seed = 3;
+  pc.max_batch = 3;
+  pc.crash_prob = 0.1;
+  pc.corrupt_prob = 0.1;
+
+  // Build a durable state: checkpoint rotation lands at epoch 6, then four
+  // more acknowledged epochs stay journal-only — a real suffix to replay.
+  const std::string dir = ::testing::TempDir() + "det_durable";
+  fs::remove_all(dir);
+  {
+    core::DurableConfig dc;
+    dc.dir = dir;
+    dc.checkpoint_every = 6;
+    core::DurableDapspService d(g, dc);
+    DeltaPlan plan(pc);
+    for (int u = 0; u < 10; ++u) {
+      const ChurnBatch b = plan.next(d.service().dynamic_graph());
+      const std::uint64_t words[3] = {plan.rng_state(),
+                                      plan.batches_generated(),
+                                      static_cast<std::uint64_t>(u + 1)};
+      d.ack_and_step(b, words);
+    }
+  }  // dropped without a final rotation, like a crash after epoch 10's ack
+
+  // Recovery replays the journal suffix through the repair ladder; the
+  // recovered checkpoint must be bit-identical at every thread count.
+  std::vector<std::vector<std::uint8_t>> blobs;
+  for (const std::uint32_t t : kThreadCounts) {
+    const std::string copy = dir + "_t" + std::to_string(t);
+    fs::remove_all(copy);
+    fs::copy(dir, copy, fs::copy_options::recursive);
+    core::DurableConfig dc;
+    dc.dir = copy;
+    dc.service.engine.threads = t;
+    core::RecoveryReport rr;
+    core::DurableDapspService d =
+        core::DurableDapspService::recover(dc, &g, &rr);
+    EXPECT_EQ(rr.checkpoint_epoch, 6u) << "threads " << t;
+    EXPECT_EQ(rr.recovered_epoch, 10u) << "threads " << t;
+    EXPECT_EQ(rr.batches_replayed, 4u) << "threads " << t;
+    blobs.push_back(d.service().checkpoint_blob(d.plan_words()));
+  }
+  ASSERT_EQ(blobs.size(), 3u);
+  EXPECT_EQ(blobs[0], blobs[1]);
+  EXPECT_EQ(blobs[0], blobs[2]);
 }
 
 }  // namespace

@@ -539,6 +539,283 @@ TEST(Service, QueryValidatesEndpointsAndReportsInactive) {
   EXPECT_EQ(q.dist, kInfDist);
 }
 
+// ------------------------------------------------------------ CheckpointError
+
+TEST(CheckpointErrors, ClassificationNamesEveryFailureMode) {
+  DapspService svc(gen::grid(3, 3), {});
+  const std::vector<std::uint8_t> blob = svc.checkpoint_blob();
+  EXPECT_EQ(classify_checkpoint_blob(blob), CheckpointError::kNone);
+  EXPECT_EQ(peek_checkpoint_epoch(blob), svc.epoch());
+
+  EXPECT_EQ(classify_checkpoint_blob({}), CheckpointError::kMissing);
+
+  // Every strict prefix is a truncation — the dry structural walk never
+  // misreads a cut as checksum damage.
+  for (std::size_t len = 1; len < blob.size(); len += 7) {
+    EXPECT_EQ(classify_checkpoint_blob(
+                  std::span<const std::uint8_t>(blob.data(), len)),
+              CheckpointError::kTruncated)
+        << "prefix of " << len << " bytes";
+  }
+
+  std::vector<std::uint8_t> bad = blob;
+  bad[0] ^= 0xff;
+  EXPECT_EQ(classify_checkpoint_blob(bad), CheckpointError::kBadMagic);
+
+  bad = blob;
+  bad[5] ^= 0x01;  // magic intact, version word damaged
+  EXPECT_EQ(classify_checkpoint_blob(bad), CheckpointError::kVersionMismatch);
+
+  bad = blob;
+  bad[bad.size() / 2] ^= 0x10;
+  EXPECT_EQ(classify_checkpoint_blob(bad), CheckpointError::kChecksumMismatch);
+
+  bad = blob;
+  bad.push_back(0);  // bytes beyond the declared structure
+  EXPECT_EQ(classify_checkpoint_blob(bad), CheckpointError::kChecksumMismatch);
+}
+
+TEST(CheckpointErrors, ToStringCoversEveryCode) {
+  EXPECT_STREQ(to_string(CheckpointError::kNone), "none");
+  EXPECT_STREQ(to_string(CheckpointError::kMissing), "missing");
+  EXPECT_STREQ(to_string(CheckpointError::kTruncated), "truncated");
+  EXPECT_STREQ(to_string(CheckpointError::kBadMagic), "bad-magic");
+  EXPECT_STREQ(to_string(CheckpointError::kVersionMismatch),
+               "version-mismatch");
+  EXPECT_STREQ(to_string(CheckpointError::kChecksumMismatch),
+               "checksum-mismatch");
+  EXPECT_STREQ(to_string(CheckpointError::kBadPayload), "bad-payload");
+}
+
+TEST(CheckpointErrors, TryRestoreReportsTheCodeWithoutThrowing) {
+  DapspService svc(gen::grid(3, 3), {});
+  const std::vector<std::uint8_t> blob = svc.checkpoint_blob();
+
+  CheckpointError err = CheckpointError::kBadPayload;
+  std::optional<DapspService> ok =
+      DapspService::try_restore_blob(blob, {}, nullptr, &err);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(err, CheckpointError::kNone);
+  EXPECT_EQ(ok->epoch(), svc.epoch());
+
+  std::vector<std::uint8_t> bad = blob;
+  bad[bad.size() - 9] ^= 0x40;  // last body byte, before the checksum
+  err = CheckpointError::kNone;
+  EXPECT_FALSE(
+      DapspService::try_restore_blob(bad, {}, nullptr, &err).has_value());
+  EXPECT_EQ(err, CheckpointError::kChecksumMismatch);
+
+  err = CheckpointError::kNone;
+  EXPECT_FALSE(
+      DapspService::try_restore_blob({}, {}, nullptr, &err).has_value());
+  EXPECT_EQ(err, CheckpointError::kMissing);
+}
+
+TEST(CheckpointErrors, RestoreMessagesNameTheClassification) {
+  DapspService svc(gen::grid(3, 3), {});
+  const std::vector<std::uint8_t> blob = svc.checkpoint_blob();
+  const auto expect_restore_says = [](std::span<const std::uint8_t> b,
+                                      const std::string& code) {
+    try {
+      DapspService::restore_blob(b, {}, nullptr);
+      FAIL() << "restore_blob accepted a " << code << " checkpoint";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(code), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_restore_says({}, "missing");
+  expect_restore_says(std::span<const std::uint8_t>(blob.data(), 40),
+                      "truncated");
+  std::vector<std::uint8_t> bad = blob;
+  bad[1] ^= 0x08;
+  expect_restore_says(bad, "bad-magic");
+  bad = blob;
+  bad[6] ^= 0x02;
+  expect_restore_says(bad, "version-mismatch");
+  bad = blob;
+  bad[bad.size() / 3] ^= 0x20;
+  expect_restore_says(bad, "checksum-mismatch");
+}
+
+// ---------------------------------------------------------- saturating backoff
+
+TEST(Backoff, ZeroBaseNeverSleepsAtAnyExponent) {
+  for (const std::uint64_t exp :
+       {0ull, 1ull, 13ull, 62ull, 63ull, 64ull, 10'000ull, ~0ull}) {
+    EXPECT_EQ(backoff_delay_ms(0, exp), 0u) << "exp " << exp;
+  }
+}
+
+TEST(Backoff, DoublesExactlyBelowTheCapAndSaturatesAbove) {
+  EXPECT_EQ(backoff_delay_ms(5, 0), 5u);
+  EXPECT_EQ(backoff_delay_ms(5, 3), 40u);
+  EXPECT_EQ(backoff_delay_ms(5, 13), 40'960u);  // last doubling under the cap
+  EXPECT_EQ(backoff_delay_ms(5, 14), kMaxBackoffMs);
+  EXPECT_EQ(backoff_delay_ms(1, 16), kMaxBackoffMs);  // 65'536 > 60'000
+  EXPECT_EQ(backoff_delay_ms(kMaxBackoffMs, 0), kMaxBackoffMs);
+  EXPECT_EQ(backoff_delay_ms(kMaxBackoffMs + 1, 0), kMaxBackoffMs);
+}
+
+TEST(Backoff, HugeExponentsSaturateInsteadOfOverflowing) {
+  // exp >= 63 would be UB as a plain shift of a nonzero base; a wrapped
+  // shift would come back tiny and turn the backoff into a hot loop.
+  EXPECT_EQ(backoff_delay_ms(1, 62), kMaxBackoffMs);
+  EXPECT_EQ(backoff_delay_ms(1, 63), kMaxBackoffMs);
+  EXPECT_EQ(backoff_delay_ms(1, 64), kMaxBackoffMs);
+  EXPECT_EQ(backoff_delay_ms(3, 62), kMaxBackoffMs);
+  EXPECT_EQ(backoff_delay_ms(1, ~0ull), kMaxBackoffMs);
+  EXPECT_EQ(backoff_delay_ms(~0ull, 1), kMaxBackoffMs);
+}
+
+TEST(Service, WallBudgetZeroIsNoBudgetAndTinyBudgetSkipsToEscalation) {
+  DapspService healthy(gen::cycle(8), {});
+  const std::vector<std::uint8_t> blob = healthy.checkpoint_blob();
+  ChurnBatch b;
+  b.deltas.push_back({DeltaKind::kEdgeRemove, 0, 1});
+
+  // watchdog_wall_ms == 0 means "no wall budget": every rung of the ladder
+  // is attempted, exactly as if the knob did not exist.
+  ServiceConfig unlimited;
+  unlimited.watchdog_rounds = 2;
+  unlimited.escalate_fraction = 1.0;
+  unlimited.watchdog_wall_ms = 0;
+  std::istringstream in1(
+      std::string(reinterpret_cast<const char*>(blob.data()), blob.size()));
+  DapspService svc1 = DapspService::restore(in1, unlimited, nullptr);
+  EXPECT_EQ(svc1.step(b).attempts, 3u);
+
+  // A tiny wall budget (blown during the first backoff sleep) skips the
+  // intermediate rungs but always keeps the final escalation.
+  ServiceConfig tight = unlimited;
+  tight.watchdog_wall_ms = 1;
+  tight.backoff_base_ms = 2;
+  std::istringstream in2(
+      std::string(reinterpret_cast<const char*>(blob.data()), blob.size()));
+  DapspService svc2 = DapspService::restore(in2, tight, nullptr);
+  const EpochReport ep = svc2.step(b);
+  EXPECT_EQ(ep.attempts, 2u);  // first rung + final escalation only
+  EXPECT_TRUE(ep.escalated);
+}
+
+TEST(Service, DegradedStreakFeedsTheBackoffExponentAndIsNotCheckpointed) {
+  DapspService healthy(gen::cycle(8), {});
+  const std::vector<std::uint8_t> blob = healthy.checkpoint_blob();
+
+  ServiceConfig strict;
+  strict.watchdog_rounds = 2;
+  strict.escalate_fraction = 1.0;
+  strict.backoff_base_ms = 1;
+  std::istringstream in(
+      std::string(reinterpret_cast<const char*>(blob.data()), blob.size()));
+  DapspService svc = DapspService::restore(in, strict, nullptr);
+  EXPECT_EQ(svc.degraded_streak(), 0u);
+
+  ChurnBatch b;
+  b.deltas.push_back({DeltaKind::kEdgeRemove, 0, 1});
+  svc.step(b);
+  EXPECT_EQ(svc.degraded_streak(), 1u);
+  const std::uint64_t first = svc.stats().backoff_ms;
+  EXPECT_GE(first, 3u);  // exponents 0,1 -> 1ms + 2ms
+
+  ChurnBatch b2;
+  b2.deltas.push_back({DeltaKind::kEdgeRemove, 2, 3});
+  svc.step(b2);
+  EXPECT_EQ(svc.degraded_streak(), 2u);
+  // The second failed epoch backs off harder: exponents 1,2 -> 2ms + 4ms.
+  EXPECT_GE(svc.stats().backoff_ms - first, 6u);
+
+  // The streak is runtime-only: a restored twin starts calm, and a
+  // successful healing epoch keeps it at zero.
+  const std::vector<std::uint8_t> degraded = svc.checkpoint_blob();
+  std::istringstream in2(std::string(
+      reinterpret_cast<const char*>(degraded.data()), degraded.size()));
+  DapspService healed = DapspService::restore(in2, {}, nullptr);
+  EXPECT_EQ(healed.degraded_streak(), 0u);
+  EXPECT_TRUE(healed.step({}).certified);
+  EXPECT_EQ(healed.degraded_streak(), 0u);
+}
+
+// ------------------------------------------- churn codec & plan round-trips
+
+TEST(DeltaPlan, TwoScalarCheckpointRoundTripsAtEverySplitPoint) {
+  constexpr int kTotal = 20;
+  const Graph g = gen::random_connected(12, 10, 3);
+  DeltaPlanConfig pc;
+  pc.seed = 17;
+  pc.crash_prob = 0.15;
+  pc.corrupt_prob = 0.1;
+
+  // Reference stream, recorded once.
+  std::vector<ChurnBatch> want;
+  {
+    DeltaPlan plan(pc);
+    DynamicGraph dg(g);
+    for (int i = 0; i < kTotal; ++i) {
+      const ChurnBatch b = plan.next(dg);
+      for (const GraphDelta& d : b.deltas) dg.apply(d);
+      for (const NodeId v : b.crashes) dg.apply({DeltaKind::kNodeLeave, v, v});
+      want.push_back(b);
+    }
+  }
+
+  // Property: for EVERY split point, draining `split` batches, freezing the
+  // two scalars, and resuming a fresh plan replays the identical suffix.
+  for (int split = 0; split <= kTotal; ++split) {
+    DeltaPlan head(pc);
+    DynamicGraph dg(g);
+    for (int i = 0; i < split; ++i) {
+      const ChurnBatch b = head.next(dg);
+      for (const GraphDelta& d : b.deltas) dg.apply(d);
+      for (const NodeId v : b.crashes) dg.apply({DeltaKind::kNodeLeave, v, v});
+    }
+    DeltaPlan tail(pc);
+    tail.resume(head.rng_state(), head.batches_generated());
+    EXPECT_EQ(tail.batches_generated(), static_cast<std::uint64_t>(split));
+    for (int i = split; i < kTotal; ++i) {
+      const ChurnBatch b = tail.next(dg);
+      ASSERT_EQ(b, want[static_cast<std::size_t>(i)])
+          << "split " << split << ", batch " << i;
+      for (const GraphDelta& d : b.deltas) dg.apply(d);
+      for (const NodeId v : b.crashes) dg.apply({DeltaKind::kNodeLeave, v, v});
+    }
+  }
+}
+
+TEST(ChurnCodec, RoundTripsEveryBatchShape) {
+  const Graph g = gen::random_connected(12, 10, 3);
+  DeltaPlanConfig pc;
+  pc.seed = 23;
+  pc.crash_prob = 0.2;
+  pc.corrupt_prob = 0.2;
+  DeltaPlan plan(pc);
+  DynamicGraph dg(g);
+  for (int i = 0; i < 40; ++i) {
+    const ChurnBatch b = plan.next(dg);
+    const std::vector<std::uint8_t> bytes = encode_churn_batch(b);
+    EXPECT_EQ(decode_churn_batch(bytes), b) << "batch " << i;
+    for (const GraphDelta& d : b.deltas) dg.apply(d);
+    for (const NodeId v : b.crashes) dg.apply({DeltaKind::kNodeLeave, v, v});
+  }
+  const ChurnBatch empty;
+  EXPECT_EQ(decode_churn_batch(encode_churn_batch(empty)), empty);
+}
+
+TEST(ChurnCodec, RejectsTruncatedBytes) {
+  ChurnBatch b;
+  b.deltas.push_back({DeltaKind::kEdgeInsert, 0, 1});
+  b.crashes.push_back(3);
+  b.corrupt_flips = 2;
+  b.corrupt_seed = 99;
+  const std::vector<std::uint8_t> bytes = encode_churn_batch(b);
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_THROW(decode_churn_batch(std::span<const std::uint8_t>(
+                     bytes.data(), len)),
+                 std::exception)
+        << "prefix of " << len << " bytes decoded";
+  }
+}
+
 TEST(Service, CountersSurfaceInDebugStrings) {
   DapspService svc(gen::grid(3, 3), {});
   svc.checkpoint_blob();
