@@ -2,10 +2,14 @@
 # Full local check: build + test in the default (RelWithDebInfo) config and
 # under ASan+UBSan.
 #
-# Usage: scripts/check.sh [--tsan] [--kill-matrix [dir]] [extra ctest args...]
+# Usage: scripts/check.sh [--tsan] [--perf-smoke] [--kill-matrix [dir]]
+#                         [extra ctest args...]
 #   --tsan         run only the ThreadSanitizer configuration (the concurrency
-#                  surface: engine, faults, determinism) instead of the full
-#                  matrix.
+#                  surface: engine, equivalence, faults, determinism) instead
+#                  of the full matrix.
+#   --perf-smoke   run only the engine perf-regression gate
+#                  (bench_engine_perf --assert-speedup); self-skips on hosts
+#                  with < 4 hardware threads.
 #   --kill-matrix  run only the crash-point sweep against an existing build
 #                  directory (default build-asan) — no rebuild.
 set -euo pipefail
@@ -24,9 +28,28 @@ run_config() {
 
 if [[ "${1:-}" == "--tsan" ]]; then
   shift
-  # The tests that exercise the worker pool and the sharded phases.
-  run_config build-tsan Tsan -R 'test_engine|test_faults|test_determinism' "$@"
+  # The tests that exercise the worker pool and the sharded phases —
+  # test_engine_equivalence in particular runs the flat engine's arenas and
+  # inbox frames differentially at 1/2/8 threads.
+  run_config build-tsan Tsan \
+    -R 'test_engine|test_engine_equivalence|test_arena|test_faults|test_determinism' "$@"
   echo "TSan checks passed."
+  exit 0
+fi
+
+# Perf-regression gate (DESIGN.md section 16): the flat engine must keep its
+# multi-thread speedups on hosts that can demonstrate them. The gate is
+# inside the bench binary; on small hosts it prints SKIPPED and exits 0.
+perf_smoke() {
+  local dir="$1"
+  echo "== perf smoke (${dir}) =="
+  cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build "${dir}" -j "${JOBS}" --target bench_engine_perf
+  "${dir}/bench/bench_engine_perf" --assert-speedup
+}
+
+if [[ "${1:-}" == "--perf-smoke" ]]; then
+  perf_smoke build
   exit 0
 fi
 
@@ -148,6 +171,7 @@ run_config build RelWithDebInfo "$@"
 trace_smoke build
 chaos_smoke build
 churn_smoke build
+perf_smoke build
 run_config build-asan Asan "$@"
 kill_matrix_smoke build-asan
 

@@ -141,10 +141,17 @@ class Engine::Ctx final : public RoundCtx {
     return engine_.graph().neighbors(id_)[index];
   }
   std::span<const Received> inbox() const noexcept override {
-    return engine_.inboxes_[id_];
+    const InboxFrame& frame = engine_.inbox_[engine_.cur_inbox_];
+    return frame.len[id_] == 0
+               ? std::span<const Received>{}
+               : std::span<const Received>{frame.items.data() + frame.begin[id_],
+                                           frame.len[id_]};
   }
   void send(std::uint32_t index, const Message& m) override {
-    engine_.buffer_send(id_, index, m);
+    if (index >= degree()) {
+      throw std::out_of_range("send: bad neighbor index");
+    }
+    acc_.outbox.push(PendingSend{index, m});
   }
   void note_neighbor_suspected(std::uint32_t neighbor_index) override {
     ++acc_.stats.neighbors_suspected;
@@ -154,7 +161,7 @@ class Engine::Ctx final : public RoundCtx {
       ev.node = id_;
       ev.peer = engine_.graph().neighbors(id_)[neighbor_index];
       ev.round = engine_.round_;
-      engine_.node_events_[id_].push_back(ev);
+      acc_.events.push(ev);
     }
   }
   void trace_frontier(NodeId source, std::uint32_t dist) override {
@@ -166,7 +173,7 @@ class Engine::Ctx final : public RoundCtx {
     ev.round = engine_.round_;
     ev.msg.num_fields = 1;
     ev.msg.f[0] = dist;
-    engine_.node_events_[id_].push_back(ev);
+    acc_.events.push(ev);
   }
 
  private:
@@ -196,13 +203,26 @@ Engine::Engine(const Graph& g, EngineConfig config)
   max_rounds_ =
       config_.max_rounds != 0 ? config_.max_rounds : 64 * std::uint64_t{n} + 1024;
 
-  inboxes_.resize(n);
-  next_inboxes_.resize(n);
+  for (InboxFrame& frame : inbox_) {
+    frame.begin.assign(n, 0);
+    frame.len.assign(n, 0);
+  }
+  inbox_cursor_.assign(n, 0);
   edge_offsets_.resize(n + 1, 0);
   for (NodeId v = 0; v < n; ++v) {
     edge_offsets_[v + 1] = edge_offsets_[v] + g.degree(v);
   }
   const std::size_t directed_edges = edge_offsets_[n];
+  // Receiver-side index of every directed edge, built once: the adjacency is
+  // CSR with sorted neighbor lists, so the one-time build is O(m log deg)
+  // and every subsequent message delivery is a plain load.
+  mirror_index_.resize(directed_edges);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto nbrs = g.neighbors(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      mirror_index_[edge_offsets_[v] + i] = *g.neighbor_index(nbrs[i], v);
+    }
+  }
   edge_bits_.assign(directed_edges, 0);
   edge_msgs_.assign(directed_edges, 0);
   edge_stamp_.assign(directed_edges, ~std::uint64_t{0});
@@ -218,11 +238,8 @@ Engine::Engine(const Graph& g, EngineConfig config)
   threads_ = config_.threads != 0
                  ? config_.threads
                  : std::max(1u, std::thread::hardware_concurrency());
-  outboxes_.resize(n);
-  deliveries_.resize(n);
   record_trace_ = config_.trace != nullptr;
   record_events_ = record_trace_ || static_cast<bool>(config_.send_observer);
-  if (record_events_) node_events_.resize(n);
   const std::uint32_t shards =
       static_cast<std::uint32_t>(std::min<std::uint64_t>(threads_, n));
   accum_.resize(shards);
@@ -245,39 +262,31 @@ void Engine::init(
   stats_ = RunStats{};
   stats_.bandwidth_bits = bandwidth_bits_;
   pending_messages_ = 0;
-  for (auto& box : inboxes_) box.clear();
-  for (auto& box : next_inboxes_) box.clear();
-  for (auto& box : outboxes_) box.clear();
-  for (auto& box : deliveries_) box.clear();
+  cur_inbox_ = 0;
+  for (InboxFrame& frame : inbox_) {
+    frame.items.clear();  // capacity retained
+    std::fill(frame.begin.begin(), frame.begin.end(), std::size_t{0});
+    std::fill(frame.len.begin(), frame.len.end(), std::size_t{0});
+  }
+  for (ShardAccum& acc : accum_) acc.reset();
   crashed_.assign(n, 0);
   for (auto& slot : delay_ring_) slot.clear();
   delayed_pending_ = 0;
-  for (auto& events : node_events_) events.clear();
   // Crash-at-round-0 nodes never execute at all.
   apply_crashes();
 }
 
-void Engine::buffer_send(NodeId from, std::uint32_t neighbor_index,
-                         const Message& m) {
-  if (neighbor_index >= graph_->degree(from)) {
-    throw std::out_of_range("send: bad neighbor index");
-  }
-  outboxes_[from].push_back(PendingSend{neighbor_index, m});
-}
-
 void Engine::run_node(NodeId v, ShardAccum& acc) {
-  outboxes_[v].clear();
-  deliveries_[v].clear();
-  if (record_events_) node_events_[v].clear();
   if (crashed_[v] != 0) return;  // crash-stop: no execution, no sends
   if (faults_ && faults_->stalled(v, round_)) {
     // Transient stall: no execution, no sends, and the round's frozen inbox
-    // is never read — step()'s swap discards it, so count it as dropped here
-    // (shard-local; v's inbox is owned by v's shard this round).
-    acc.stats.messages_dropped += inboxes_[v].size();
+    // is never read — the frame swap discards it, so count it as dropped
+    // here (shard-local; v's inbox is owned by v's shard this round).
+    acc.stats.messages_dropped += inbox_[cur_inbox_].len[v];
     ++acc.stats.node_stall_rounds;
     return;
   }
+  acc.outbox.reset();  // the previous node's sends were consumed below
   Ctx ctx(*this, v, acc);
   try {
     processes_[v]->on_round(ctx);
@@ -297,7 +306,7 @@ void Engine::run_node(NodeId v, ShardAccum& acc) {
 }
 
 void Engine::account_node(NodeId v, ShardAccum& acc) {
-  const auto& outbox = outboxes_[v];
+  const auto outbox = acc.outbox.span();
   if (outbox.empty()) return;
   // An accounting violation reported by node v supersedes a phase-A failure
   // of the same node (the serial engine surfaced the send-time error first)
@@ -309,8 +318,8 @@ void Engine::account_node(NodeId v, ShardAccum& acc) {
     acc.error = std::make_exception_ptr(CongestionError(std::move(text)));
   };
   const auto nbrs = graph_->neighbors(v);
-  // Event recording goes into the sender's own buffer: shard-local, merged
-  // later by drain_node_events() in ascending sender order.
+  // Event recording goes into the shard's own arena: shard-local, merged
+  // later by drain_node_events() in shard order (= ascending sender order).
   const auto record = [&](TraceEventKind kind, NodeId to, const Message& m,
                           std::uint32_t aux) {
     TraceEvent ev;
@@ -320,7 +329,7 @@ void Engine::account_node(NodeId v, ShardAccum& acc) {
     ev.round = round_;
     ev.aux = aux;
     ev.msg = m;
-    node_events_[v].push_back(ev);
+    acc.events.push(ev);
   };
   // The node's private fault-decision stream for this round: keyed by
   // (plan seed, v, round), so draws need no cross-shard coordination.
@@ -374,9 +383,9 @@ void Engine::account_node(NodeId v, ShardAccum& acc) {
     if (record_events_) record(TraceEventKind::kSend, to, m, 0);
     if (config_.record_activity) ++acc.activity;
 
-    // Index of `v` in `to`'s adjacency list.
-    const auto back = graph_->neighbor_index(to, v);
-    const Received rec{*back, m};
+    // Index of `v` in `to`'s adjacency list: a precomputed load, not a
+    // binary search — this runs once per message.
+    const Received rec{mirror_index_[edge], m};
 
     if (faults_) {
       // The message was sent (and charged) — now the wire decides its fate.
@@ -410,11 +419,11 @@ void Engine::account_node(NodeId v, ShardAccum& acc) {
             record(TraceEventKind::kCorrupt, to, copy.msg, d.corrupt_bit[c]);
           }
         }
-        deliveries_[v].push_back(ResolvedDelivery{to, copy, d.extra_delay[c]});
+        acc.deliveries.push(ResolvedDelivery{v, to, copy, d.extra_delay[c]});
       }
       continue;
     }
-    deliveries_[v].push_back(ResolvedDelivery{to, rec, 0});
+    acc.deliveries.push(ResolvedDelivery{v, to, rec, 0});
   }
   if (config_.metrics) {
     // Final per-(edge, round) values: the sender owns its edges, so after
@@ -486,36 +495,35 @@ void Engine::run_phases() {
 }
 
 void Engine::drain_node_events() {
-  const NodeId n = graph_->num_nodes();
-  for (NodeId v = 0; v < n; ++v) {
-    for (const TraceEvent& ev : node_events_[v]) {
+  // Shards own ascending node ranges and run their nodes in order, so the
+  // arenas concatenated in shard order replay events in ascending sender
+  // order, each sender's events in append order — the serial engine's
+  // global send order.
+  for (const ShardAccum& acc : accum_) {
+    for (const TraceEvent& ev : acc.events.span()) {
       if (config_.send_observer && ev.kind == TraceEventKind::kSend) {
         config_.send_observer(SendEvent{ev.node, ev.peer, ev.round, ev.msg});
       }
       if (record_trace_) config_.trace->append(ev);
     }
-    node_events_[v].clear();
   }
 }
 
 void Engine::deliver_round() {
-  // Ascending sender order: each receiver's next inbox is filled by sender
-  // id, then send order — exactly the serial engine's delivery order.
+  // Count + prefix-sum + scatter into the next frame. Within a receiver's
+  // segment: normal deliveries in ascending sender order (then send order),
+  // followed by delayed copies coming due in ring order — exactly the
+  // per-node delivery order of the pre-flat engine. Delayed copies are
+  // routed to the ring during the counting pass.
   const NodeId n = graph_->num_nodes();
-  for (NodeId v = 0; v < n; ++v) {
-    for (const ResolvedDelivery& d : deliveries_[v]) {
+  InboxFrame& next = inbox_[cur_inbox_ ^ 1u];
+  std::fill(next.len.begin(), next.len.end(), std::size_t{0});
+  std::uint64_t total = 0;
+  for (const ShardAccum& acc : accum_) {
+    for (const ResolvedDelivery& d : acc.deliveries.span()) {
       if (d.extra_delay == 0) {
-        next_inboxes_[d.to].push_back(d.rec);
-        ++pending_messages_;
-        if (record_trace_) {
-          TraceEvent ev;
-          ev.kind = TraceEventKind::kDeliver;
-          ev.node = d.to;
-          ev.peer = v;
-          ev.round = round_ + 1;  // the round the receiver sees it
-          ev.msg = d.rec.msg;
-          config_.trace->append(ev);
-        }
+        ++next.len[d.to];
+        ++total;
       } else {
         const std::uint64_t due = round_ + 1 + d.extra_delay;
         delay_ring_[due % delay_ring_.size()].push_back({d.to, d.rec});
@@ -523,11 +531,62 @@ void Engine::deliver_round() {
       }
     }
   }
+  // Delayed copies whose delivery round has come join the same frame, after
+  // every normal delivery of their receiver.
+  std::vector<std::pair<NodeId, Received>>* due_slot = nullptr;
+  if (faults_) {
+    due_slot = &delay_ring_[(round_ + 1) % delay_ring_.size()];
+    for (const auto& [to, rec] : *due_slot) {
+      ++next.len[to];
+      ++total;
+    }
+  }
+  std::size_t offset = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    next.begin[v] = offset;
+    inbox_cursor_[v] = offset;
+    offset += next.len[v];
+  }
+  next.items.resize(offset);  // within retained capacity after warm-up
+  for (const ShardAccum& acc : accum_) {
+    for (const ResolvedDelivery& d : acc.deliveries.span()) {
+      if (d.extra_delay != 0) continue;
+      next.items[inbox_cursor_[d.to]++] = d.rec;
+      if (record_trace_) {
+        TraceEvent ev;
+        ev.kind = TraceEventKind::kDeliver;
+        ev.node = d.to;
+        ev.peer = d.from;
+        ev.round = round_ + 1;  // the round the receiver sees it
+        ev.msg = d.rec.msg;
+        config_.trace->append(ev);
+      }
+    }
+  }
+  if (due_slot != nullptr) {
+    for (auto& [to, rec] : *due_slot) {
+      --delayed_pending_;
+      next.items[inbox_cursor_[to]++] = rec;
+      if (record_trace_) {
+        TraceEvent ev;
+        ev.kind = TraceEventKind::kDeliver;
+        ev.node = to;
+        ev.peer = graph_->neighbors(to)[rec.from_index];
+        ev.round = round_ + 1;
+        ev.msg = rec.msg;
+        config_.trace->append(ev);
+      }
+    }
+    due_slot->clear();
+  }
+  pending_messages_ = total;
+  cur_inbox_ ^= 1u;
 }
 
 void Engine::apply_crashes() {
   if (!faults_) return;
   const NodeId n = graph_->num_nodes();
+  InboxFrame& cur = inbox_[cur_inbox_];
   for (NodeId v = 0; v < n; ++v) {
     if (crashed_[v] == 0 && faults_->crashed(v, round_)) {
       crashed_[v] = 1;
@@ -540,11 +599,12 @@ void Engine::apply_crashes() {
         config_.trace->append(ev);
       }
     }
-    if (crashed_[v] != 0 && !inboxes_[v].empty()) {
-      // Deliveries to a crashed node vanish.
-      stats_.messages_dropped += inboxes_[v].size();
-      pending_messages_ -= inboxes_[v].size();
-      inboxes_[v].clear();
+    if (crashed_[v] != 0 && cur.len[v] != 0) {
+      // Deliveries to a crashed node vanish (the segment stays in items but
+      // is unreachable once len is zeroed).
+      stats_.messages_dropped += cur.len[v];
+      pending_messages_ -= cur.len[v];
+      cur.len[v] = 0;
     }
   }
 }
@@ -555,41 +615,15 @@ void Engine::step() {
                           std::to_string(max_rounds_) +
                           " rounds); protocol livelock?");
   }
-  const NodeId n = graph_->num_nodes();
   run_phases();
+  // What was queued this round (plus delayed copies coming due) becomes next
+  // round's frozen frame.
   deliver_round();
-  // Deliver: what was queued this round becomes next round's inboxes.
-  for (NodeId v = 0; v < n; ++v) {
-    inboxes_[v].swap(next_inboxes_[v]);
-    next_inboxes_[v].clear();
-  }
-  pending_messages_ = 0;
-  for (NodeId v = 0; v < n; ++v) pending_messages_ += inboxes_[v].size();
   ++round_;
   stats_.rounds = round_;
-
-  if (faults_) {
-    // Delayed copies whose delivery round has come join the new inboxes.
-    auto& due = delay_ring_[round_ % delay_ring_.size()];
-    for (auto& [to, rec] : due) {
-      --delayed_pending_;
-      inboxes_[to].push_back(rec);
-      ++pending_messages_;
-      if (record_trace_) {
-        TraceEvent ev;
-        ev.kind = TraceEventKind::kDeliver;
-        ev.node = to;
-        ev.peer = graph_->neighbors(to)[rec.from_index];
-        ev.round = round_;
-        ev.msg = rec.msg;
-        config_.trace->append(ev);
-      }
-    }
-    due.clear();
-    // Crashes scheduled for the new round silence the node before it runs,
-    // and absorb anything addressed to it (normal or delayed).
-    apply_crashes();
-  }
+  // Crashes scheduled for the new round silence the node before it runs, and
+  // absorb anything addressed to it (normal or delayed).
+  apply_crashes();
 }
 
 bool Engine::quiescent() const {

@@ -37,6 +37,17 @@
 // histograms are collected per shard and merged/replayed in fixed sender
 // order, so instrumented runs keep both the parallel speedup and the
 // bit-identical-output contract.
+//
+// Memory layout is flat (DESIGN.md §16): adjacency is the graph's CSR plus a
+// precomputed mirror-edge table (the receiver-side index of every directed
+// edge, replacing a per-message binary search), message buffers are per-shard
+// bump-pointer arenas (util/arena.h) that reset each round without freeing,
+// and each round's deliveries are scattered into one flat double-buffered
+// inbox array with per-receiver [begin, len) segments. After a warm-up round
+// the steady-state round loop performs zero heap allocations
+// (tests/test_arena.cc pins this); tests/test_engine_equivalence.cc pins the
+// flat engine's observable behaviour against an independently written serial
+// reference model over randomized graphs, fault plans and thread counts.
 #pragma once
 
 #include <cstdint>
@@ -52,6 +63,7 @@
 #include "congest/message.h"
 #include "congest/trace.h"
 #include "graph/graph.h"
+#include "util/arena.h"
 #include "util/metrics.h"
 
 namespace dapsp {
@@ -383,8 +395,11 @@ class Engine {
     Message msg;
   };
   // A send after bandwidth accounting and fault resolution: one delivered
-  // copy with its receiver-side view and any extra delay.
+  // copy with its receiver-side view and any extra delay. The sender is
+  // carried along so deliver_round() can emit kDeliver traces without a
+  // reverse adjacency lookup.
   struct ResolvedDelivery {
+    NodeId from;
     NodeId to;
     Received rec;
     std::uint32_t extra_delay;
@@ -392,14 +407,25 @@ class Engine {
   // Per-shard round accumulator. Shards own disjoint contiguous node ranges;
   // counters and maxima are merged into stats_ in fixed shard order after the
   // parallel phase (sums and maxima make the merge order immaterial — the
-  // basis of the thread-count determinism contract).
-  struct ShardAccum {
+  // basis of the thread-count determinism contract). Padded to a cache line
+  // so adjacent shards' counters never false-share while the parallel phase
+  // hammers them.
+  struct alignas(kCacheLineBytes) ShardAccum {
     RunStats stats;             // deltas only: counters and per-round maxima
     std::uint64_t activity = 0;  // sends this round (record_activity)
     EngineMetrics metrics;       // this round's samples (config.metrics only)
     // Distinct directed edges the current node touched this round — scratch
     // of account_node(), drained into `metrics` after the node's outbox.
     std::vector<std::size_t> touched_edges;
+    // The current node's buffered sends (reset per NODE: the fused phase B
+    // consumes each node's outbox before the next node runs).
+    BumpArena<PendingSend> outbox;
+    // This shard's resolved deliveries and trace events for the round (reset
+    // per ROUND). Nodes run in ascending order within the shard, so the
+    // arenas' push order concatenated across shards IS ascending sender
+    // order — deliver_round() and drain_node_events() rely on this.
+    BumpArena<ResolvedDelivery> deliveries;
+    BumpArena<TraceEvent> events;
     // First failure in this shard's node range (nodes are processed in
     // ascending order, so this is the smallest failing node of the shard).
     bool failed = false;
@@ -410,29 +436,46 @@ class Engine {
       activity = 0;
       metrics.clear();
       touched_edges.clear();
+      outbox.reset();
+      deliveries.reset();
+      events.reset();
       failed = false;
       failed_node = 0;
       error = nullptr;
     }
   };
 
+  // One round's delivered messages, flat: items[begin[v] .. begin[v]+len[v])
+  // is node v's inbox, normals in ascending-sender order followed by any
+  // delayed copies that came due, in ring order — exactly the per-node
+  // delivery order of the pre-flat engine. Two frames double-buffer the
+  // current and the next round; capacity is retained across rounds.
+  struct InboxFrame {
+    std::vector<Received> items;
+    std::vector<std::size_t> begin;  // n entries
+    std::vector<std::size_t> len;    // n entries
+  };
+
   void step();  // executes one round
-  // Phase A: one node's on_round() against the frozen inboxes; sends are
-  // buffered into outboxes_[v]. Exceptions are captured into `acc`. Phase B
-  // (account_node) runs fused, inline, for every node — observers and traces
-  // are fed from the buffered events afterwards, never by serializing this.
+  // Phase A: one node's on_round() against the frozen inbox frame; sends are
+  // buffered into the shard's outbox arena. Exceptions are captured into
+  // `acc`. Phase B (account_node) runs fused, inline, for every node —
+  // observers and traces are fed from the buffered events afterwards, never
+  // by serializing this.
   void run_node(NodeId v, ShardAccum& acc);
-  // Phase B: bandwidth accounting + fault resolution for outboxes_[v]. Only
-  // sender-owned state (edge/node counters of v's directed edges, v's
-  // delivery list, the shard accumulator) is written, so shards never race.
+  // Phase B: bandwidth accounting + fault resolution for the node's buffered
+  // outbox. Only sender-owned state (edge/node counters of v's directed
+  // edges, the shard's delivery/event arenas, the shard accumulator) is
+  // written, so shards never race.
   void account_node(NodeId v, ShardAccum& acc);
-  void buffer_send(NodeId from, std::uint32_t neighbor_index, const Message& m);
-  // Phase C (serial): move resolved deliveries into next round's inboxes in
-  // ascending sender order — the serial engine's delivery order.
+  // Phase C (serial): count + prefix-sum + scatter the shards' resolved
+  // deliveries (plus delayed copies coming due) into the next inbox frame in
+  // ascending sender order, then swap frames.
   void deliver_round();
   void run_phases();  // A+B across shards, merge, error propagation
-  // Replays the per-sender event buffers in ascending sender order into the
-  // send observer and the trace log — the serial engine's global send order.
+  // Replays the per-shard event arenas in shard order (= ascending sender
+  // order) into the send observer and the trace log — the serial engine's
+  // global send order.
   void drain_node_events();
   void apply_crashes();
   bool quiescent() const;
@@ -446,23 +489,16 @@ class Engine {
 
   std::vector<std::unique_ptr<Process>> processes_;
 
-  // inboxes_[v]: messages delivered to v this round.
-  // next_inboxes_[v]: messages queued during this round for next round.
-  std::vector<std::vector<Received>> inboxes_;
-  std::vector<std::vector<Received>> next_inboxes_;
-  std::uint64_t pending_messages_ = 0;  // messages in next_inboxes_
+  // Double-buffered flat inboxes: inbox_[cur_inbox_] is the round's frozen
+  // frame, the other is scattered into by deliver_round().
+  InboxFrame inbox_[2];
+  unsigned cur_inbox_ = 0;
+  std::vector<std::size_t> inbox_cursor_;  // scatter cursors (scratch)
+  std::uint64_t pending_messages_ = 0;     // messages in the current frame
 
-  // Double buffers of the sharded round: per-sender buffered sends and
-  // resolved deliveries (capacity reused across rounds).
-  std::vector<std::vector<PendingSend>> outboxes_;
-  std::vector<std::vector<ResolvedDelivery>> deliveries_;
   std::vector<ShardAccum> accum_;
   std::unique_ptr<WorkerPool> pool_;  // engaged when threads_ > 1
 
-  // Per-sender event buffers for the current round (engaged only when
-  // record_events_): shards append to their own nodes' buffers lock-free,
-  // drain_node_events() empties them serially after the merge.
-  std::vector<std::vector<TraceEvent>> node_events_;
   bool record_events_ = false;  // send_observer or trace attached
   bool record_trace_ = false;   // trace attached
 
@@ -471,6 +507,10 @@ class Engine {
   // unenforced (enforce_bandwidth=false) rounds cannot wrap the counters
   // that RunStats maxima and EngineMetrics samples are read from.
   std::vector<std::size_t> edge_offsets_;
+  // mirror_index_[offsets[u] + i] = index of u in neighbors(neighbors(u)[i]):
+  // the receiver-side view of every directed edge, precomputed once so the
+  // per-message reverse lookup is a load instead of a binary search.
+  std::vector<std::uint32_t> mirror_index_;
   std::vector<std::uint64_t> edge_bits_;
   std::vector<std::uint64_t> edge_msgs_;
   std::vector<std::uint64_t> edge_stamp_;

@@ -5,6 +5,7 @@
 
 #include "core/primitives/aggregation.h"
 #include "core/primitives/bfs_process.h"
+#include "util/arena.h"
 
 namespace dapsp::core {
 namespace {
@@ -37,8 +38,16 @@ class PebbleApspProcess final : public congest::Process {
 
     // Group this round's flood receipts by root: new roots must be forwarded
     // to everyone except their same-round senders (Claim 1's rule, which also
-    // keeps every girth witness genuine).
-    new_roots_.clear();
+    // keeps every girth witness genuine). The per-root sender sets live in a
+    // flat bitset over neighbor indices, one word-aligned slot per root, so
+    // a round with many concurrent floods does bit tests instead of walking
+    // per-root vectors.
+    if (excl_stride_ == 0) {
+      excl_stride_ = std::max<std::size_t>(
+          64, ((std::size_t{ctx.degree()} + 63) / 64) * 64);
+    }
+    round_excl_.clear_prefix(round_roots_.size() * excl_stride_);
+    round_roots_.clear();
 
     for (const congest::Received& r : ctx.inbox()) {
       if (tree_.handle(ctx, r)) continue;
@@ -145,30 +154,40 @@ class PebbleApspProcess final : public congest::Process {
       dist_row_[root] = d;
       parent_row_[root] = r.from_index;  // Remark 4: parent in T_root
       ctx.trace_frontier(root, d);  // kFrontier: root's BFS wave reached us
-      new_roots_.push_back({root, {r.from_index}});
+      const std::size_t slot = round_roots_.size();
+      round_roots_.push_back(root);
+      // Reused slot words were zeroed by the previous flush's clear_prefix
+      // (the stride is word-aligned, so the prefix covers them exactly).
+      round_excl_.ensure((slot + 1) * excl_stride_);
+      round_excl_.set(slot * excl_stride_ + r.from_index);
     } else {
       // Duplicate receipt: a cycle witness (Lemma 7). If the root became
       // known this very round, the sender is a co-parent and must also be
-      // excluded from the forward.
+      // excluded from the forward. Roots are unique in round_roots_ (a root
+      // is appended only on its first receipt), so stop at the hit.
       girth_candidate_ = std::min(girth_candidate_, dist_row_[root] + d);
-      for (auto& [nr, senders] : new_roots_) {
-        if (nr == root) senders.push_back(r.from_index);
+      for (std::size_t s = 0; s < round_roots_.size(); ++s) {
+        if (round_roots_[s] == root) {
+          round_excl_.set(s * excl_stride_ + r.from_index);
+          break;
+        }
       }
     }
   }
 
   void flush_new_roots(congest::RoundCtx& ctx) {
     const std::uint32_t deg = ctx.degree();
-    for (const auto& [root, senders] : new_roots_) {
+    for (std::size_t s = 0; s < round_roots_.size(); ++s) {
+      const std::uint32_t root = round_roots_[s];
+      const std::uint32_t d = dist_row_[root] + 1;
+      const std::size_t base = s * excl_stride_;
       for (std::uint32_t i = 0; i < deg; ++i) {
-        if (std::find(senders.begin(), senders.end(), i) != senders.end()) {
-          continue;
-        }
-        ctx.send(i, congest::Message::make(kApspFlood, root,
-                                           dist_row_[root] + 1));
+        if (round_excl_.test(base + i)) continue;
+        ctx.send(i, congest::Message::make(kApspFlood, root, d));
       }
     }
-    new_roots_.clear();
+    round_excl_.clear_prefix(round_roots_.size() * excl_stride_);
+    round_roots_.clear();
   }
 
   void handle_pebble(congest::RoundCtx& ctx) {
@@ -264,8 +283,13 @@ class PebbleApspProcess final : public congest::Process {
   std::size_t child_cursor_ = 0;
   bool traversal_done_ = false;
 
-  // Flood bookkeeping for the current round.
-  std::vector<std::pair<std::uint32_t, std::vector<std::uint32_t>>> new_roots_;
+  // Flood bookkeeping for the current round, flat: the roots first heard
+  // this round, plus one word-aligned bitset slot per root marking the
+  // same-round senders to exclude from the forward (capacity reused across
+  // rounds; see DESIGN.md §16).
+  std::vector<std::uint32_t> round_roots_;
+  Bitset round_excl_;
+  std::size_t excl_stride_ = 0;  // bits per root slot (degree, word-rounded)
 
   // Aggregation.
   std::uint32_t girth_candidate_ = kInfDist;

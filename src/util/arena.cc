@@ -1,0 +1,23 @@
+#include "util/arena.h"
+
+#include <atomic>
+
+namespace dapsp {
+
+namespace {
+// Atomic: concurrent shards grow their own arenas in parallel phases. Only
+// growth events pay the (relaxed) RMW — steady-state pushes never touch it.
+std::atomic<std::uint64_t> g_arena_slab_allocations{0};
+}  // namespace
+
+std::uint64_t arena_slab_allocations() noexcept {
+  return g_arena_slab_allocations.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+void count_arena_slab_allocation() noexcept {
+  g_arena_slab_allocations.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace detail
+
+}  // namespace dapsp

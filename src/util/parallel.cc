@@ -19,8 +19,7 @@ WorkerPool::~WorkerPool() {
   for (std::thread& t : threads_) t.join();
 }
 
-void WorkerPool::run(unsigned num_shards,
-                     const std::function<void(unsigned)>& fn) {
+void WorkerPool::run(unsigned num_shards, FunctionRef fn) {
   if (num_shards == 0) return;
   {
     std::unique_lock<std::mutex> lk(mutex_);
@@ -28,7 +27,7 @@ void WorkerPool::run(unsigned num_shards,
     // to probe the ticket counter once more; recycling the counter under it
     // would hand it a phantom shard. Wait for every straggler to leave.
     done_cv_.wait(lk, [&] { return in_drain_ == 0; });
-    fn_ = &fn;
+    fn_ = fn;
     num_shards_ = num_shards;
     next_shard_.store(0, std::memory_order_relaxed);
     remaining_ = num_shards;
@@ -38,7 +37,7 @@ void WorkerPool::run(unsigned num_shards,
   drain();  // the caller is always a participant
   std::unique_lock<std::mutex> lk(mutex_);
   done_cv_.wait(lk, [&] { return remaining_ == 0; });
-  fn_ = nullptr;
+  fn_ = FunctionRef{};
 }
 
 void WorkerPool::drain() {
@@ -48,7 +47,7 @@ void WorkerPool::drain() {
   for (;;) {
     const unsigned s = next_shard_.fetch_add(1, std::memory_order_relaxed);
     if (s >= num_shards_) return;
-    (*fn_)(s);
+    fn_(s);
     std::lock_guard<std::mutex> lk(mutex_);
     if (--remaining_ == 0) done_cv_.notify_all();
   }

@@ -12,12 +12,38 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <functional>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace dapsp {
+
+// Non-owning reference to a callable invoked as void(unsigned). run() used
+// to take std::function, whose construction heap-allocates once the capture
+// list outgrows the small-buffer optimisation — a per-round allocation in
+// the engine's hot loop. FunctionRef is two words, never allocates, and the
+// referenced callable only needs to outlive the run() call (the engine's
+// shard lambda lives on the caller's stack for exactly that long).
+class FunctionRef {
+ public:
+  FunctionRef() = default;
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef>>>
+  FunctionRef(F&& f) noexcept  // NOLINT: implicit by design, mirrors std::function
+      : obj_(const_cast<void*>(static_cast<const void*>(&f))),
+        call_([](void* obj, unsigned shard) {
+          (*static_cast<std::remove_reference_t<F>*>(obj))(shard);
+        }) {}
+
+  void operator()(unsigned shard) const { call_(obj_, shard); }
+  explicit operator bool() const noexcept { return call_ != nullptr; }
+
+ private:
+  void* obj_ = nullptr;
+  void (*call_)(void*, unsigned) = nullptr;
+};
 
 class WorkerPool {
  public:
@@ -31,10 +57,11 @@ class WorkerPool {
 
   // Invokes fn(shard) once for every shard in [0, num_shards), distributed
   // over the pool threads and the caller; returns when all invocations have
-  // finished. fn must not call run() reentrantly. Exceptions thrown by fn
-  // terminate (the engine catches per-node failures itself and never lets
-  // them escape into the pool).
-  void run(unsigned num_shards, const std::function<void(unsigned)>& fn);
+  // finished. The referenced callable must outlive the call (it is not
+  // copied — no allocation per run). fn must not call run() reentrantly.
+  // Exceptions thrown by fn terminate (the engine catches per-node failures
+  // itself and never lets them escape into the pool).
+  void run(unsigned num_shards, FunctionRef fn);
 
   unsigned workers() const noexcept {
     return static_cast<unsigned>(threads_.size());
@@ -47,7 +74,7 @@ class WorkerPool {
   std::mutex mutex_;
   std::condition_variable wake_cv_;   // workers wait for a new generation
   std::condition_variable done_cv_;   // run() waits for remaining_ == 0
-  const std::function<void(unsigned)>* fn_ = nullptr;
+  FunctionRef fn_;
   unsigned num_shards_ = 0;
   std::atomic<unsigned> next_shard_{0};
   unsigned remaining_ = 0;            // guarded by mutex_

@@ -366,5 +366,68 @@ TEST(Determinism, DurableRecoveryReplayAcrossThreadCounts) {
   EXPECT_EQ(blobs[0], blobs[2]);
 }
 
+// --- Large-n determinism over the flat engine (DESIGN.md §16) -----------
+//
+// The flat rewrite's riskiest surface is scale: thousands of nodes sharded
+// across 8 workers, arena capacities growing mid-run, inbox frames
+// scattering tens of thousands of messages per round. A 4096-node random
+// graph and a 64x64 grid pin the determinism contract at that size — small
+// graphs can mask shard-merge bugs because every shard fits one worker.
+
+TEST(Determinism, LargeGraphsAcrossThreadCounts) {
+  const Graph graphs[] = {gen::random_connected(4096, 8192, 99),
+                          gen::grid(64, 64)};
+  for (const Graph& g : graphs) {
+    // Faults make the merge order load-bearing: drops, duplicates and
+    // delays are drawn per (node, round), so any shard skew shows up in
+    // stats and distances immediately.
+    const EngineConfig cfg = lossy_config();
+    const FloodRun ref = run_flood(g, cfg, 1);
+    for (const std::uint32_t t : {2u, 8u}) {
+      const FloodRun r = run_flood(g, cfg, t);
+      ASSERT_EQ(r.status, ref.status) << g.summary() << " threads=" << t;
+      ASSERT_EQ(r.stats, ref.stats) << g.summary() << " threads=" << t;
+      ASSERT_EQ(r.dist, ref.dist) << g.summary() << " threads=" << t;
+    }
+  }
+}
+
+// The traced path at scale: per-shard event arenas merged in fixed sender
+// order must reproduce the exact event stream at every thread count. The
+// stream is compared by digest (count + order-sensitive hash of every
+// field) — materializing multi-megabyte JSONL three times would only slow
+// the suite without tightening the check.
+TEST(Determinism, LargeGraphTracedRunsAreIdentical) {
+  const Graph g = gen::random_connected(4096, 8192, 99);
+  std::vector<std::pair<std::size_t, std::uint64_t>> digests;
+  for (const std::uint32_t t : kThreadCounts) {
+    TraceLog log;
+    EngineConfig cfg = lossy_config();
+    cfg.trace = &log;
+    cfg.threads = t;
+    cfg.max_rounds = 200000;
+    Engine e(g, cfg);
+    e.init([](NodeId v) { return std::make_unique<Flood>(v); });
+    e.run_bounded();
+    std::uint64_t h = 1469598103934665603ull;  // FNV-1a over event fields
+    const auto mix = [&h](std::uint64_t x) {
+      h = (h ^ x) * 1099511628211ull;
+    };
+    for (const TraceEvent& ev : log.events()) {
+      mix(static_cast<std::uint64_t>(ev.kind));
+      mix(ev.node);
+      mix(ev.peer);
+      mix(ev.round);
+      mix(ev.aux);
+      mix(ev.msg.kind);
+      mix(ev.msg.num_fields);
+      for (const std::uint32_t f : ev.msg.f) mix(f);
+    }
+    digests.emplace_back(log.events().size(), h);
+  }
+  ASSERT_EQ(digests[0], digests[1]);
+  ASSERT_EQ(digests[0], digests[2]);
+}
+
 }  // namespace
 }  // namespace dapsp::congest

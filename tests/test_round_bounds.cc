@@ -84,6 +84,29 @@ TEST(RoundBounds, GoldenSspRoundCounts) {
   }
 }
 
+// The golden counts are properties of the *schedule*, not of the engine's
+// memory layout or sharding: the flat engine (arena outboxes, CSR mirror
+// table, per-shard merge — DESIGN.md §16) must reproduce every literal
+// value byte-for-byte at every thread count, including a case large enough
+// that all 8 shards hold many nodes.
+TEST(RoundBounds, GoldenRoundCountsAcrossThreadCounts) {
+  std::vector<GoldenCase> cases = golden_cases();
+  cases.push_back(
+      {"rand256", gen::random_connected(256, 512, 21), 806, 172});
+  for (const GoldenCase& c : cases) {
+    for (const std::uint32_t t : {2u, 8u}) {
+      ApspOptions aopt;
+      aopt.engine.threads = t;
+      const ApspResult a = run_pebble_apsp(c.g, aopt);
+      EXPECT_EQ(a.stats.rounds, c.apsp_rounds) << c.name << " threads=" << t;
+      SspOptions sopt;
+      sopt.engine.threads = t;
+      const SspResult s = run_ssp(c.g, every_fourth(c.g), sopt);
+      EXPECT_EQ(s.stats.rounds, c.ssp_rounds) << c.name << " threads=" << t;
+    }
+  }
+}
+
 // --- Closed forms across the suites -------------------------------------
 
 TEST(RoundBounds, ApspClosedFormOnSuites) {
