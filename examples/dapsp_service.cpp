@@ -23,22 +23,36 @@
 //   dapsp_service --durable-dir d --updates 60 --recover --ckpt-dump out.bin
 //       (replays the suffix, finishes, dumps a final checkpoint that is
 //        byte-identical to an uninterrupted run's — the kill-matrix check)
+//
+// Serve mode (--serve <readers>) attaches the query tier (core/query.h):
+// every epoch publishes immutable DQRY snapshots through a lock-free
+// SnapshotStore while reader threads concurrently validate answers against
+// a per-epoch sequential oracle — fresh-status answers must match exactly;
+// stale ones make no claim. Exits 1 on any overclaim. The soak contract:
+//
+//   dapsp_service --universe 24 --updates 60 --serve 2 --chaos 0.05
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "congest/trace.h"
 #include "core/durable.h"
+#include "core/query.h"
 #include "core/service.h"
 #include "graph/delta.h"
 #include "graph/generators.h"
 #include "graph/io.h"
+#include "seq/apsp.h"
 #include "util/journal.h"
 #include "util/metrics.h"
+#include "util/rng.h"
 
 using namespace dapsp;
 
@@ -65,6 +79,8 @@ struct Args {
   std::optional<std::string> trace_out;
   std::optional<std::string> metrics_out;
   bool quiet = false;
+  std::uint32_t serve_readers = 0;   // query-tier soak reader threads
+  std::uint32_t serve_lookups = 64;  // p2p probes per reader per snapshot
 };
 
 [[noreturn]] void usage() {
@@ -91,6 +107,9 @@ struct Args {
       "  --ckpt-dump <f>        write the final checkpoint blob to f\n"
       "  --trace-out <f>        service delta/epoch trace (.json/.jsonl/.csv)\n"
       "  --metrics-out <f>      service counters (.json or .csv)\n"
+      "  --serve <r>            publish DQRY snapshots; r reader threads\n"
+      "                         validate answers against the oracle\n"
+      "  --serve-lookups <k>    p2p probes per reader per snapshot (def. 64)\n"
       "  --quiet                suppress per-epoch progress lines\n"
       "exit codes: 0 final tables fully certified   1 not certified/error\n"
       "            2 usage                          42 --kill-at fired\n");
@@ -143,6 +162,10 @@ Args parse(int argc, char** argv) {
       a.trace_out = next();
     } else if (arg == "--metrics-out") {
       a.metrics_out = next();
+    } else if (arg == "--serve") {
+      a.serve_readers = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (arg == "--serve-lookups") {
+      a.serve_lookups = static_cast<std::uint32_t>(std::stoul(next()));
     } else if (arg == "--quiet") {
       a.quiet = true;
     } else {
@@ -255,6 +278,116 @@ void dump_blob(const std::string& path, std::span<const std::uint8_t> blob) {
                path.c_str());
 }
 
+// Query-tier soak harness (--serve): the service's SnapshotSink feeds a
+// lock-free SnapshotStore; reader threads continuously pin the current
+// snapshot (mid-swap included) and validate p2p/eccentricity answers
+// against the per-epoch sequential oracle. The invariant: any answer whose
+// row status is kExact or kRepaired must equal the oracle of the post-batch
+// graph at the snapshot's epoch; kStale answers make no claim. Every
+// violation counts as an overclaim and fails the run.
+//
+// Bit-rot (corrupt_prob) is excluded in serve mode: by design corruption is
+// invisible to the analyzer and to row statuses until a scrub runs, so a
+// validating soak over it would only measure the documented blind spot.
+class ServeSoak {
+ public:
+  ServeSoak(std::uint32_t readers, std::uint32_t lookups)
+      : publisher_(store_), reader_count_(readers), lookups_(lookups) {}
+
+  ~ServeSoak() {
+    if (!threads_.empty()) stop();
+  }
+
+  core::SnapshotSink* sink() { return &publisher_; }
+
+  // Pre-size the oracle ledger to cover every epoch the run can publish.
+  // Must happen before start(): a resize would relocate entries out from
+  // under concurrent readers.
+  void reserve_epochs(std::uint64_t max_epoch) { oracles_.resize(max_epoch + 1); }
+
+  // Stage the oracle for `epoch` (post-batch graph) BEFORE the step/ctor
+  // that publishes snapshots at that epoch. Assign-only; readers touch
+  // entry e only after acquiring a snapshot published at epoch e, which the
+  // store's seq_cst publish orders after this write.
+  void stage_oracle(std::uint64_t epoch, const Graph& g) {
+    oracles_.at(epoch) = seq::apsp(g);
+  }
+
+  void start() {
+    for (std::uint32_t t = 0; t < reader_count_; ++t) {
+      threads_.emplace_back([this, t] { reader_loop(t); });
+    }
+  }
+
+  void stop() {
+    done_.store(true, std::memory_order_release);
+    for (std::thread& th : threads_) th.join();
+    threads_.clear();
+  }
+
+  std::uint64_t validated() const { return validated_.load(); }
+  std::uint64_t wrong() const { return wrong_.load(); }
+  std::uint64_t swaps() const { return store_.swaps(); }
+
+ private:
+  void reader_loop(std::uint32_t t) {
+    core::SnapshotReader reader(store_);
+    Rng rng(0x5e47e + t);
+    while (!done_.load(std::memory_order_acquire)) {
+      core::SnapshotRef ref = reader.acquire();
+      if (!ref) continue;
+      const DistanceMatrix& oracle = oracles_[ref->epoch()];
+      const NodeId n = ref->n();
+      std::uint64_t ok = 0;
+      for (std::uint32_t i = 0; i < lookups_; ++i) {
+        const NodeId u = static_cast<NodeId>(rng.below(n));
+        const NodeId v = static_cast<NodeId>(rng.below(n));
+        const core::QueryAnswer a = ref->p2p(u, v);
+        if (!a.active || a.status == core::RowStatus::kStale) continue;
+        if (a.dist != oracle.at(u, v)) {
+          wrong_.fetch_add(1);
+          std::fprintf(stderr,
+                       "OVERCLAIM: epoch %llu (%u -> %u) status %s served "
+                       "%u oracle %u\n",
+                       static_cast<unsigned long long>(ref->epoch()), u, v,
+                       core::to_string(a.status), a.dist, oracle.at(u, v));
+        } else {
+          ++ok;
+        }
+      }
+      const NodeId u = static_cast<NodeId>(rng.below(n));
+      const core::EccentricityAnswer ec = ref->eccentricity(u);
+      if (ec.active && ec.status != core::RowStatus::kStale) {
+        std::uint32_t naive = 0;
+        for (NodeId v = 0; v < n; ++v) {
+          if (!ref->active(v)) continue;
+          const std::uint32_t d = oracle.at(v, u);
+          if (d != dapsp::kInfDist) naive = std::max(naive, d);
+        }
+        if (ec.ecc != naive) {
+          wrong_.fetch_add(1);
+        } else {
+          ++ok;
+        }
+      }
+      validated_.fetch_add(ok);
+    }
+  }
+
+  core::SnapshotStore store_;
+  core::ServingPublisher publisher_;
+  std::uint32_t reader_count_;
+  std::uint32_t lookups_;
+  // Indexed by service epoch; sized once by reserve_epochs() before readers
+  // start, then assigned entry-by-entry strictly before the matching epoch
+  // is published.
+  std::vector<DistanceMatrix> oracles_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> done_{false};
+  std::atomic<std::uint64_t> validated_{0};
+  std::atomic<std::uint64_t> wrong_{0};
+};
+
 // WAL + rotating-checkpoint mode. The run always ends with a scrub, so the
 // --ckpt-dump blob is canonical: a killed-at-any-byte run, recovered and
 // finished, dumps the exact bytes of an uninterrupted run.
@@ -352,6 +485,10 @@ int run_durable(const Args& a) {
 
 int main(int argc, char** argv) {
   const Args a = parse(argc, argv);
+  if (a.serve_readers > 0 && a.durable_dir) {
+    std::fprintf(stderr, "--serve is not supported with --durable-dir\n");
+    return 2;
+  }
   if (a.durable_dir) return run_durable(a);
   if (a.recover || a.kill_at_byte) {
     std::fprintf(stderr, "--recover/--kill-at-byte require --durable-dir\n");
@@ -369,6 +506,19 @@ int main(int argc, char** argv) {
   pc.max_batch = a.batch_max;
   pc.crash_prob = a.chaos;
   pc.corrupt_prob = a.chaos;
+
+  std::optional<ServeSoak> soak;
+  if (a.serve_readers > 0) {
+    soak.emplace(a.serve_readers, a.serve_lookups);
+    cfg.snapshot_sink = soak->sink();
+    // Bit-rot is invisible to row statuses until a scrub runs, so a
+    // validating soak over it would only measure that documented blind
+    // spot; keep crashes, drop corruption.
+    if (pc.corrupt_prob > 0.0) {
+      std::fprintf(stderr, "serve mode: corrupt_prob forced to 0\n");
+      pc.corrupt_prob = 0.0;
+    }
+  }
   DeltaPlan plan(pc);
 
   std::optional<core::DapspService> svc;
@@ -392,17 +542,46 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(svc->epoch()),
                    static_cast<unsigned long long>(done),
                    static_cast<unsigned long long>(a.updates));
+      if (soak) {
+        // The restore ctor publishes nothing, but a trailing scrub can
+        // publish at the restored epoch, so stage its oracle too.
+        soak->reserve_epochs(svc->epoch() + (a.updates - done));
+        soak->stage_oracle(svc->epoch(), svc->dynamic_graph().snapshot());
+        soak->start();
+      }
     } else {
       const Graph g = make_graph(a);
+      if (soak) {
+        // The fresh-build ctor publishes the first snapshot at epoch 0;
+        // its oracle must be staged before the service exists.
+        soak->reserve_epochs(a.updates);
+        soak->stage_oracle(0, g);
+        soak->start();
+      }
       svc.emplace(g, cfg);
       std::fprintf(stderr, "initial build: n=%u m=%zu, all rows certified\n",
                    g.num_nodes(), g.num_edges());
     }
 
+    std::optional<DynamicGraph> shadow;
+    if (soak) shadow.emplace(svc->dynamic_graph());
+
     const std::uint64_t progress_step =
         a.quiet ? 0 : std::max<std::uint64_t>(1, a.updates / 20);
     for (std::uint64_t u = done; u < a.updates; ++u) {
       const ChurnBatch batch = plan.next(svc->dynamic_graph());
+      if (soak) {
+        // Mirror step()'s batch application on the shadow graph so the
+        // post-batch oracle for the upcoming epoch exists before any
+        // snapshot at that epoch is published.
+        for (const GraphDelta& d : batch.deltas) shadow->apply(d);
+        for (const NodeId v : batch.crashes) {
+          if (shadow->active(v)) {
+            shadow->apply(GraphDelta{DeltaKind::kNodeLeave, v, v});
+          }
+        }
+        soak->stage_oracle(svc->epoch() + 1, shadow->snapshot());
+      }
       const core::EpochReport ep = svc->step(batch);
       if (progress_step && (u + 1) % progress_step == 0) {
         std::fprintf(stderr, "[%llu/%llu] %s\n",
@@ -442,6 +621,24 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  bool overclaims = false;
+  if (soak) {
+    // Let the readers observe the final (fully certified) snapshot before
+    // shutting them down, so short runs still validate something.
+    const std::uint64_t want =
+        static_cast<std::uint64_t>(a.serve_readers) * a.serve_lookups;
+    for (int spin = 0; spin < 4000 && soak->validated() < want; ++spin) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    soak->stop();
+    std::printf(
+        "serve soak: readers=%u swaps=%llu validated=%llu wrong=%llu\n",
+        a.serve_readers, static_cast<unsigned long long>(soak->swaps()),
+        static_cast<unsigned long long>(soak->validated()),
+        static_cast<unsigned long long>(soak->wrong()));
+    overclaims = soak->wrong() > 0;
+  }
+
   const core::ServiceStats& st = svc->stats();
   std::printf("service: %s\n", st.debug_string().c_str());
   const bool certified = svc->fully_certified();
@@ -456,5 +653,5 @@ int main(int argc, char** argv) {
                                     a.updates};
     dump_blob(*a.ckpt_dump, svc->checkpoint_blob(words));
   }
-  return certified ? 0 : 1;
+  return (certified && !overclaims) ? 0 : 1;
 }

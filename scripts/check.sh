@@ -3,15 +3,18 @@
 # under ASan+UBSan.
 #
 # Usage: scripts/check.sh [--tsan] [--perf-smoke] [--kill-matrix [dir]]
-#                         [extra ctest args...]
+#                         [--query-smoke [dir]] [extra ctest args...]
 #   --tsan         run only the ThreadSanitizer configuration (the concurrency
-#                  surface: engine, equivalence, faults, determinism) instead
-#                  of the full matrix.
+#                  surface: engine, equivalence, faults, determinism, and the
+#                  query tier's snapshot-swap soak) instead of the full matrix.
 #   --perf-smoke   run only the engine perf-regression gate
 #                  (bench_engine_perf --assert-speedup); self-skips on hosts
 #                  with < 4 hardware threads.
 #   --kill-matrix  run only the crash-point sweep against an existing build
 #                  directory (default build-asan) — no rebuild.
+#   --query-smoke  run only the query-tier gate: bench_query's lookup-rate
+#                  floor plus a serve soak (snapshot swaps under churn with
+#                  reader threads validating against the oracle).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -32,7 +35,7 @@ if [[ "${1:-}" == "--tsan" ]]; then
   # test_engine_equivalence in particular runs the flat engine's arenas and
   # inbox frames differentially at 1/2/8 threads.
   run_config build-tsan Tsan \
-    -R 'test_engine|test_engine_equivalence|test_arena|test_faults|test_determinism' "$@"
+    -R 'test_engine|test_engine_equivalence|test_arena|test_faults|test_determinism|test_query' "$@"
   echo "TSan checks passed."
   exit 0
 fi
@@ -167,11 +170,39 @@ if [[ "${1:-}" == "--kill-matrix" ]]; then
   exit 0
 fi
 
+# Query-tier smoke (DESIGN.md section 17): the serial lookup-rate floor on
+# bench_query, then a serve soak — dapsp_service publishing DQRY snapshots
+# under churn while reader threads validate every fresh-status answer
+# against a per-epoch sequential oracle. Exit 1 on any overclaim. Finally a
+# query_server export/serve round trip through the mmap path.
+query_smoke() {
+  local dir="$1" tmp
+  echo "== query smoke (${dir}) =="
+  cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build "${dir}" -j "${JOBS}" \
+    --target bench_query dapsp_service query_server
+  "${dir}/bench/bench_query" --smoke --assert-rate 1000000 >/dev/null
+  "${dir}/examples/dapsp_service" --universe 24 --updates 60 --seed 7 \
+    --serve 2 --serve-lookups 128 --chaos 0.05 --quiet
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "${tmp}"' RETURN
+  "${dir}/examples/query_server" --export "${tmp}/s.dqry" \
+    --universe 32 --seed 7 --labels 2
+  "${dir}/examples/query_server" --snapshot "${tmp}/s.dqry" --info
+  "${dir}/examples/query_server" --snapshot "${tmp}/s.dqry" --query 1 30
+}
+
+if [[ "${1:-}" == "--query-smoke" ]]; then
+  query_smoke "${2:-build}"
+  exit 0
+fi
+
 run_config build RelWithDebInfo "$@"
 trace_smoke build
 chaos_smoke build
 churn_smoke build
 perf_smoke build
+query_smoke build
 run_config build-asan Asan "$@"
 kill_matrix_smoke build-asan
 

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "congest/engine.h"
@@ -28,14 +29,26 @@ namespace dapsp::core {
 
 class DistanceLabeling {
  public:
-  // d(u,v) <= estimate(u,v) <= d(u,v) + 2k. Requires both labels complete
-  // (connected graph, construction finished).
+  // d(u,v) <= estimate(u,v) <= d(u,v) + 2k on a connected graph with
+  // complete labels. Incomplete labels (no dominator finite in both — only
+  // possible on corrupted or hand-built label sets, since construction
+  // requires connectivity) answer kInfDist rather than inventing a finite
+  // value; the addition saturates at the kInfDist sentinel, so near-max or
+  // damaged entries can never wrap into a tiny bogus estimate.
   std::uint32_t estimate(NodeId u, NodeId v) const;
+
+  // The label-combination core, exposed for the query tier and for boundary
+  // tests: min_i sat_add_dist(lu[i], lv[i]), kInfDist when the spans share
+  // no finite dominator entry. Requires lu.size() == lv.size().
+  static std::uint32_t combine(std::span<const std::uint32_t> lu,
+                               std::span<const std::uint32_t> lv) noexcept;
 
   std::uint32_t k() const { return k_; }
   const std::vector<NodeId>& dominators() const { return dom_; }
   // Words per node label (= |DOM| entries of (id, distance)).
   std::size_t label_entries() const { return dom_.size(); }
+  // d(v, dom_[i]) for every dominator, in dominator order.
+  std::span<const std::uint32_t> label(NodeId v) const { return labels_[v]; }
   const congest::RunStats& stats() const { return stats_; }
 
  private:
@@ -49,7 +62,13 @@ class DistanceLabeling {
 };
 
 // Builds the labeling with slack parameter k (k = 0 degenerates to exact
-// APSP via Algorithm 2 with S = V). Connected graphs only.
+// APSP via Algorithm 2 with S = V: every tree level survives the residue
+// pick, so DOM = V and the estimate is the true distance). Connected graphs
+// only: disconnected inputs throw std::invalid_argument up front (the
+// alternative — partial labels that silently answer kInfDist across the cut
+// — is exactly the kind of half-state the serving tier must never publish).
+// The Lemma 10 bound |DOM| <= floor(n/(k+1)) + 1 and full per-node labels
+// are verified before returning; violations throw std::logic_error.
 DistanceLabeling build_distance_labels(const Graph& g, std::uint32_t k,
                                        const congest::EngineConfig& cfg = {});
 

@@ -1,0 +1,517 @@
+#include "core/query.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "graph/delta.h"
+#include "util/journal.h"
+
+namespace dapsp::core {
+namespace {
+
+// The read path hands out reinterpret_cast'd u32 table views straight into
+// the (4-byte-aligned) blob, which is only the on-disk format on
+// little-endian hosts. Every target this repo builds for is LE; refuse to
+// compile elsewhere rather than serve byte-swapped distances.
+static_assert(std::endian::native == std::endian::little,
+              "DQRY snapshots assume a little-endian host");
+
+constexpr std::size_t kQueryHeaderBytes = 40;
+constexpr std::uint32_t kMaxQueryNodes = 1u << 20;
+
+std::uint32_t load_u32(const std::uint8_t* p) {
+  return std::uint32_t{p[0]} | std::uint32_t{p[1]} << 8 |
+         std::uint32_t{p[2]} << 16 | std::uint32_t{p[3]} << 24;
+}
+
+std::uint64_t load_u64(const std::uint8_t* p) {
+  return std::uint64_t{load_u32(p)} | std::uint64_t{load_u32(p + 4)} << 32;
+}
+
+void store_u32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+void store_u64(std::uint8_t* p, std::uint64_t v) {
+  store_u32(p, static_cast<std::uint32_t>(v));
+  store_u32(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+struct QueryLayout {
+  std::uint64_t dist_off;    // == kQueryHeaderBytes
+  std::uint64_t hop_off;
+  std::uint64_t dom_off;
+  std::uint64_t labels_off;
+  std::uint64_t active_off;
+  std::uint64_t status_off;
+  std::uint64_t checksum_off;
+  std::uint64_t total;
+};
+
+QueryLayout layout_for(std::uint64_t n, std::uint64_t dom_count) {
+  QueryLayout lo;
+  const std::uint64_t table = 4 * n * n;
+  lo.dist_off = kQueryHeaderBytes;
+  lo.hop_off = lo.dist_off + table;
+  lo.dom_off = lo.hop_off + table;
+  lo.labels_off = lo.dom_off + 4 * dom_count;
+  lo.active_off = lo.labels_off + 4 * n * dom_count;
+  lo.status_off = lo.active_off + n;
+  lo.checksum_off = lo.status_off + n;
+  lo.total = lo.checksum_off + 8;
+  return lo;
+}
+
+}  // namespace
+
+CheckpointError classify_query_blob(
+    std::span<const std::uint8_t> blob) noexcept {
+  if (blob.size() < kQueryHeaderBytes + 8) return CheckpointError::kTruncated;
+  if (std::memcmp(blob.data(), kQueryMagic, 4) != 0) {
+    return CheckpointError::kBadMagic;
+  }
+  if (std::memcmp(blob.data() + 4, kQueryVersion, 4) != 0) {
+    return CheckpointError::kVersionMismatch;
+  }
+  const std::uint32_t n = load_u32(blob.data() + 8);
+  const std::uint32_t flags = load_u32(blob.data() + 28);
+  const std::uint32_t dom_count = load_u32(blob.data() + 36);
+  if (n == 0 || n > kMaxQueryNodes) return CheckpointError::kBadPayload;
+  if ((flags & ~(kQueryFlagLabels | kQueryFlagDegraded)) != 0) {
+    return CheckpointError::kBadPayload;
+  }
+  const bool has_labels = (flags & kQueryFlagLabels) != 0;
+  if (!has_labels && dom_count != 0) return CheckpointError::kBadPayload;
+  if (has_labels && (dom_count == 0 || dom_count > n)) {
+    return CheckpointError::kBadPayload;
+  }
+  const QueryLayout lo = layout_for(n, dom_count);
+  if (blob.size() != lo.total) return CheckpointError::kTruncated;
+  const std::uint64_t want = load_u64(blob.data() + lo.checksum_off);
+  if (fnv1a64(blob.first(lo.checksum_off)) != want) {
+    return CheckpointError::kChecksumMismatch;
+  }
+  // Field-level sanity: dominator ids in-universe, statuses in-enum,
+  // active mask boolean.
+  const std::uint8_t* base = blob.data();
+  for (std::uint32_t i = 0; i < dom_count; ++i) {
+    if (load_u32(base + lo.dom_off + 4 * std::uint64_t{i}) >= n) {
+      return CheckpointError::kBadPayload;
+    }
+  }
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (base[lo.active_off + v] > 1) return CheckpointError::kBadPayload;
+    if (base[lo.status_off + v] >
+        static_cast<std::uint8_t>(RowStatus::kStale)) {
+      return CheckpointError::kBadPayload;
+    }
+  }
+  return CheckpointError::kNone;
+}
+
+void QuerySnapshot::bind(std::span<const std::uint8_t> blob) {
+  const std::uint8_t* base = blob.data();
+  n_ = load_u32(base + 8);
+  epoch_ = load_u64(base + 12);
+  sequence_ = load_u64(base + 20);
+  flags_ = load_u32(base + 28);
+  k_ = load_u32(base + 32);
+  dom_count_ = load_u32(base + 36);
+  const QueryLayout lo = layout_for(n_, dom_count_);
+  dist_ = reinterpret_cast<const std::uint32_t*>(base + lo.dist_off);
+  hop_ = reinterpret_cast<const std::uint32_t*>(base + lo.hop_off);
+  dom_ = reinterpret_cast<const std::uint32_t*>(base + lo.dom_off);
+  labels_ = reinterpret_cast<const std::uint32_t*>(base + lo.labels_off);
+  active_ = base + lo.active_off;
+  status_ = base + lo.status_off;
+}
+
+QuerySnapshot QuerySnapshot::from_blob(std::vector<std::uint8_t> bytes) {
+  const CheckpointError err = classify_query_blob(bytes);
+  if (err != CheckpointError::kNone) {
+    throw std::runtime_error(std::string("QuerySnapshot: ") + to_string(err) +
+                             " blob");
+  }
+  QuerySnapshot snap;
+  snap.owned_ = std::move(bytes);
+  snap.bind(snap.owned_);
+  return snap;
+}
+
+QuerySnapshot QuerySnapshot::from_file(const std::string& path) {
+  MappedBlob mapped = MappedBlob::map_file(path);
+  const CheckpointError err = classify_query_blob(mapped.bytes());
+  if (err != CheckpointError::kNone) {
+    throw std::runtime_error(std::string("QuerySnapshot: ") + to_string(err) +
+                             " blob at " + path);
+  }
+  QuerySnapshot snap;
+  snap.mapped_ = std::move(mapped);
+  snap.bind(snap.mapped_.bytes());
+  return snap;
+}
+
+std::span<const std::uint8_t> QuerySnapshot::bytes() const noexcept {
+  return owned_.empty() ? mapped_.bytes()
+                        : std::span<const std::uint8_t>(owned_);
+}
+
+QueryAnswer QuerySnapshot::p2p(NodeId from, NodeId to) const {
+  if (from >= n_ || to >= n_) {
+    throw std::invalid_argument("QuerySnapshot::p2p: node out of universe");
+  }
+  QueryAnswer q;
+  if (active_[from] == 0 || active_[to] == 0) return q;
+  q.active = true;
+  const std::size_t idx = std::size_t{to} * n_ + from;
+  q.dist = dist_[idx];
+  q.next_hop = hop_[idx];
+  q.status = status(to);
+  return q;
+}
+
+void QuerySnapshot::p2p_batch(
+    std::span<const std::pair<NodeId, NodeId>> pairs,
+    std::vector<QueryAnswer>& out) const {
+  out.clear();
+  out.reserve(pairs.size());
+  for (const auto& [from, to] : pairs) out.push_back(p2p(from, to));
+}
+
+KNearestAnswer QuerySnapshot::k_nearest(NodeId u, std::uint32_t k) const {
+  if (u >= n_) {
+    throw std::invalid_argument(
+        "QuerySnapshot::k_nearest: node out of universe");
+  }
+  KNearestAnswer ans;
+  if (active_[u] == 0) return ans;
+  ans.active = true;
+  ans.status = status(u);
+  const std::uint32_t* row = dist_ + std::size_t{u} * n_;
+  std::vector<NearNeighbor> cand;
+  cand.reserve(n_);
+  for (NodeId v = 0; v < n_; ++v) {
+    if (v == u || active_[v] == 0 || row[v] == kInfDist) continue;
+    cand.push_back({v, row[v]});
+  }
+  const auto by_dist_then_id = [](const NearNeighbor& a,
+                                  const NearNeighbor& b) {
+    return a.dist != b.dist ? a.dist < b.dist : a.node < b.node;
+  };
+  const std::size_t keep = std::min<std::size_t>(k, cand.size());
+  std::partial_sort(cand.begin(),
+                    cand.begin() + static_cast<std::ptrdiff_t>(keep),
+                    cand.end(), by_dist_then_id);
+  cand.resize(keep);
+  ans.nearest = std::move(cand);
+  return ans;
+}
+
+EccentricityAnswer QuerySnapshot::eccentricity(NodeId u) const {
+  if (u >= n_) {
+    throw std::invalid_argument(
+        "QuerySnapshot::eccentricity: node out of universe");
+  }
+  EccentricityAnswer ans;
+  if (active_[u] == 0) return ans;
+  ans.active = true;
+  ans.status = status(u);
+  const std::uint32_t* row = dist_ + std::size_t{u} * n_;
+  for (NodeId v = 0; v < n_; ++v) {
+    if (active_[v] == 0) continue;
+    if (row[v] == kInfDist) {
+      if (v != u) ++ans.unreachable;
+      continue;
+    }
+    if (row[v] > ans.ecc) {
+      ans.ecc = row[v];
+      ans.farthest = v;
+    }
+  }
+  if (ans.farthest == kNoNextHop) ans.farthest = u;  // isolated-in-component
+  return ans;
+}
+
+std::uint32_t QuerySnapshot::label_estimate(NodeId u, NodeId v) const {
+  if (u >= n_ || v >= n_) {
+    throw std::invalid_argument(
+        "QuerySnapshot::label_estimate: node out of universe");
+  }
+  if (!has_labels()) {
+    throw std::logic_error(
+        "QuerySnapshot::label_estimate: snapshot has no label section");
+  }
+  if (u == v) return 0;
+  return DistanceLabeling::combine(label_row(u), label_row(v));
+}
+
+// ---- Encoders ------------------------------------------------------------
+
+namespace {
+
+std::vector<std::uint8_t> encode_common(
+    std::uint32_t n, std::uint64_t epoch, std::uint64_t sequence,
+    bool degraded, const DistanceLabeling* labels,
+    std::span<const std::uint8_t> active, std::span<const RowStatus> status,
+    const auto& dist_to, const auto& hop_to) {
+  if (n == 0) {
+    throw std::invalid_argument("encode_query_snapshot: empty universe");
+  }
+  if (active.size() != n || status.size() != n) {
+    throw std::invalid_argument(
+        "encode_query_snapshot: active/status size mismatch");
+  }
+  std::uint32_t dom_count = 0;
+  std::uint32_t flags = degraded ? kQueryFlagDegraded : 0u;
+  if (labels != nullptr) {
+    dom_count = static_cast<std::uint32_t>(labels->dominators().size());
+    flags |= kQueryFlagLabels;
+    if (dom_count == 0 || dom_count > n) {
+      throw std::invalid_argument(
+          "encode_query_snapshot: label section does not match universe");
+    }
+  }
+  const QueryLayout lo = layout_for(n, dom_count);
+  std::vector<std::uint8_t> out(lo.total);
+  std::uint8_t* base = out.data();
+  std::memcpy(base, kQueryMagic, 4);
+  std::memcpy(base + 4, kQueryVersion, 4);
+  store_u32(base + 8, n);
+  store_u64(base + 12, epoch);
+  store_u64(base + 20, sequence);
+  store_u32(base + 28, flags);
+  store_u32(base + 32, labels != nullptr ? labels->k() : 0u);
+  store_u32(base + 36, dom_count);
+  // Row s = served values toward source s, indexed by node v.
+  for (std::uint32_t s = 0; s < n; ++s) {
+    std::uint8_t* drow = base + lo.dist_off + 4 * std::uint64_t{s} * n;
+    std::uint8_t* hrow = base + lo.hop_off + 4 * std::uint64_t{s} * n;
+    for (std::uint32_t v = 0; v < n; ++v) {
+      store_u32(drow + 4 * std::size_t{v}, dist_to(v, s));
+      store_u32(hrow + 4 * std::size_t{v}, hop_to(v, s));
+    }
+  }
+  if (labels != nullptr) {
+    const std::vector<NodeId>& dom = labels->dominators();
+    for (std::uint32_t i = 0; i < dom_count; ++i) {
+      store_u32(base + lo.dom_off + 4 * std::uint64_t{i}, dom[i]);
+    }
+    for (std::uint32_t v = 0; v < n; ++v) {
+      const std::span<const std::uint32_t> lab = labels->label(v);
+      if (lab.size() != dom_count) {
+        throw std::invalid_argument(
+            "encode_query_snapshot: ragged label row");
+      }
+      std::uint8_t* lrow =
+          base + lo.labels_off + 4 * std::uint64_t{v} * dom_count;
+      for (std::uint32_t i = 0; i < dom_count; ++i) {
+        store_u32(lrow + 4 * std::size_t{i}, lab[i]);
+      }
+    }
+  }
+  for (std::uint32_t v = 0; v < n; ++v) {
+    base[lo.active_off + v] = active[v] != 0 ? 1 : 0;
+    base[lo.status_off + v] = static_cast<std::uint8_t>(status[v]);
+  }
+  store_u64(base + lo.checksum_off,
+            fnv1a64(std::span<const std::uint8_t>(out).first(lo.checksum_off)));
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_query_snapshot(
+    const DapspService& svc, std::uint64_t sequence, bool degraded,
+    const DistanceLabeling* labels) {
+  const DistanceMatrix& dist = svc.served_dist();
+  const std::vector<std::vector<NodeId>>& hop = svc.served_next_hop();
+  const std::uint32_t n = svc.dynamic_graph().universe();
+  return encode_common(
+      n, svc.epoch(), sequence, degraded, labels,
+      svc.dynamic_graph().active_mask(), svc.row_statuses(),
+      [&](NodeId v, NodeId s) { return dist.at(v, s); },
+      [&](NodeId v, NodeId s) { return hop[v][s]; });
+}
+
+std::vector<std::uint8_t> encode_query_snapshot_tables(
+    const DistanceMatrix& dist,
+    const std::vector<std::vector<NodeId>>* next_hop,
+    std::span<const std::uint8_t> active, std::span<const RowStatus> status,
+    std::uint64_t epoch, std::uint64_t sequence, bool degraded,
+    const DistanceLabeling* labels) {
+  const std::uint32_t n = static_cast<std::uint32_t>(dist.n());
+  return encode_common(
+      n, epoch, sequence, degraded, labels, active, status,
+      [&](NodeId v, NodeId s) { return dist.at(v, s); },
+      [&](NodeId v, NodeId s) {
+        return next_hop != nullptr ? (*next_hop)[v][s] : kNoNextHop;
+      });
+}
+
+// ---- SnapshotStore -------------------------------------------------------
+
+SnapshotStore::~SnapshotStore() {
+  // Readers are required to be gone; drop everything unconditionally.
+  std::lock_guard<std::mutex> lk(retire_mu_);
+  retired_.clear();
+  current_owner_.reset();
+}
+
+void SnapshotStore::publish(std::unique_ptr<const QuerySnapshot> snap) {
+  if (snap == nullptr) {
+    throw std::invalid_argument("SnapshotStore::publish: null snapshot");
+  }
+  std::lock_guard<std::mutex> lk(retire_mu_);
+  const QuerySnapshot* raw = snap.get();
+  const QuerySnapshot* old = current_.exchange(raw, std::memory_order_seq_cst);
+  // The epoch value during which `old` was last current: readers pinned at
+  // an epoch <= this may still hold it.
+  const std::uint64_t retire_epoch =
+      epoch_.fetch_add(1, std::memory_order_seq_cst);
+  if (old != nullptr) {
+    retired_.push_back({std::move(current_owner_), retire_epoch});
+  }
+  current_owner_ = std::move(snap);
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+  reclaim_locked();
+}
+
+void SnapshotStore::reclaim_locked() {
+  std::uint64_t min_pin = kSlotIdle;
+  for (const Slot& slot : slots_) {
+    if (slot.claimed.load(std::memory_order_seq_cst) == 0) continue;
+    min_pin = std::min(min_pin, slot.pin.load(std::memory_order_seq_cst));
+  }
+  // A snapshot retired at epoch r can be referenced only by a reader whose
+  // pinned epoch is <= r, so it is free to reclaim once r < min_pin.
+  std::erase_if(retired_, [min_pin](const Retired& r) {
+    return r.retire_epoch < min_pin;
+  });
+}
+
+std::size_t SnapshotStore::retired_pending() const {
+  std::lock_guard<std::mutex> lk(retire_mu_);
+  return retired_.size();
+}
+
+SnapshotReader::SnapshotReader(SnapshotStore& store) : store_(&store) {
+  for (std::size_t i = 0; i < kMaxSnapshotReaders; ++i) {
+    std::uint8_t expect = 0;
+    if (store_->slots_[i].claimed.compare_exchange_strong(
+            expect, 1, std::memory_order_seq_cst)) {
+      slot_ = i;
+      store_->slots_[i].pin.store(SnapshotStore::kSlotIdle,
+                                  std::memory_order_seq_cst);
+      return;
+    }
+  }
+  throw std::runtime_error("SnapshotReader: all reader slots claimed");
+}
+
+SnapshotReader::~SnapshotReader() {
+  store_->slots_[slot_].pin.store(SnapshotStore::kSlotIdle,
+                                  std::memory_order_seq_cst);
+  store_->slots_[slot_].claimed.store(0, std::memory_order_seq_cst);
+}
+
+SnapshotRef SnapshotReader::acquire() {
+  SnapshotStore::Slot& slot = store_->slots_[slot_];
+  // Announce-then-verify: publish the epoch we intend to pin, then re-read.
+  // Once the announced value is a current-or-earlier epoch that the writer
+  // is guaranteed to observe before freeing anything retired at or after
+  // it, the subsequent pointer load is protected. One iteration suffices in
+  // the common case; the loop only spins while publishes race past us.
+  std::uint64_t e = store_->epoch_.load(std::memory_order_seq_cst);
+  for (;;) {
+    slot.pin.store(e, std::memory_order_seq_cst);
+    const std::uint64_t now = store_->epoch_.load(std::memory_order_seq_cst);
+    if (now == e) break;
+    e = now;
+  }
+  const QuerySnapshot* snap = store_->current_.load(std::memory_order_seq_cst);
+  if (snap == nullptr) {
+    slot.pin.store(SnapshotStore::kSlotIdle, std::memory_order_seq_cst);
+    return {};
+  }
+  return SnapshotRef(store_, slot_, snap);
+}
+
+SnapshotRef& SnapshotRef::operator=(SnapshotRef&& other) noexcept {
+  if (this != &other) {
+    release();
+    store_ = other.store_;
+    slot_ = other.slot_;
+    snap_ = other.snap_;
+    other.store_ = nullptr;
+    other.snap_ = nullptr;
+  }
+  return *this;
+}
+
+void SnapshotRef::release() noexcept {
+  if (store_ != nullptr) {
+    store_->slots_[slot_].pin.store(SnapshotStore::kSlotIdle,
+                                    std::memory_order_seq_cst);
+    store_ = nullptr;
+    snap_ = nullptr;
+  }
+}
+
+void ServingPublisher::on_snapshot(const DapspService& svc, bool degraded) {
+  std::vector<std::uint8_t> blob =
+      encode_query_snapshot(svc, sequence_++, degraded);
+  store_->publish(std::make_unique<const QuerySnapshot>(
+      QuerySnapshot::from_blob(std::move(blob))));
+}
+
+// ---- LabelCache ----------------------------------------------------------
+
+std::span<const std::uint32_t> LabelCache::row(const QuerySnapshot& snap,
+                                               NodeId u) {
+  if (!snap.has_labels()) {
+    throw std::logic_error("LabelCache::row: snapshot has no label section");
+  }
+  ++tick_;
+  for (Entry& e : entries_) {
+    if (e.sequence == snap.sequence() && e.source == u) {
+      e.last_used = tick_;
+      ++hits_;
+      return e.row;
+    }
+  }
+  ++misses_;
+  std::vector<std::uint32_t> row(snap.n(), kInfDist);
+  const std::span<const std::uint32_t> lu = snap.label_row(u);
+  for (NodeId v = 0; v < snap.n(); ++v) {
+    row[v] = v == u ? 0 : DistanceLabeling::combine(lu, snap.label_row(v));
+  }
+  if (capacity_ == 0) {  // caching disabled: compute-only path
+    scratch_ = std::move(row);
+    return scratch_;
+  }
+  if (entries_.size() >= capacity_) {
+    auto victim = std::min_element(
+        entries_.begin(), entries_.end(),
+        [](const Entry& a, const Entry& b) { return a.last_used < b.last_used; });
+    entries_.erase(victim);
+  }
+  entries_.push_back({snap.sequence(), u, tick_, std::move(row)});
+  return entries_.back().row;
+}
+
+std::uint32_t LabelCache::estimate(const QuerySnapshot& snap, NodeId u,
+                                   NodeId v) {
+  if (v >= snap.n()) {
+    throw std::invalid_argument("LabelCache::estimate: node out of universe");
+  }
+  return row(snap, u)[v];
+}
+
+}  // namespace dapsp::core

@@ -387,6 +387,9 @@ DapspService::DapspService(const Graph& initial, const ServiceConfig& config)
   congest::accumulate(stats_.run, rep.stats);
   std::vector<NodeId> rows(all);
   refresh_served(rows, RowStatus::kExact);
+  if (config_.snapshot_sink != nullptr) {
+    config_.snapshot_sink->on_snapshot(*this, /*degraded=*/false);
+  }
 }
 
 DapspService::DapspService(RestoreTag, const ServiceConfig& config,
@@ -608,6 +611,44 @@ EpochReport DapspService::step(const ChurnBatch& batch) {
   suspects.erase(std::unique(suspects.begin(), suspects.end()),
                  suspects.end());
 
+  // Conservative disclosure (see header): every implicated row drops to
+  // kStale *now*, before the repair ladder runs. A snapshot published (or a
+  // query answered) between here and certification discloses the row as
+  // stale instead of overclaiming exactness for pre-batch values. On
+  // needs_full the analyzer could not bound the region, so every active row
+  // is implicated.
+  bool downgraded = false;
+  const auto downgrade = [&](NodeId s) {
+    if (row_status_[s] != RowStatus::kStale) {
+      row_status_[s] = RowStatus::kStale;
+      downgraded = true;
+    }
+  };
+  // A joined node's cell is wrong in *every* row (not just the dirty ones)
+  // until patch_join_entries lands and its result is served, so a join
+  // implicates even the clean rows — but only in that one cell. Downgrade
+  // them too, remembering their pre-join status so certification (which
+  // serves the exact-by-construction patched cells) can restore it; if the
+  // epoch fails, they stay stale and re-enter the suspect set next epoch.
+  std::vector<std::pair<NodeId, RowStatus>> join_guard;
+  if (dr.needs_full) {
+    for (NodeId s = 0; s < graph_.universe(); ++s) {
+      if (graph_.active(s)) downgrade(s);
+    }
+  } else {
+    for (const NodeId s : suspects) downgrade(s);
+    if (!dr.joined.empty()) {
+      for (NodeId s = 0; s < graph_.universe(); ++s) {
+        if (!graph_.active(s) || row_status_[s] == RowStatus::kStale) continue;
+        join_guard.emplace_back(s, row_status_[s]);
+        downgrade(s);
+      }
+    }
+  }
+  if (config_.snapshot_sink != nullptr && downgraded) {
+    config_.snapshot_sink->on_snapshot(*this, /*degraded=*/true);
+  }
+
   bool force = dr.needs_full;
   if (!force && !suspects.empty()) {
     const double frac = static_cast<double>(suspects.size()) /
@@ -627,12 +668,18 @@ EpochReport DapspService::step(const ChurnBatch& batch) {
                       force, ep);
     if (ep.certified && !force && !dr.joined.empty()) {
       // The direct-patched entries of clean rows (one cell per joined node
-      // per row) are exact by construction — serve them too.
+      // per row) are exact by construction — serve them too, and lift the
+      // join-guard downgrade now that the rows are whole again.
       for (const NodeId w : dr.joined) {
         for (NodeId s = 0; s < graph_.universe(); ++s) {
           if (!graph_.active(s)) continue;
           served_dist_.set(w, s, apsp_.dist.at(w, s));
           served_next_hop_[w][s] = apsp_.next_hop[w][s];
+        }
+      }
+      for (const auto& [s, prev] : join_guard) {
+        if (graph_.active(s) && row_status_[s] == RowStatus::kStale) {
+          row_status_[s] = prev;
         }
       }
     }
@@ -667,6 +714,9 @@ EpochReport DapspService::step(const ChurnBatch& batch) {
   if (config_.scrub_every > 0 && epoch_ % config_.scrub_every == 0) {
     scrub();
   }
+  if (config_.snapshot_sink != nullptr) {
+    config_.snapshot_sink->on_snapshot(*this, /*degraded=*/false);
+  }
   return ep;
 }
 
@@ -680,6 +730,9 @@ EpochReport DapspService::scrub() {
   stats_.scrubs += 1;
   congest::accumulate(stats_.run, ep.stats);
   emit_epoch_event(ep);
+  if (config_.snapshot_sink != nullptr) {
+    config_.snapshot_sink->on_snapshot(*this, /*degraded=*/false);
+  }
   return ep;
 }
 

@@ -54,6 +54,13 @@
 // kExact (certified, untouched since the last full pass), kRepaired
 // (certified after an incremental heal), kStale (certification pending or
 // failed — the snapshot still answers, with the staleness disclosed).
+// Status disclosure is monotone-conservative within an epoch: the moment
+// the dirty-region analyzer implicates a row, its status drops to kStale —
+// *before* any repair attempt runs — and only a successful certification
+// raises it again. A consumer that observes the service mid-epoch (the
+// query tier's snapshot publishes, a checkpoint taken from a sink) can
+// therefore never see a row claiming kExact whose stored values predate a
+// batch that invalidated them.
 // Bit-rot corruption is invisible to the delta analyzer by design; the
 // periodic scrub() — a certificate-driven detection repair over all rows —
 // is what catches it (ServiceConfig::scrub_every automates the cadence).
@@ -205,6 +212,24 @@ struct ServiceStats {
   std::string debug_string() const;
 };
 
+class DapspService;
+
+// Observer hook for the query serving tier (core/query.h): the service
+// calls it whenever the served snapshot reaches a publishable state. Two
+// publish points per epoch:
+//   * degraded = true — right after dirty analysis downgraded the affected
+//     rows to kStale, before any repair runs. Values are the pre-batch ones,
+//     statuses are conservative for the post-batch graph; publishing here is
+//     what keeps mid-epoch readers from trusting a row that is in flight.
+//     Only fired when at least one row was downgraded this epoch.
+//   * degraded = false — at the end of every step()/scrub(), statuses final.
+// The service is in a consistent, queryable state at both points; the sink
+// must not mutate it.
+struct SnapshotSink {
+  virtual ~SnapshotSink() = default;
+  virtual void on_snapshot(const DapspService& svc, bool degraded) = 0;
+};
+
 struct ServiceConfig {
   // Engine knobs for all repair/certify sub-runs (threads, bandwidth_ids are
   // honored; faults and instrumentation are stripped by the repair layer —
@@ -236,6 +261,10 @@ struct ServiceConfig {
   // is what catches bit-rot corruption, which is invisible to the delta
   // analyzer.
   std::uint32_t scrub_every = 0;
+
+  // Query-tier publish hook (see SnapshotSink). Not owned; must outlive the
+  // service. Not part of the checkpointed state.
+  SnapshotSink* snapshot_sink = nullptr;
 };
 
 // One distance query, answered from the served snapshot.
@@ -272,6 +301,16 @@ class DapspService {
   std::uint64_t degraded_streak() const noexcept { return degraded_streak_; }
 
   RowStatus row_status(NodeId s) const { return row_status_[s]; }
+  std::span<const RowStatus> row_statuses() const noexcept {
+    return row_status_;
+  }
+  // Read-only views of the served snapshot, for the query tier's snapshot
+  // encoder (core/query.h). served_dist().at(v, s) is the served distance
+  // from v to s with the freshness of row s (= row_status(s)).
+  const DistanceMatrix& served_dist() const noexcept { return served_dist_; }
+  const std::vector<std::vector<NodeId>>& served_next_hop() const noexcept {
+    return served_next_hop_;
+  }
   // True when no active row is stale — every served row is certified
   // against the current graph (modulo not-yet-scrubbed bit-rot).
   bool fully_certified() const;

@@ -21,6 +21,17 @@ using NodeId = std::uint32_t;
 // are < n <= 2^31).
 inline constexpr std::uint32_t kInfDist = 0xffffffffu;
 
+// Saturating distance addition: infinity absorbs, and a finite sum that
+// would reach or wrap past the sentinel clamps to kInfDist instead of
+// wrapping to a tiny bogus value. Every d(u,s) + d(s,v) style combination
+// (2-hop label estimates, query-tier triangle bounds) must go through this.
+inline constexpr std::uint32_t sat_add_dist(std::uint32_t a,
+                                            std::uint32_t b) noexcept {
+  if (a == kInfDist || b == kInfDist) return kInfDist;
+  const std::uint64_t sum = std::uint64_t{a} + b;
+  return sum >= kInfDist ? kInfDist : static_cast<std::uint32_t>(sum);
+}
+
 struct Edge {
   NodeId u = 0;
   NodeId v = 0;

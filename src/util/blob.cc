@@ -1,0 +1,105 @@
+#include "util/blob.h"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DAPSP_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace dapsp {
+
+MappedBlob& MappedBlob::operator=(MappedBlob&& other) noexcept {
+  if (this != &other) {
+    reset();
+    data_ = other.data_;
+    size_ = other.size_;
+    mapped_ = other.mapped_;
+    owned_ = std::move(other.owned_);
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.mapped_ = false;
+    if (!mapped_ && size_ > 0) data_ = owned_.data();
+  }
+  return *this;
+}
+
+void MappedBlob::reset() noexcept {
+#ifdef DAPSP_HAVE_MMAP
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<std::uint8_t*>(data_), size_);
+  }
+#endif
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+  owned_.clear();
+}
+
+MappedBlob MappedBlob::map_file(const std::string& path) {
+  MappedBlob b;
+#ifdef DAPSP_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw std::runtime_error("MappedBlob: cannot open " + path);
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw std::runtime_error("MappedBlob: cannot stat " + path);
+  }
+  const std::size_t size = static_cast<std::size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return b;
+  }
+  void* p = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (p != MAP_FAILED) {
+    b.data_ = static_cast<const std::uint8_t*>(p);
+    b.size_ = size;
+    b.mapped_ = true;
+    return b;
+  }
+#endif
+  // Fallback: plain read into owned memory.
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("MappedBlob: cannot open " + path);
+  }
+  b.owned_.assign((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  b.data_ = b.owned_.data();
+  b.size_ = b.owned_.size();
+  b.mapped_ = false;
+  return b;
+}
+
+void write_blob_atomic(const std::string& path,
+                       std::span<const std::uint8_t> bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("write_blob_atomic: cannot write " + tmp);
+    }
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("write_blob_atomic: write failed for " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("write_blob_atomic: rename failed for " + path);
+  }
+}
+
+}  // namespace dapsp
