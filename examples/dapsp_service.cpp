@@ -45,6 +45,7 @@
 #include "congest/trace.h"
 #include "core/durable.h"
 #include "core/query.h"
+#include "core/resilience.h"
 #include "core/service.h"
 #include "graph/delta.h"
 #include "graph/generators.h"
@@ -79,6 +80,13 @@ struct Args {
   std::optional<std::string> trace_out;
   std::optional<std::string> metrics_out;
   bool quiet = false;
+  // --breaker K@C: circuit-break the repair ladder after K consecutive
+  // failed epochs, cool down for C epochs before the half-open probe.
+  std::optional<core::BreakerConfig> breaker;
+  // --strangle A:B: force watchdog_rounds=1 during updates A..B (1-based)
+  // so every repair in that window trips — the seeded way to open the
+  // breaker from the CLI.
+  std::optional<std::pair<std::uint64_t, std::uint64_t>> strangle;
   std::uint32_t serve_readers = 0;   // query-tier soak reader threads
   std::uint32_t serve_lookups = 64;  // p2p probes per reader per snapshot
 };
@@ -107,6 +115,10 @@ struct Args {
       "  --ckpt-dump <f>        write the final checkpoint blob to f\n"
       "  --trace-out <f>        service delta/epoch trace (.json/.jsonl/.csv)\n"
       "  --metrics-out <f>      service counters (.json or .csv)\n"
+      "  --breaker <K@C>        open the repair circuit breaker after K\n"
+      "                         consecutive failed epochs; cool down C epochs\n"
+      "  --strangle <A:B>       watchdog_rounds=1 during updates A..B (trips\n"
+      "                         every repair; pairs with --breaker)\n"
       "  --serve <r>            publish DQRY snapshots; r reader threads\n"
       "                         validate answers against the oracle\n"
       "  --serve-lookups <k>    p2p probes per reader per snapshot (def. 64)\n"
@@ -162,6 +174,22 @@ Args parse(int argc, char** argv) {
       a.trace_out = next();
     } else if (arg == "--metrics-out") {
       a.metrics_out = next();
+    } else if (arg == "--breaker") {
+      const std::string spec = next();
+      unsigned k = 0, c = 0;
+      if (std::sscanf(spec.c_str(), "%u@%u", &k, &c) != 2 || k == 0) usage();
+      core::BreakerConfig bc;
+      bc.failure_threshold = k;
+      bc.cooldown_ticks = c;
+      a.breaker = bc;
+    } else if (arg == "--strangle") {
+      const std::string spec = next();
+      unsigned long long lo = 0, hi = 0;
+      if (std::sscanf(spec.c_str(), "%llu:%llu", &lo, &hi) != 2 || lo == 0 ||
+          hi < lo) {
+        usage();
+      }
+      a.strangle = {lo, hi};
     } else if (arg == "--serve") {
       a.serve_readers = static_cast<std::uint32_t>(std::stoul(next()));
     } else if (arg == "--serve-lookups") {
@@ -238,6 +266,8 @@ void write_outputs(const Args& a, const congest::TraceLog& trace,
     reg.counter("service_epochs_failed") = st.epochs_failed;
     reg.counter("service_scrubs") = st.scrubs;
     reg.counter("service_checkpoints") = st.checkpoints;
+    reg.counter("service_repairs_suppressed") = st.repairs_suppressed;
+    reg.counter("service_breaker_transitions") = st.breaker_transitions;
     reg.counter("repairs_attempted") = st.run.repairs_attempted;
     reg.counter("repairs_escalated") = st.run.repairs_escalated;
     reg.counter("checkpoint_bytes") = st.run.checkpoint_bytes;
@@ -489,6 +519,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--serve is not supported with --durable-dir\n");
     return 2;
   }
+  if ((a.breaker || a.strangle) && a.durable_dir) {
+    // Breaker state is deliberately not checkpointed (a recovered process
+    // starts with a closed breaker, like the degraded streak), so gating
+    // durable runs would make the kill-matrix non-reproducible.
+    std::fprintf(stderr, "--breaker/--strangle require non-durable mode\n");
+    return 2;
+  }
   if (a.durable_dir) return run_durable(a);
   if (a.recover || a.kill_at_byte) {
     std::fprintf(stderr, "--recover/--kill-at-byte require --durable-dir\n");
@@ -500,6 +537,11 @@ int main(int argc, char** argv) {
   cfg.engine.threads = a.threads;
   cfg.scrub_every = a.scrub_every;
   if (a.trace_out) cfg.engine.trace = &trace;
+  std::optional<core::BreakerRepairGate> gate;
+  if (a.breaker) {
+    gate.emplace(*a.breaker);
+    cfg.repair_gate = &*gate;
+  }
 
   DeltaPlanConfig pc;
   pc.seed = a.seed;
@@ -569,6 +611,11 @@ int main(int argc, char** argv) {
     const std::uint64_t progress_step =
         a.quiet ? 0 : std::max<std::uint64_t>(1, a.updates / 20);
     for (std::uint64_t u = done; u < a.updates; ++u) {
+      if (a.strangle) {
+        const bool inside = u + 1 >= a.strangle->first &&
+                            u + 1 <= a.strangle->second;
+        svc->set_watchdog_rounds(inside ? 1 : cfg.watchdog_rounds);
+      }
       const ChurnBatch batch = plan.next(svc->dynamic_graph());
       if (soak) {
         // Mirror step()'s batch application on the shadow graph so the
@@ -641,6 +688,12 @@ int main(int argc, char** argv) {
 
   const core::ServiceStats& st = svc->stats();
   std::printf("service: %s\n", st.debug_string().c_str());
+  if (gate) {
+    std::printf("breaker: state=%s transitions=%llu suppressed=%llu\n",
+                core::to_string(static_cast<core::BreakerState>(gate->state())),
+                static_cast<unsigned long long>(st.breaker_transitions),
+                static_cast<unsigned long long>(st.repairs_suppressed));
+  }
   const bool certified = svc->fully_certified();
   std::printf("final: n_active=%u m=%zu epoch=%llu %s\n",
               svc->dynamic_graph().num_active(),

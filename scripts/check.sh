@@ -3,7 +3,8 @@
 # under ASan+UBSan.
 #
 # Usage: scripts/check.sh [--tsan] [--perf-smoke] [--kill-matrix [dir]]
-#                         [--query-smoke [dir]] [extra ctest args...]
+#                         [--query-smoke [dir]] [--overload-smoke [dir]]
+#                         [extra ctest args...]
 #   --tsan         run only the ThreadSanitizer configuration (the concurrency
 #                  surface: engine, equivalence, faults, determinism, and the
 #                  query tier's snapshot-swap soak) instead of the full matrix.
@@ -15,6 +16,12 @@
 #   --query-smoke  run only the query-tier gate: bench_query's lookup-rate
 #                  floor plus a serve soak (snapshot swaps under churn with
 #                  reader threads validating against the oracle).
+#   --overload-smoke  run only the overload-robustness gate: bench_resilience
+#                  floors (admitted-interactive p99 within 5x unloaded at 4x
+#                  saturation, explicit sheds, zero overclaims), a seeded
+#                  query_server overload replay with the shed-trace validated
+#                  against the health counters, and a dapsp_service breaker
+#                  open/half-open/close round trip.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -35,7 +42,7 @@ if [[ "${1:-}" == "--tsan" ]]; then
   # test_engine_equivalence in particular runs the flat engine's arenas and
   # inbox frames differentially at 1/2/8 threads.
   run_config build-tsan Tsan \
-    -R 'test_engine|test_engine_equivalence|test_arena|test_faults|test_determinism|test_query' "$@"
+    -R 'test_engine|test_engine_equivalence|test_arena|test_faults|test_determinism|test_query|test_resilience' "$@"
   echo "TSan checks passed."
   exit 0
 fi
@@ -197,12 +204,62 @@ if [[ "${1:-}" == "--query-smoke" ]]; then
   exit 0
 fi
 
+# Overload-robustness smoke (DESIGN.md section 18): the resilience floors in
+# bench_resilience (--smoke --assert), then a seeded query_server overload
+# replay whose kShed trace is cross-checked against the exported health
+# counters, and a dapsp_service run whose repair breaker provably opens
+# during a strangle window, suppresses repairs, and closes again — exit 0
+# requires the final tables fully certified despite the outage.
+overload_smoke() {
+  local dir="$1" tmp
+  echo "== overload smoke (${dir}) =="
+  cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build "${dir}" -j "${JOBS}" \
+    --target bench_resilience dapsp_service query_server
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "${tmp}"' RETURN
+  # Run in ${tmp}: the smoke run's BENCH_resilience.json must not clobber
+  # the committed full-size curve.
+  ( cd "${tmp}" && "${OLDPWD}/${dir}/bench/bench_resilience" \
+      --smoke --assert >/dev/null )
+  "${dir}/examples/query_server" --export "${tmp}/s.dqry" \
+    --universe 48 --seed 7 --labels 2
+  "${dir}/examples/query_server" --snapshot "${tmp}/s.dqry" \
+    --overload 20000 --offered 2000000 --deadline-us 3 --seed 7 \
+    --trace-out "${tmp}/shed.json" --metrics-out "${tmp}/health.json"
+  if command -v python3 >/dev/null 2>&1; then
+    python3 scripts/validate_trace.py "${tmp}/shed.json" "${tmp}/health.json"
+  else
+    echo "python3 not found; skipping shed trace validation"
+  fi
+  "${dir}/examples/dapsp_service" --universe 20 --updates 30 --seed 7 \
+    --breaker 2@3 --strangle 5:9 --quiet \
+    --trace-out "${tmp}/svc_trace.json" \
+    --metrics-out "${tmp}/svc_metrics.json" > "${tmp}/svc.out"
+  if ! grep -q 'breaker: state=closed' "${tmp}/svc.out"; then
+    echo "overload smoke: breaker did not close after the strangle window"
+    cat "${tmp}/svc.out"
+    exit 1
+  fi
+  if command -v python3 >/dev/null 2>&1; then
+    python3 scripts/validate_trace.py \
+      "${tmp}/svc_trace.json" "${tmp}/svc_metrics.json"
+  fi
+  echo "overload smoke passed"
+}
+
+if [[ "${1:-}" == "--overload-smoke" ]]; then
+  overload_smoke "${2:-build}"
+  exit 0
+fi
+
 run_config build RelWithDebInfo "$@"
 trace_smoke build
 chaos_smoke build
 churn_smoke build
 perf_smoke build
 query_smoke build
+overload_smoke build
 run_config build-asan Asan "$@"
 kill_matrix_smoke build-asan
 

@@ -34,6 +34,10 @@ const char* to_string(TraceEventKind k) noexcept {
       return "journal";
     case TraceEventKind::kRecovery:
       return "recovery";
+    case TraceEventKind::kShed:
+      return "shed";
+    case TraceEventKind::kBreaker:
+      return "breaker";
   }
   return "?";
 }

@@ -179,13 +179,19 @@ QueryAnswer QuerySnapshot::p2p(NodeId from, NodeId to) const {
 
 void QuerySnapshot::p2p_batch(
     std::span<const std::pair<NodeId, NodeId>> pairs,
-    std::vector<QueryAnswer>& out) const {
+    std::vector<QueryAnswer>& out, WorkBudget* budget) const {
   out.clear();
   out.reserve(pairs.size());
-  for (const auto& [from, to] : pairs) out.push_back(p2p(from, to));
+  for (const auto& [from, to] : pairs) {
+    // One cell per pair; an exhausted budget truncates the batch to the
+    // answered prefix (out.size() < pairs.size()).
+    if (budget != nullptr && budget->grant(1) == 0) return;
+    out.push_back(p2p(from, to));
+  }
 }
 
-KNearestAnswer QuerySnapshot::k_nearest(NodeId u, std::uint32_t k) const {
+KNearestAnswer QuerySnapshot::k_nearest(NodeId u, std::uint32_t k,
+                                        WorkBudget* budget) const {
   if (u >= n_) {
     throw std::invalid_argument(
         "QuerySnapshot::k_nearest: node out of universe");
@@ -195,9 +201,15 @@ KNearestAnswer QuerySnapshot::k_nearest(NodeId u, std::uint32_t k) const {
   ans.active = true;
   ans.status = status(u);
   const std::uint32_t* row = dist_ + std::size_t{u} * n_;
+  // The budget bounds how much of the row this query may scan; the answer
+  // stays exact over the scanned prefix.
+  const NodeId scan = budget == nullptr
+                          ? n_
+                          : static_cast<NodeId>(std::min<std::uint64_t>(
+                                n_, budget->grant(n_)));
   std::vector<NearNeighbor> cand;
-  cand.reserve(n_);
-  for (NodeId v = 0; v < n_; ++v) {
+  cand.reserve(scan);
+  for (NodeId v = 0; v < scan; ++v) {
     if (v == u || active_[v] == 0 || row[v] == kInfDist) continue;
     cand.push_back({v, row[v]});
   }
@@ -211,10 +223,15 @@ KNearestAnswer QuerySnapshot::k_nearest(NodeId u, std::uint32_t k) const {
                     cand.end(), by_dist_then_id);
   cand.resize(keep);
   ans.nearest = std::move(cand);
+  if (scan < n_) {
+    ans.truncated = true;
+    ans.scanned = scan;
+  }
   return ans;
 }
 
-EccentricityAnswer QuerySnapshot::eccentricity(NodeId u) const {
+EccentricityAnswer QuerySnapshot::eccentricity(NodeId u,
+                                               WorkBudget* budget) const {
   if (u >= n_) {
     throw std::invalid_argument(
         "QuerySnapshot::eccentricity: node out of universe");
@@ -224,7 +241,11 @@ EccentricityAnswer QuerySnapshot::eccentricity(NodeId u) const {
   ans.active = true;
   ans.status = status(u);
   const std::uint32_t* row = dist_ + std::size_t{u} * n_;
-  for (NodeId v = 0; v < n_; ++v) {
+  const NodeId scan = budget == nullptr
+                          ? n_
+                          : static_cast<NodeId>(std::min<std::uint64_t>(
+                                n_, budget->grant(n_)));
+  for (NodeId v = 0; v < scan; ++v) {
     if (active_[v] == 0) continue;
     if (row[v] == kInfDist) {
       if (v != u) ++ans.unreachable;
@@ -236,6 +257,10 @@ EccentricityAnswer QuerySnapshot::eccentricity(NodeId u) const {
     }
   }
   if (ans.farthest == kNoNextHop) ans.farthest = u;  // isolated-in-component
+  if (scan < n_) {
+    ans.truncated = true;
+    ans.scanned = scan;
+  }
   return ans;
 }
 
@@ -401,18 +426,34 @@ std::size_t SnapshotStore::retired_pending() const {
   return retired_.size();
 }
 
-SnapshotReader::SnapshotReader(SnapshotStore& store) : store_(&store) {
-  for (std::size_t i = 0; i < kMaxSnapshotReaders; ++i) {
-    std::uint8_t expect = 0;
-    if (store_->slots_[i].claimed.compare_exchange_strong(
-            expect, 1, std::memory_order_seq_cst)) {
-      slot_ = i;
-      store_->slots_[i].pin.store(SnapshotStore::kSlotIdle,
-                                  std::memory_order_seq_cst);
-      return;
+SnapshotReader::SnapshotReader(SnapshotStore& store, std::uint32_t max_spins)
+    : store_(&store) {
+  // Bounded spin-yield: a full claim sweep, then yield and retry. A burst of
+  // short-lived readers cycling slots resolves within a few yields — only a
+  // genuine reader leak (kMaxSnapshotReaders live readers) exhausts the
+  // budget and throws. The slots_exhausted metric counts contended
+  // constructions (once each, on the first failed sweep), not spins, so it
+  // reads as "registrations that hit saturation".
+  for (std::uint32_t spin = 0;; ++spin) {
+    for (std::size_t i = 0; i < kMaxSnapshotReaders; ++i) {
+      std::uint8_t expect = 0;
+      if (store_->slots_[i].claimed.compare_exchange_strong(
+              expect, 1, std::memory_order_seq_cst)) {
+        slot_ = i;
+        store_->slots_[i].pin.store(SnapshotStore::kSlotIdle,
+                                    std::memory_order_seq_cst);
+        return;
+      }
     }
+    if (spin == 0) {
+      store_->slots_exhausted_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (spin >= max_spins) {
+      throw std::runtime_error(
+          "SnapshotReader: all reader slots claimed (spin budget exhausted)");
+    }
+    std::this_thread::yield();
   }
-  throw std::runtime_error("SnapshotReader: all reader slots claimed");
 }
 
 SnapshotReader::~SnapshotReader() {

@@ -51,6 +51,7 @@
 // whose invalidation was already known.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <cstdint>
@@ -80,6 +81,30 @@ inline constexpr std::uint32_t kQueryFlagDegraded = 1u << 1;
 CheckpointError classify_query_blob(
     std::span<const std::uint8_t> blob) noexcept;
 
+// Deterministic per-request work budget (core/resilience.h threads one
+// through every query a request makes). The unit is one table cell touched
+// — a pure function of the query and the snapshot, never of wall time — so
+// deadline behavior is bit-reproducible at any thread count. limit == 0
+// means unbounded. A query that exhausts the budget mid-row stops scanning
+// and returns a truncated partial answer (see the `truncated` fields);
+// the resilience layer downgrades such answers to kDeadlineExceeded.
+struct WorkBudget {
+  std::uint64_t limit = 0;  // total cells this request may touch (0 = inf)
+  std::uint64_t used = 0;   // cells charged so far
+
+  bool exhausted() const noexcept { return limit != 0 && used >= limit; }
+  std::uint64_t remaining() const noexcept {
+    if (limit == 0) return ~std::uint64_t{0};
+    return limit > used ? limit - used : 0;
+  }
+  // Charges up to `want` cells; returns how many were granted.
+  std::uint64_t grant(std::uint64_t want) noexcept {
+    if (limit != 0) want = std::min(want, remaining());
+    used += want;
+    return want;
+  }
+};
+
 // One point-to-point answer. `status` is the consulted row's publish-time
 // status (see header); inactive endpoints answer active = false with
 // everything else defaulted — exactly DapspService::query's contract.
@@ -101,6 +126,11 @@ struct KNearestAnswer {
   // Up to k active nodes nearest to u (u excluded, unreachable excluded),
   // ascending by (distance, id).
   std::vector<NearNeighbor> nearest;
+  // Deadline partial-result marker: only row cells [0, scanned) were
+  // considered (the budget ran out mid-row). `nearest` is exact over that
+  // prefix — correct neighbors may be missing beyond it.
+  bool truncated = false;
+  std::uint32_t scanned = 0;  // meaningful only when truncated
 };
 
 struct EccentricityAnswer {
@@ -109,6 +139,10 @@ struct EccentricityAnswer {
   std::uint32_t ecc = 0;        // max finite served distance to u
   NodeId farthest = kNoNextHop; // argmax (smallest id on ties)
   std::uint32_t unreachable = 0;  // active nodes with no finite entry
+  // Deadline partial-result marker: ecc/farthest/unreachable aggregate only
+  // row cells [0, scanned) — a lower bound on the true eccentricity.
+  bool truncated = false;
+  std::uint32_t scanned = 0;  // meaningful only when truncated
 };
 
 // An immutable query snapshot over a DQRY blob (owned bytes or an mmap
@@ -166,14 +200,26 @@ class QuerySnapshot {
   }
 
   // ---- Queries (each consults exactly one row; see header) --------------
+  //
+  // Every query takes an optional WorkBudget. nullptr (the default) means
+  // unbounded — identical to the pre-budget behavior. With a budget, each
+  // row cell touched charges one unit; when the budget exhausts mid-query
+  // the answer is returned truncated (k_nearest/eccentricity set their
+  // `truncated` marker; p2p_batch stops after the answered prefix, so
+  // out.size() < pairs.size() is the truncation signal). Work accounting is
+  // cell-exact and deterministic — the virtual-clock overload simulations
+  // (core/resilience.h) convert it into service time.
 
   // Throws std::invalid_argument on out-of-universe ids.
   QueryAnswer p2p(NodeId from, NodeId to) const;
   void p2p_batch(std::span<const std::pair<NodeId, NodeId>> pairs,
-                 std::vector<QueryAnswer>& out) const;
+                 std::vector<QueryAnswer>& out,
+                 WorkBudget* budget = nullptr) const;
 
-  KNearestAnswer k_nearest(NodeId u, std::uint32_t k) const;
-  EccentricityAnswer eccentricity(NodeId u) const;
+  KNearestAnswer k_nearest(NodeId u, std::uint32_t k,
+                           WorkBudget* budget = nullptr) const;
+  EccentricityAnswer eccentricity(NodeId u,
+                                  WorkBudget* budget = nullptr) const;
 
   // APASP_{2k} estimate from the label section (requires has_labels()):
   // min over dominators of the saturating 2-hop sum. kInfDist when the
@@ -259,14 +305,25 @@ class SnapshotRef {
   const QuerySnapshot* snap_ = nullptr;
 };
 
+// Bounded spin-yield budget for SnapshotReader slot acquisition: how many
+// full claim sweeps (each followed by a yield) to attempt before giving up.
+// Transient exhaustion — a burst of short-lived readers churning slots —
+// resolves within a few yields; a genuine leak (64 live readers) still
+// fails fast instead of hanging.
+inline constexpr std::uint32_t kReaderAcquireSpins = 4096;
+
 // One registered reader (claims one epoch slot; create one per reader
 // thread). acquire() is the wait-free hot-path pin: announce the current
 // store epoch in the slot, then load the snapshot pointer. At most one
 // outstanding SnapshotRef per reader at a time.
 class SnapshotReader {
  public:
-  // Throws std::runtime_error when all kMaxSnapshotReaders slots are taken.
-  explicit SnapshotReader(SnapshotStore& store);
+  // Claims a slot, spin-yielding up to `max_spins` sweeps while all
+  // kMaxSnapshotReaders slots are transiently taken (each contended sweep
+  // bumps the store's slots_exhausted() metric once per construction).
+  // Throws std::runtime_error only after the spin budget is gone.
+  explicit SnapshotReader(SnapshotStore& store,
+                          std::uint32_t max_spins = kReaderAcquireSpins);
   ~SnapshotReader();
 
   SnapshotReader(const SnapshotReader&) = delete;
@@ -305,6 +362,12 @@ class SnapshotStore {
   }
   // Retired snapshots not yet reclaimed (observability / tests).
   std::size_t retired_pending() const;
+  // Reader registrations that found every slot taken on their first sweep
+  // and had to spin-yield (counted once per contended construction) — the
+  // saturation signal the HealthReport surfaces.
+  std::uint64_t slots_exhausted() const noexcept {
+    return slots_exhausted_.load(std::memory_order_relaxed);
+  }
 
  private:
   friend class SnapshotReader;
@@ -322,6 +385,7 @@ class SnapshotStore {
   std::atomic<const QuerySnapshot*> current_{nullptr};
   std::atomic<std::uint64_t> epoch_{1};
   std::atomic<std::uint64_t> swaps_{0};
+  std::atomic<std::uint64_t> slots_exhausted_{0};
   std::array<Slot, kMaxSnapshotReaders> slots_{};
 
   // Writer-side only; readers never touch the mutex.

@@ -152,6 +152,42 @@ std::uint64_t backoff_delay_ms(std::uint64_t base_ms,
   return shifted;
 }
 
+namespace {
+
+// SplitMix64 finalizer — the same full-avalanche mix the fault injector
+// uses to key its per-(node, round) streams (congest/faults.cc).
+std::uint64_t mix64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint64_t jitter_between(std::uint64_t lo, std::uint64_t hi,
+                             std::uint64_t seed, std::uint64_t a,
+                             std::uint64_t b) noexcept {
+  if (hi <= lo) return lo;
+  std::uint64_t z = seed;
+  z = mix64(z ^ (0x9e3779b97f4a7c15ULL * (a + 1)));
+  z = mix64(z ^ (0xd1342543de82ef95ULL * (b + 1)));
+  return lo + Rng(z).below(hi - lo + 1);
+}
+
+std::uint64_t decorrelated_backoff_ms(std::uint64_t base_ms,
+                                      std::uint64_t prev_ms,
+                                      std::uint64_t seed, std::uint64_t epoch,
+                                      std::uint64_t attempt) noexcept {
+  if (base_ms == 0) return 0;
+  const std::uint64_t lo = std::min(base_ms, kMaxBackoffMs);
+  // max(base, prev) * 3, saturating at the cap: prev and base are both
+  // <= kMaxBackoffMs (60'000) after clamping, so the product cannot wrap.
+  const std::uint64_t anchor = std::min(std::max(base_ms, prev_ms),
+                                        kMaxBackoffMs);
+  const std::uint64_t hi = std::min(anchor * 3, kMaxBackoffMs);
+  return jitter_between(lo, hi, seed, epoch, attempt);
+}
+
 const char* to_string(RowStatus s) noexcept {
   switch (s) {
     case RowStatus::kExact:
@@ -174,6 +210,8 @@ const char* to_string(EpochOutcome o) noexcept {
       return "retried";
     case EpochOutcome::kEscalated:
       return "escalated";
+    case EpochOutcome::kSuppressed:
+      return "suppressed";
   }
   return "?";
 }
@@ -485,13 +523,20 @@ void DapspService::run_repair_ladder(
                 rungs.end() - 1);
   }
 
+  // Jittered-backoff envelope: the degraded streak sets where the
+  // decorrelated walk starts (saturating via backoff_delay_ms — a plain
+  // shift would overflow past 2^63), and each sleep this epoch then draws
+  // uniform in [base, 3 * prev], keyed by (seed, epoch, attempt). Determinism
+  // survives (same key, same sleep) while co-churning shards decorrelate.
+  std::uint64_t prev_backoff_ms =
+      backoff_delay_ms(config_.backoff_base_ms, degraded_streak_);
   for (std::size_t i = 0; i < rungs.size(); ++i) {
     if (i > 0) {
       if (config_.backoff_base_ms > 0) {
-        // Saturating: the degraded streak keeps raising the exponent across
-        // epochs, and a plain shift would overflow (UB) past 2^63.
-        const std::uint64_t ms = backoff_delay_ms(
-            config_.backoff_base_ms, (i - 1) + degraded_streak_);
+        const std::uint64_t ms =
+            decorrelated_backoff_ms(config_.backoff_base_ms, prev_backoff_ms,
+                                    config_.backoff_seed, epoch_, i);
+        prev_backoff_ms = ms;
         std::this_thread::sleep_for(std::chrono::milliseconds(ms));
         stats_.backoff_ms += ms;
       }
@@ -547,6 +592,23 @@ void DapspService::run_repair_ladder(
   for (const NodeId s : stale) {
     if (graph_.active(s)) row_status_[s] = RowStatus::kStale;
   }
+}
+
+void DapspService::note_gate_state() {
+  if (config_.repair_gate == nullptr) return;
+  const std::uint8_t gs = config_.repair_gate->state();
+  if (gs == last_gate_state_) return;
+  ++stats_.breaker_transitions;
+  if (config_.engine.trace != nullptr) {
+    TraceEvent ev;
+    ev.kind = TraceEventKind::kBreaker;
+    ev.node = gs;
+    ev.peer = last_gate_state_;
+    ev.round = epoch_;
+    ev.aux = static_cast<std::uint32_t>(stats_.breaker_transitions);
+    config_.engine.trace->append(ev);
+  }
+  last_gate_state_ = gs;
 }
 
 void DapspService::emit_epoch_event(const EpochReport& ep) {
@@ -661,11 +723,25 @@ EpochReport DapspService::step(const ChurnBatch& batch) {
     ep.outcome = EpochOutcome::kClean;
     ep.certified = true;
     degraded_streak_ = 0;
+  } else if (config_.repair_gate != nullptr &&
+             !config_.repair_gate->allow_repair(epoch_)) {
+    // The gate (an open circuit breaker) refused the ladder: spend nothing.
+    // Every implicated row was already downgraded to kStale above, so the
+    // epoch serves degraded from the last certified values and the suspects
+    // re-enter next epoch's set. Join-guard rows stay stale too — their
+    // patched cells were never computed. Not a failed repair: the degraded
+    // streak and epochs_failed are untouched.
+    ep.outcome = EpochOutcome::kSuppressed;
+    ep.certified = false;
+    ++stats_.repairs_suppressed;
   } else {
     if (!force) patch_join_entries(dr);
     run_repair_ladder(force ? std::nullopt
                             : std::optional<std::vector<NodeId>>(suspects),
                       force, ep);
+    if (config_.repair_gate != nullptr) {
+      config_.repair_gate->on_repair_outcome(epoch_, ep.certified);
+    }
     if (ep.certified && !force && !dr.joined.empty()) {
       // The direct-patched entries of clean rows (one cell per joined node
       // per row) are exact by construction — serve them too, and lift the
@@ -709,6 +785,7 @@ EpochReport DapspService::step(const ChurnBatch& batch) {
   stats_.crashes += ep.crashes;
   stats_.corrupted_entries += ep.corrupted_entries;
   congest::accumulate(stats_.run, ep.stats);
+  note_gate_state();
   emit_epoch_event(ep);
 
   if (config_.scrub_every > 0 && epoch_ % config_.scrub_every == 0) {
@@ -723,12 +800,19 @@ EpochReport DapspService::step(const ChurnBatch& batch) {
 EpochReport DapspService::scrub() {
   EpochReport ep;
   ep.epoch = epoch_;
+  // Deliberately not gated: a scrub is operator-initiated maintenance and
+  // must always be able to heal. Its outcome still feeds the gate, so a
+  // successful scrub closes an open breaker (and a failed one re-opens it).
   run_repair_ladder(std::nullopt, false, ep);
+  if (config_.repair_gate != nullptr) {
+    config_.repair_gate->on_repair_outcome(epoch_, ep.certified);
+  }
   ep.outcome = ep.escalated  ? EpochOutcome::kEscalated
                : ep.attempts > 1 ? EpochOutcome::kRetried
                                  : EpochOutcome::kRepaired;
   stats_.scrubs += 1;
   congest::accumulate(stats_.run, ep.stats);
+  note_gate_state();
   emit_epoch_event(ep);
   if (config_.snapshot_sink != nullptr) {
     config_.snapshot_sink->on_snapshot(*this, /*degraded=*/false);
@@ -916,6 +1000,7 @@ std::string ServiceStats::debug_string() const {
   os << "epochs=" << epochs << " deltas=" << deltas_applied
      << " crashes=" << crashes << " corrupted=" << corrupted_entries
      << " rows_repaired=" << rows_repaired << " failed=" << epochs_failed
+     << " suppressed=" << repairs_suppressed
      << " scrubs=" << scrubs << " checkpoints=" << checkpoints << " | "
      << run.debug_string();
   return std::move(os).str();

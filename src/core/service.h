@@ -125,6 +125,27 @@ inline constexpr std::uint64_t kMaxBackoffMs = 60'000;
 std::uint64_t backoff_delay_ms(std::uint64_t base_ms,
                                std::uint64_t exp) noexcept;
 
+// One decorrelated-jitter draw: uniform in [lo, hi] inclusive, deterministic
+// from the (seed, a, b) key — the same keyed-stream construction as the
+// fault injector's per-(node, round) RNG streams (congest/faults.cc), so
+// adjacent keys share no affine structure. lo > hi answers lo.
+std::uint64_t jitter_between(std::uint64_t lo, std::uint64_t hi,
+                             std::uint64_t seed, std::uint64_t a,
+                             std::uint64_t b) noexcept;
+
+// Decorrelated-jitter retry backoff (the AWS "decorrelated jitter" shape):
+// a draw uniform in [base_ms, min(kMaxBackoffMs, max(base_ms, prev_ms) * 3)],
+// keyed by (seed, epoch, attempt). Unlike the bare exponential, co-churning
+// shards with identical degraded streaks spread out instead of slamming the
+// repair ladder in lockstep; unlike free-running RNG backoff, the same
+// (seed, epoch, attempt) always sleeps the same amount — reruns reproduce.
+// base_ms == 0 stays 0 (don't sleep). Feed the previous epoch/attempt's
+// delay back in as prev_ms to grow the envelope across a failure streak.
+std::uint64_t decorrelated_backoff_ms(std::uint64_t base_ms,
+                                      std::uint64_t prev_ms,
+                                      std::uint64_t seed, std::uint64_t epoch,
+                                      std::uint64_t attempt) noexcept;
+
 // Per-source-row serving status (see header note).
 enum class RowStatus : std::uint8_t {
   kExact = 0,
@@ -161,11 +182,14 @@ DirtyReport analyze_dirty_rows(const DistanceMatrix& dist,
 
 // How an epoch's repair resolved (also the kEpoch trace event's aux value).
 enum class EpochOutcome : std::uint8_t {
-  kClean = 0,      // empty dirty set — nothing ran
-  kRepaired = 1,   // incremental repair succeeded first try
-  kRetried = 2,    // needed the detection retry
-  kEscalated = 3,  // full recompute fired (oversized region, needs_full,
-                   // exhausted retries, or watchdog trips)
+  kClean = 0,       // empty dirty set — nothing ran
+  kRepaired = 1,    // incremental repair succeeded first try
+  kRetried = 2,     // needed the detection retry
+  kEscalated = 3,   // full recompute fired (oversized region, needs_full,
+                    // exhausted retries, or watchdog trips)
+  kSuppressed = 4,  // the repair gate (circuit breaker) refused the ladder;
+                    // suspects stay kStale, the last certified snapshot
+                    // keeps serving, and no repair work was spent
 };
 
 const char* to_string(EpochOutcome o) noexcept;
@@ -203,6 +227,11 @@ struct ServiceStats {
   std::uint64_t scrubs = 0;
   std::uint64_t checkpoints = 0;
   std::uint64_t backoff_ms = 0;  // total retry backoff slept
+  // Overload robustness (core/resilience.h): epochs whose repair ladder the
+  // gate refused, and gate state changes the service observed (each one is
+  // also a kBreaker trace event).
+  std::uint64_t repairs_suppressed = 0;
+  std::uint64_t breaker_transitions = 0;
 
   // Accumulated engine stats over every repair/certify run, including the
   // service counters (repairs_attempted / repairs_escalated /
@@ -230,6 +259,29 @@ struct SnapshotSink {
   virtual void on_snapshot(const DapspService& svc, bool degraded) = 0;
 };
 
+// Admission gate in front of the repair ladder — the hook a circuit breaker
+// (core/resilience.h BreakerRepairGate) plugs into. Consulted once per
+// step() that has a non-empty suspect set, before any repair work runs:
+//   * allow_repair(epoch) == false suppresses the whole ladder for the
+//     epoch. The suspects stay kStale, the served snapshot keeps answering
+//     from the last certified state, and the epoch reports kSuppressed —
+//     degraded, but at zero repair cost (how an open breaker pins the last
+//     certified snapshot while the engine is misbehaving).
+//   * on_repair_outcome(epoch, certified) reports how a ladder that did run
+//     resolved, driving the gate's failure/success accounting.
+// scrub() bypasses allow_repair (operator-initiated maintenance must always
+// be able to heal) but still reports its outcome, so a successful scrub can
+// close an open breaker. state() is observability: 0 closed / 1 open /
+// 2 half-open; the service emits a kBreaker trace event whenever the value
+// changes across its consultations. Gate state is not checkpointed (like
+// degraded_streak() — a restored service starts from a closed gate).
+struct RepairGate {
+  virtual ~RepairGate() = default;
+  virtual bool allow_repair(std::uint64_t epoch) = 0;
+  virtual void on_repair_outcome(std::uint64_t epoch, bool certified) = 0;
+  virtual std::uint8_t state() const = 0;
+};
+
 struct ServiceConfig {
   // Engine knobs for all repair/certify sub-runs (threads, bandwidth_ids are
   // honored; faults and instrumentation are stripped by the repair layer —
@@ -253,9 +305,13 @@ struct ServiceConfig {
   std::uint64_t watchdog_rounds = 0;
   std::uint64_t watchdog_wall_ms = 0;
 
-  // Retry backoff: sleep backoff_base_ms * 2^(attempt-1) between failed
+  // Retry backoff: sleep a decorrelated-jittered delay between failed
   // attempts (0 = don't sleep; the default keeps tests and benches fast).
+  // The envelope starts at the bare exponential backoff_delay_ms(base,
+  // degraded_streak) and each draw is uniform in [base, min(cap, 3 * prev)]
+  // via decorrelated_backoff_ms, keyed by (backoff_seed, epoch, attempt).
   std::uint64_t backoff_base_ms = 0;
+  std::uint64_t backoff_seed = 1;
 
   // Run scrub() automatically after every k-th epoch (0 = never). Scrubbing
   // is what catches bit-rot corruption, which is invisible to the delta
@@ -265,6 +321,10 @@ struct ServiceConfig {
   // Query-tier publish hook (see SnapshotSink). Not owned; must outlive the
   // service. Not part of the checkpointed state.
   SnapshotSink* snapshot_sink = nullptr;
+
+  // Repair-ladder admission gate (see RepairGate). Not owned; must outlive
+  // the service. Not part of the checkpointed state.
+  RepairGate* repair_gate = nullptr;
 };
 
 // One distance query, answered from the served snapshot.
@@ -299,6 +359,14 @@ class DapspService {
   // retry backoff exponent, saturating via backoff_delay_ms. Not part of
   // the checkpointed state — a restored service starts its streak at 0.
   std::uint64_t degraded_streak() const noexcept { return degraded_streak_; }
+
+  // Ops/fault-drill knob: retune the per-attempt round watchdog on a live
+  // service (0 restores the engine default). Deliberately mutable — the
+  // overload drills pin it to 1 round to force deterministic repair
+  // failures, then lift it; it is config, not checkpointed state.
+  void set_watchdog_rounds(std::uint64_t rounds) noexcept {
+    config_.watchdog_rounds = rounds;
+  }
 
   RowStatus row_status(NodeId s) const { return row_status_[s]; }
   std::span<const RowStatus> row_statuses() const noexcept {
@@ -359,6 +427,8 @@ class DapspService {
                          bool force_escalate, EpochReport& ep);
   void refresh_served(std::span<const NodeId> rows, RowStatus status);
   void emit_epoch_event(const EpochReport& ep);
+  // kBreaker event + counter when the gate's observed state changed.
+  void note_gate_state();
 
   ServiceConfig config_;
   DynamicGraph graph_;
@@ -368,6 +438,7 @@ class DapspService {
   std::vector<RowStatus> row_status_;
   std::uint64_t epoch_ = 0;
   std::uint64_t degraded_streak_ = 0;
+  std::uint8_t last_gate_state_ = 0;  // last observed RepairGate::state()
   ServiceStats stats_;
 };
 
